@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 4: influence computation time vs fraction of
+//! the training data removed, per estimator, against the retraining
+//! baseline. Expect influence functions to sit orders of magnitude below
+//! retraining at every fraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopher_bench::workloads::{prepare, random_subset, train_lr, DatasetKind};
+use gopher_influence::{retrain_without, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_prng::Rng;
+
+fn bench_fig4(c: &mut Criterion) {
+    let p = prepare(DatasetKind::German, 1_000, 42);
+    let model = train_lr(&p);
+    let engine = InfluenceEngine::new(model.clone(), &p.train, InfluenceConfig::default());
+    let mut rng = Rng::new(4242);
+
+    let mut group = c.benchmark_group("fig4_influence_vs_fraction");
+    group.sample_size(10);
+    for fraction in [0.05, 0.2, 0.5] {
+        let rows = random_subset(p.train.n_rows(), fraction, &mut rng);
+        let label = format!("{:.0}%", fraction * 100.0);
+        group.bench_with_input(BenchmarkId::new("first_order", &label), &rows, |b, rows| {
+            b.iter(|| engine.param_change(&p.train, rows, Estimator::FirstOrder));
+        });
+        group.bench_with_input(BenchmarkId::new("second_order", &label), &rows, |b, rows| {
+            b.iter(|| engine.param_change(&p.train, rows, Estimator::SecondOrder));
+        });
+        group.bench_with_input(BenchmarkId::new("one_step_gd", &label), &rows, |b, rows| {
+            b.iter(|| {
+                engine.param_change(&p.train, rows, Estimator::OneStepGd { learning_rate: 1.0 })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("retrain", &label), &rows, |b, rows| {
+            b.iter(|| retrain_without(&model, &p.train, rows));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion bench for Figure 5: influence query time vs dataset size
+//! (German replicated ×50 and ×200; the full ×1600 sweep lives in
+//! `repro --experiment fig5 --scale paper`). The query is a fixed 5% subset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopher_bench::workloads::random_subset;
+use gopher_data::generators::german;
+use gopher_data::Encoder;
+use gopher_influence::{Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_models::train::fit_default;
+use gopher_models::LogisticRegression;
+use gopher_prng::Rng;
+
+fn bench_fig5(c: &mut Criterion) {
+    let base = german(1_000, 42);
+    let mut group = c.benchmark_group("fig5_influence_vs_dataset_size");
+    group.sample_size(10);
+    for factor in [50usize, 200] {
+        let data = base.replicate(factor);
+        let encoder = Encoder::fit(&data);
+        let train = encoder.transform(&data);
+        let mut model = LogisticRegression::new(train.n_cols(), 1e-3);
+        fit_default(&mut model, &train);
+        let engine = InfluenceEngine::new(model, &train, InfluenceConfig::default());
+        let mut rng = Rng::new(5);
+        let rows = random_subset(train.n_rows(), 0.05, &mut rng);
+        let label = format!("{}k_rows", train.n_rows() / 1000);
+        group.bench_with_input(BenchmarkId::new("first_order", &label), &rows, |b, rows| {
+            b.iter(|| engine.param_change(&train, rows, Estimator::FirstOrder));
+        });
+        group.bench_with_input(BenchmarkId::new("second_order", &label), &rows, |b, rows| {
+            b.iter(|| engine.param_change(&train, rows, Estimator::SecondOrder));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! Usage: repro [--experiment NAME] [--scale small|paper] [--seed N]
+//!
+//! Experiments:
+//!   fig3     influence-estimation error vs ground truth (Figure 3)
+//!   fig4     influence runtime vs fraction removed (Figure 4)
+//!   fig5     influence runtime vs dataset size (Figure 5)
+//!   table1   top-3 explanations, German + logistic regression
+//!   table2   top-3 explanations, Adult + neural network
+//!   table3   top-3 explanations, SQF + logistic regression
+//!   table4   update-based explanations, German
+//!   table5   update-based explanations, Adult
+//!   table6   update-based explanations, SQF
+//!   table7   lattice scalability (levels × candidates × time)
+//!   fotree   FO-tree baseline comparison (§6.4)
+//!   poison   data-poisoning detection (§6.7)
+//!   ablation design-choice ablations (DESIGN.md §6)
+//!   all      everything above (default)
+//! ```
+//!
+//! `--scale small` (default) keeps every experiment interactive;
+//! `--scale paper` uses the paper's dataset sizes and lattice depth.
+
+use gopher_bench::experiments;
+use gopher_bench::{DatasetKind, Scale};
+use std::io::Write;
+
+struct Args {
+    experiment: String,
+    scale: Scale,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_string();
+    let mut scale = Scale::Small;
+    let mut seed = 42u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = argv.next().ok_or("--experiment needs a value")?;
+            }
+            "--scale" | "-s" => match argv.next().as_deref() {
+                Some("small") => scale = Scale::Small,
+                Some("paper") => scale = Scale::Paper,
+                other => return Err(format!("invalid --scale {other:?} (small|paper)")),
+            },
+            "--seed" => {
+                seed = argv
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("invalid seed: {e}"))?;
+            }
+            "--help" | "-h" => {
+                println!("see the module docs at the top of repro.rs; experiments: fig3 fig4 fig5 table1..table7 fotree poison ablation all");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(Args { experiment, scale, seed })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let run_all = args.experiment == "all";
+    let seed = args.seed;
+    let paper = args.scale == Scale::Paper;
+
+    let mut ran_any = false;
+    let mut run = |name: &str, body: &mut dyn FnMut() -> String| {
+        if run_all || args.experiment == name {
+            ran_any = true;
+            let t0 = std::time::Instant::now();
+            let report = body();
+            writeln!(out, "{report}").expect("stdout");
+            writeln!(out, "[{} finished in {:.1}s]\n", name, t0.elapsed().as_secs_f64())
+                .expect("stdout");
+        }
+    };
+
+    // Figure 3: at paper scale include the MLP and more subsets.
+    run("fig3", &mut || {
+        let (n, subsets) = if paper { (1_000, 36) } else { (600, 18) };
+        experiments::fig3(n, subsets, seed, paper)
+    });
+    run("fig4", &mut || experiments::fig4(1_000, seed, true));
+    run("fig5", &mut || {
+        let factors: &[usize] =
+            if paper { &[50, 100, 200, 400, 800, 1600] } else { &[50, 100, 200, 400] };
+        experiments::fig5(factors, seed)
+    });
+    run("table1", &mut || {
+        experiments::table_explanations(DatasetKind::German, args.scale, seed)
+    });
+    run("table2", &mut || {
+        experiments::table_explanations(DatasetKind::Adult, args.scale, seed)
+    });
+    run("table3", &mut || experiments::table_explanations(DatasetKind::Sqf, args.scale, seed));
+    run("table4", &mut || experiments::table_updates(DatasetKind::German, args.scale, seed));
+    run("table5", &mut || experiments::table_updates(DatasetKind::Adult, args.scale, seed));
+    run("table6", &mut || experiments::table_updates(DatasetKind::Sqf, args.scale, seed));
+    run("table7", &mut || {
+        let max_level = if paper { 6 } else { 4 };
+        experiments::table7(1_000, max_level, seed)
+    });
+    run("fotree", &mut || experiments::fotree(DatasetKind::German, args.scale, seed));
+    run("poison", &mut || experiments::poison(if paper { 2_000 } else { 1_000 }, seed));
+    run("ablation", &mut || experiments::ablations(if paper { 1_000 } else { 600 }, seed));
+
+    if !ran_any {
+        eprintln!("error: unknown experiment {:?} (try --help)", args.experiment);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Figure 3: accuracy of influence approximations against ground truth.
+//!
+//! For each classifier (LR / NN / SVM) and fairness metric, we sample
+//! training subsets (random and cohesive, various sizes), compute the ground
+//! truth bias change by retraining, bucket subsets by their *relative*
+//! ground-truth influence (% of baseline bias), and report the mean absolute
+//! error of each estimator's bias-change estimate — the paper's y-axis.
+
+use crate::workloads::{cohesive_subset, prepare, random_subset, train_lr, train_mlp, train_svm, DatasetKind};
+use gopher_core::report::TextTable;
+use gopher_fairness::FairnessMetric;
+use gopher_influence::{retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_models::Model;
+use gopher_prng::Rng;
+
+/// Per-bucket error accumulator.
+#[derive(Default, Clone)]
+struct BucketErr {
+    fo: f64,
+    so: f64,
+    gd: f64,
+    n: usize,
+}
+
+/// Which model family to evaluate.
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) enum ModelKind {
+    Lr,
+    Svm,
+    Mlp,
+}
+
+impl ModelKind {
+    fn name(&self) -> &'static str {
+        match self {
+            Self::Lr => "Logistic regression",
+            Self::Svm => "SVM",
+            Self::Mlp => "Neural network",
+        }
+    }
+}
+
+/// Runs the Figure 3 experiment. `n_subsets` controls how many subsets are
+/// sampled per model (the paper does not state its count; 24 gives stable
+/// bucket means at German scale).
+pub fn fig3(n_rows: usize, n_subsets: usize, seed: u64, include_mlp: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 3: influence estimation absolute error vs ground truth ==\n");
+    out.push_str("(error = |estimated ΔF − ground-truth ΔF|, absolute bias units;\n");
+    out.push_str(" buckets = ground-truth influence as % of baseline bias)\n\n");
+
+    let mut models = vec![ModelKind::Lr, ModelKind::Svm];
+    if include_mlp {
+        models.insert(1, ModelKind::Mlp);
+    }
+    for model_kind in models {
+        out.push_str(&fig3_for_model(model_kind, n_rows, n_subsets, seed));
+        out.push('\n');
+    }
+    out
+}
+
+fn fig3_for_model(kind: ModelKind, n_rows: usize, n_subsets: usize, seed: u64) -> String {
+    let p = prepare(DatasetKind::German, n_rows, seed);
+    match kind {
+        ModelKind::Lr => fig3_generic(kind, train_lr(&p), &p, n_subsets, seed),
+        ModelKind::Svm => fig3_generic(kind, train_svm(&p), &p, n_subsets, seed),
+        ModelKind::Mlp => fig3_generic(kind, train_mlp(&p, 10, seed), &p, n_subsets, seed),
+    }
+}
+
+fn fig3_generic<M: Model>(
+    kind: ModelKind,
+    model: M,
+    p: &crate::workloads::Prepared,
+    n_subsets: usize,
+    seed: u64,
+) -> String {
+    let engine = InfluenceEngine::new(model, &p.train, InfluenceConfig::default());
+    let mut rng = Rng::new(seed ^ 0xF163);
+    let n = p.train.n_rows();
+
+    // Sample subsets once; reuse across metrics.
+    let mut subsets: Vec<Vec<u32>> = Vec::new();
+    for i in 0..n_subsets {
+        let fraction = [0.02, 0.05, 0.10, 0.15, 0.20, 0.30][i % 6];
+        if i % 2 == 0 {
+            subsets.push(random_subset(n, fraction, &mut rng));
+        } else {
+            subsets.push(cohesive_subset(&p.train_raw, fraction, &mut rng));
+        }
+    }
+
+    let mut table = TextTable::new(&[
+        "Metric",
+        "GT influence bucket",
+        "First-order IF",
+        "Second-order IF",
+        "One-step GD",
+        "#subsets",
+    ]);
+    for metric in FairnessMetric::ALL {
+        let bi = BiasInfluence::new(&engine, metric, &p.test);
+        let base = bi.base_bias();
+        if base.abs() < 1e-9 {
+            continue;
+        }
+        // Paper buckets: wider for SP/EO, narrower for predictive parity.
+        let edges: [f64; 4] = if metric == FairnessMetric::PredictiveParity {
+            [-15.0, -5.0, 5.0, 15.0]
+        } else {
+            [-60.0, -20.0, 20.0, 60.0]
+        };
+        let mut buckets = vec![BucketErr::default(); 3];
+        for rows in &subsets {
+            let outcome = retrain_without(engine.model(), &p.train, rows);
+            let gt_change =
+                gopher_fairness::smooth_bias(metric, &outcome.model, &p.test) - bi.base_smooth_bias();
+            let rel = 100.0 * (-gt_change) / base;
+            let Some(bucket) = bucket_of(rel, &edges) else {
+                continue;
+            };
+            let fo = bi.bias_change(&p.train, rows, Estimator::FirstOrder, BiasEval::ChainRule);
+            let so = bi.bias_change(&p.train, rows, Estimator::SecondOrder, BiasEval::ChainRule);
+            let gd = bi.bias_change(
+                &p.train,
+                rows,
+                Estimator::OneStepGd { learning_rate: 1.0 },
+                BiasEval::ChainRule,
+            );
+            let b = &mut buckets[bucket];
+            b.fo += (fo - gt_change).abs();
+            b.so += (so - gt_change).abs();
+            b.gd += (gd - gt_change).abs();
+            b.n += 1;
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            if b.n == 0 {
+                continue;
+            }
+            let label = format!("[{:.0}%, {:.0}%]", edges[i], edges[i + 1]);
+            let inv = 1.0 / b.n as f64;
+            table.row_owned(vec![
+                metric.name().to_string(),
+                label,
+                format!("{:.4}", b.fo * inv),
+                format!("{:.4}", b.so * inv),
+                format!("{:.4}", b.gd * inv),
+                b.n.to_string(),
+            ]);
+        }
+    }
+    format!("-- {} --\n{}", kind.name(), table.render())
+}
+
+fn bucket_of(rel: f64, edges: &[f64; 4]) -> Option<usize> {
+    if rel < edges[0] || rel > edges[3] {
+        return None;
+    }
+    if rel < edges[1] {
+        Some(0)
+    } else if rel < edges[2] {
+        Some(1)
+    } else {
+        Some(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_runs_and_reports_buckets() {
+        let report = fig3(350, 6, 1, false);
+        assert!(report.contains("Figure 3"));
+        assert!(report.contains("Logistic regression"));
+        assert!(report.contains("SVM"));
+        assert!(report.contains("statistical parity"));
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        let edges = [-60.0, -20.0, 20.0, 60.0];
+        assert_eq!(bucket_of(-30.0, &edges), Some(0));
+        assert_eq!(bucket_of(0.0, &edges), Some(1));
+        assert_eq!(bucket_of(45.0, &edges), Some(2));
+        assert_eq!(bucket_of(99.0, &edges), None);
+        assert_eq!(bucket_of(-99.0, &edges), None);
+    }
+}

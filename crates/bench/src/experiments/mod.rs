@@ -1,0 +1,28 @@
+//! One function per paper table/figure. Each returns the rendered report so
+//! the `repro` binary can print it and integration tests can assert on it.
+
+mod fig3;
+mod fotree;
+mod lattice_scaling;
+mod poisoning;
+mod runtime;
+mod tables;
+
+pub use fig3::fig3;
+pub use fotree::fotree;
+pub use lattice_scaling::{ablations, table7};
+pub use poisoning::poison;
+pub use runtime::{fig4, fig5};
+pub use tables::{table_explanations, table_updates, GopherAny};
+
+use std::time::{Duration, Instant};
+
+/// Times `f` over `reps` repetitions and returns the mean duration.
+pub(crate) fn time_mean<F: FnMut()>(reps: usize, mut f: F) -> Duration {
+    assert!(reps > 0);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed() / reps as u32
+}

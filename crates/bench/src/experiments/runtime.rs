@@ -1,0 +1,149 @@
+//! Figures 4 and 5: runtime of subset-influence computation.
+//!
+//! * **Figure 4** — time to estimate the influence of one subset as the
+//!   removed fraction grows (0–50%), for each estimator and for retraining,
+//!   per model. The expected shape: influence functions are orders of
+//!   magnitude below retraining; one-step GD sits between.
+//! * **Figure 5** — the same query at a fixed 5% subset as the dataset is
+//!   replicated ×50…×1600 (50k–1.6M rows).
+
+use super::time_mean;
+use crate::workloads::{prepare, random_subset, train_lr, train_mlp, train_svm, DatasetKind};
+use gopher_core::report::{fmt_duration, TextTable};
+use gopher_data::Encoder;
+use gopher_influence::{retrain_without, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_models::Model;
+use gopher_prng::Rng;
+
+/// Runs the Figure 4 experiment.
+pub fn fig4(n_rows: usize, seed: u64, include_mlp: bool) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 4: influence runtime vs fraction of training data removed ==\n\n");
+    let p = prepare(DatasetKind::German, n_rows, seed);
+
+    out.push_str(&fig4_model("Logistic regression", train_lr(&p), &p, seed));
+    out.push_str(&fig4_model("SVM", train_svm(&p), &p, seed));
+    if include_mlp {
+        out.push_str(&fig4_model("Neural network", train_mlp(&p, 10, seed), &p, seed));
+    }
+    out
+}
+
+fn fig4_model<M: Model>(name: &str, model: M, p: &crate::workloads::Prepared, seed: u64) -> String {
+    let engine = InfluenceEngine::new(model, &p.train, InfluenceConfig::default());
+    let mut rng = Rng::new(seed ^ 0xF164);
+    let mut table = TextTable::new(&[
+        "Fraction removed",
+        "First-order IF",
+        "Second-order IF",
+        "One-step GD",
+        "Retrain",
+    ]);
+    for fraction in [0.05, 0.10, 0.20, 0.30, 0.40, 0.50] {
+        let rows = random_subset(p.train.n_rows(), fraction, &mut rng);
+        let reps = 5;
+        let fo = time_mean(reps, || {
+            std::hint::black_box(engine.param_change(&p.train, &rows, Estimator::FirstOrder));
+        });
+        let so = time_mean(reps, || {
+            std::hint::black_box(engine.param_change(&p.train, &rows, Estimator::SecondOrder));
+        });
+        let gd = time_mean(reps, || {
+            std::hint::black_box(engine.param_change(
+                &p.train,
+                &rows,
+                Estimator::OneStepGd { learning_rate: 1.0 },
+            ));
+        });
+        let retrain = time_mean(2, || {
+            std::hint::black_box(retrain_without(engine.model(), &p.train, &rows));
+        });
+        table.row_owned(vec![
+            format!("{:.0}%", 100.0 * fraction),
+            fmt_duration(fo),
+            fmt_duration(so),
+            fmt_duration(gd),
+            fmt_duration(retrain),
+        ]);
+    }
+    format!("-- {name} --\n{}\n", table.render())
+}
+
+/// Runs the Figure 5 experiment (dataset-size scaling with German ×factor).
+/// `factors` are replication multiples of the 1,000-row base (the paper
+/// uses 50–1,600).
+pub fn fig5(factors: &[usize], seed: u64) -> String {
+    let mut out = String::new();
+    out.push_str("== Figure 5: influence runtime vs dataset size (German ×factor) ==\n");
+    out.push_str("(logistic regression; subset fixed at 5% of the data; the\n");
+    out.push_str(" precompute column is the one-time gradient+Hessian pass)\n\n");
+    let base = DatasetKind::German.generate(1_000, seed);
+    let mut table = TextTable::new(&[
+        "Rows",
+        "Precompute",
+        "First-order IF",
+        "Second-order IF",
+        "One-step GD",
+        "Retrain",
+    ]);
+    for &factor in factors {
+        let data = base.replicate(factor);
+        let encoder = Encoder::fit(&data);
+        let train = encoder.transform(&data);
+        let mut model = gopher_models::LogisticRegression::new(train.n_cols(), 1e-3);
+        gopher_models::train::fit_default(&mut model, &train);
+
+        let t0 = std::time::Instant::now();
+        let engine = InfluenceEngine::new(model, &train, InfluenceConfig::default());
+        let precompute = t0.elapsed();
+
+        let mut rng = Rng::new(seed ^ factor as u64);
+        let rows = random_subset(train.n_rows(), 0.05, &mut rng);
+        let fo = time_mean(3, || {
+            std::hint::black_box(engine.param_change(&train, &rows, Estimator::FirstOrder));
+        });
+        let so = time_mean(3, || {
+            std::hint::black_box(engine.param_change(&train, &rows, Estimator::SecondOrder));
+        });
+        let gd = time_mean(3, || {
+            std::hint::black_box(engine.param_change(
+                &train,
+                &rows,
+                Estimator::OneStepGd { learning_rate: 1.0 },
+            ));
+        });
+        let retrain = time_mean(1, || {
+            std::hint::black_box(retrain_without(engine.model(), &train, &rows));
+        });
+        table.row_owned(vec![
+            format!("{}k", train.n_rows() / 1_000),
+            fmt_duration(precompute),
+            fmt_duration(fo),
+            fmt_duration(so),
+            fmt_duration(gd),
+            fmt_duration(retrain),
+        ]);
+    }
+    out.push_str(&table.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4_renders_all_fractions() {
+        let report = fig4(250, 1, false);
+        assert!(report.contains("50%"));
+        assert!(report.contains("Retrain"));
+        assert!(report.contains("Logistic regression"));
+    }
+
+    #[test]
+    fn fig5_scales_dataset() {
+        let report = fig5(&[2], 1);
+        assert!(report.contains("2k"));
+        assert!(report.contains("Precompute"));
+    }
+}

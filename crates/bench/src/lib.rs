@@ -1,0 +1,12 @@
+//! Shared experiment machinery for the reproduction harness.
+//!
+//! Every table and figure of the paper's evaluation (Section 6) is
+//! regenerated either by the `repro` binary (quality results: Figures 3,
+//! Tables 1–7, §6.7) or by the Criterion benches in `benches/` (timing
+//! results: Figures 4–5, Table 7 timings). This library holds the workload
+//! builders both entry points share.
+
+pub mod experiments;
+pub mod workloads;
+
+pub use workloads::{DatasetKind, Prepared, Scale};

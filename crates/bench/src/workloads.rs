@@ -1,0 +1,197 @@
+//! Workload construction: datasets, models, and subset samplers.
+
+use gopher_data::generators::{adult, german, sqf};
+use gopher_data::{Dataset, Encoded, Encoder};
+use gopher_models::train::{fit_default, fit_gd, GdConfig};
+use gopher_models::{LinearSvm, LogisticRegression, Mlp};
+use gopher_prng::Rng;
+
+/// Which synthetic benchmark to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// German Credit (age bias).
+    German,
+    /// Adult Income (gender bias).
+    Adult,
+    /// Stop-Question-Frisk (race bias; label 1 = not frisked).
+    Sqf,
+}
+
+impl DatasetKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::German => "German",
+            Self::Adult => "Adult",
+            Self::Sqf => "SQF",
+        }
+    }
+
+    /// Generates `n` rows with the given seed.
+    pub fn generate(&self, n: usize, seed: u64) -> Dataset {
+        match self {
+            Self::German => german(n, seed),
+            Self::Adult => adult(n, seed),
+            Self::Sqf => sqf(n, seed),
+        }
+    }
+}
+
+/// Experiment scale: `Small` keeps everything laptop-interactive; `Paper`
+/// matches the paper's dataset sizes (minutes of runtime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes for quick runs and CI.
+    Small,
+    /// The paper's sizes (German 1k, Adult 48k, SQF 72k, Fig. 5 up to 1.6M).
+    Paper,
+}
+
+impl Scale {
+    /// Rows for a dataset at this scale.
+    pub fn rows(&self, kind: DatasetKind) -> usize {
+        match (self, kind) {
+            (Scale::Small, DatasetKind::German) => 1_000,
+            (Scale::Small, DatasetKind::Adult) => 4_000,
+            (Scale::Small, DatasetKind::Sqf) => 6_000,
+            (Scale::Paper, DatasetKind::German) => 1_000,
+            (Scale::Paper, DatasetKind::Adult) => 48_000,
+            (Scale::Paper, DatasetKind::Sqf) => 72_000,
+        }
+    }
+}
+
+/// A prepared experiment: raw splits plus their encodings.
+pub struct Prepared {
+    /// Raw training split.
+    pub train_raw: Dataset,
+    /// Raw test split.
+    pub test_raw: Dataset,
+    /// Encoder fit on the training split.
+    pub encoder: Encoder,
+    /// Encoded training data.
+    pub train: Encoded,
+    /// Encoded test data.
+    pub test: Encoded,
+}
+
+/// Generates, splits (70/30) and encodes a dataset.
+pub fn prepare(kind: DatasetKind, n: usize, seed: u64) -> Prepared {
+    let full = kind.generate(n, seed);
+    let mut rng = Rng::new(seed ^ 0x53_50_4c_49_54); // "SPLIT"
+    let (train_raw, test_raw) = full.train_test_split(0.3, &mut rng);
+    let encoder = Encoder::fit(&train_raw);
+    let train = encoder.transform(&train_raw);
+    let test = encoder.transform(&test_raw);
+    Prepared { train_raw, test_raw, encoder, train, test }
+}
+
+/// Trains logistic regression (Newton) on the prepared data.
+pub fn train_lr(p: &Prepared) -> LogisticRegression {
+    let mut model = LogisticRegression::new(p.train.n_cols(), 1e-3);
+    fit_default(&mut model, &p.train);
+    model
+}
+
+/// Trains a squared-hinge SVM (Newton) on the prepared data.
+pub fn train_svm(p: &Prepared) -> LinearSvm {
+    let mut model = LinearSvm::new(p.train.n_cols(), 1e-3);
+    fit_default(&mut model, &p.train);
+    model
+}
+
+/// Trains the paper's 1×10 MLP with gradient descent.
+pub fn train_mlp(p: &Prepared, hidden: usize, seed: u64) -> Mlp {
+    let mut rng = Rng::new(seed);
+    let mut model = Mlp::new(p.train.n_cols(), hidden, 1e-3, &mut rng);
+    fit_gd(
+        &mut model,
+        &p.train,
+        &GdConfig { learning_rate: 0.3, max_epochs: 4000, grad_tol: 1e-5, momentum: 0.9 },
+    );
+    model
+}
+
+/// Samples a random subset of the given fraction of training rows.
+pub fn random_subset(n_rows: usize, fraction: f64, rng: &mut Rng) -> Vec<u32> {
+    let m = ((n_rows as f64) * fraction).round().max(1.0) as usize;
+    rng.sample_indices(n_rows, m.min(n_rows)).into_iter().map(|r| r as u32).collect()
+}
+
+/// Samples a *cohesive* subset: rows agreeing with a randomly chosen row on
+/// a few categorical features (this mimics pattern coverage sets, which is
+/// where second-order influence shines — paper §4.1).
+pub fn cohesive_subset(data: &Dataset, target_fraction: f64, rng: &mut Rng) -> Vec<u32> {
+    let n = data.n_rows();
+    let anchor = rng.range(0, n);
+    // Try increasingly specific feature agreements until the subset is
+    // close to the target size.
+    let cat_features: Vec<usize> = (0..data.n_features())
+        .filter(|&f| {
+            matches!(
+                data.schema().feature(f).kind,
+                gopher_data::FeatureKind::Categorical { .. }
+            )
+        })
+        .collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut rows: Vec<u32> = (0..n as u32).collect();
+    let mut features = cat_features.clone();
+    rng.shuffle(&mut features);
+    for &f in &features {
+        let anchor_val = data.value(anchor, f).as_level();
+        let filtered: Vec<u32> = rows
+            .iter()
+            .copied()
+            .filter(|&r| data.value(r as usize, f).as_level() == anchor_val)
+            .collect();
+        if (filtered.len() as f64) < target_fraction * n as f64 {
+            break;
+        }
+        rows = filtered;
+        chosen.push(f);
+        if rows.len() as f64 <= 1.5 * target_fraction * n as f64 {
+            break;
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_splits_and_encodes() {
+        let p = prepare(DatasetKind::German, 500, 1);
+        assert_eq!(p.train_raw.n_rows() + p.test_raw.n_rows(), 500);
+        assert_eq!(p.train.n_rows(), p.train_raw.n_rows());
+        assert_eq!(p.train.n_cols(), p.test.n_cols());
+    }
+
+    #[test]
+    fn models_train_on_all_datasets() {
+        for kind in [DatasetKind::German, DatasetKind::Adult, DatasetKind::Sqf] {
+            let p = prepare(kind, 600, 2);
+            let lr = train_lr(&p);
+            let acc = gopher_models::train::accuracy(&lr, &p.test);
+            assert!(acc > 0.6, "{} LR accuracy {acc}", kind.name());
+        }
+    }
+
+    #[test]
+    fn random_subset_size() {
+        let mut rng = Rng::new(3);
+        let s = random_subset(100, 0.25, &mut rng);
+        assert_eq!(s.len(), 25);
+    }
+
+    #[test]
+    fn cohesive_subset_is_homogeneous() {
+        let d = DatasetKind::German.generate(500, 4);
+        let mut rng = Rng::new(5);
+        let rows = cohesive_subset(&d, 0.1, &mut rng);
+        assert!(!rows.is_empty());
+        assert!(rows.len() < 500);
+    }
+}

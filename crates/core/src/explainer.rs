@@ -1,0 +1,422 @@
+//! The Gopher façade: end-to-end top-k explanation generation.
+
+use gopher_data::{Dataset, Encoded, Encoder};
+use gopher_fairness::FairnessMetric;
+use gopher_influence::{
+    retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
+};
+use gopher_models::train::fit_default;
+use gopher_models::Model;
+use gopher_patterns::{
+    generate_predicates, lattice, topk, Candidate, LatticeConfig, PredicateTable, SearchStats,
+};
+use std::time::{Duration, Instant};
+
+/// End-to-end configuration.
+#[derive(Debug, Clone)]
+pub struct GopherConfig {
+    /// Fairness metric to debug.
+    pub metric: FairnessMetric,
+    /// Number of explanations to return.
+    pub k: usize,
+    /// Containment threshold `c` for diversity (Definition 3.7).
+    pub containment_threshold: f64,
+    /// Lattice search parameters (support threshold τ, depth, pruning).
+    pub lattice: LatticeConfig,
+    /// Influence estimator used to score candidate patterns.
+    pub estimator: Estimator,
+    /// How estimated parameter changes become bias changes.
+    pub bias_eval: BiasEval,
+    /// Influence-engine parameters (damping, CG budget, …).
+    pub influence: InfluenceConfig,
+    /// Quantile bins per numeric feature for predicate generation.
+    pub max_bins: usize,
+    /// Retrain without each top-k subset to report ground-truth Δbias
+    /// (the paper reports this for every table; costs k retrainings).
+    pub ground_truth_for_topk: bool,
+    /// Re-score the top candidates with the second-order estimator before
+    /// the final ranking (cheap: only the survivors of the containment
+    /// filter are re-scored). Off by default to match the paper.
+    pub rescore_top_with_so: bool,
+}
+
+impl Default for GopherConfig {
+    fn default() -> Self {
+        Self {
+            metric: FairnessMetric::StatisticalParity,
+            k: 3,
+            containment_threshold: 0.75,
+            lattice: LatticeConfig::default(),
+            estimator: Estimator::SecondOrder,
+            bias_eval: BiasEval::ChainRule,
+            influence: InfluenceConfig::default(),
+            max_bins: 4,
+            ground_truth_for_topk: true,
+            rescore_top_with_so: false,
+        }
+    }
+}
+
+/// One explanation in the final report.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// Human-readable pattern, e.g. `age >= 45 ∧ gender = Female`.
+    pub pattern_text: String,
+    /// The underlying scored candidate (coverage, support, scores).
+    pub candidate: Candidate,
+    /// `Sup(φ)` — fraction of training rows covered.
+    pub support: f64,
+    /// Estimated causal responsibility from the influence estimator.
+    pub est_responsibility: f64,
+    /// Ground-truth relative bias reduction from actually retraining
+    /// without the subset: `(F_old − F_new)/F_old` (only when
+    /// `ground_truth_for_topk` is set).
+    pub ground_truth_responsibility: Option<f64>,
+    /// Ground-truth bias after removal (hard metric).
+    pub ground_truth_new_bias: Option<f64>,
+}
+
+/// The full explanation report.
+#[derive(Debug, Clone)]
+pub struct ExplanationReport {
+    /// Metric the report is about.
+    pub metric: FairnessMetric,
+    /// Bias of the original model on the test set (hard metric).
+    pub base_bias: f64,
+    /// Test accuracy of the original model.
+    pub accuracy: f64,
+    /// Top-k explanations, most interesting first.
+    pub explanations: Vec<Explanation>,
+    /// Lattice search statistics (per-level counts and timings).
+    pub stats: SearchStats,
+    /// Wall-clock time of candidate generation + selection (excludes
+    /// engine precomputation and ground-truth retraining).
+    pub search_time: Duration,
+}
+
+/// Label/group composition of a pattern's coverage vs. the rest of the
+/// training data (see [`Gopher::pattern_profile`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternProfile {
+    /// Covered training rows.
+    pub rows: usize,
+    /// Favorable-label rate inside the pattern.
+    pub positive_rate: f64,
+    /// Privileged-group rate inside the pattern.
+    pub privileged_rate: f64,
+    /// Favorable-label rate outside the pattern.
+    pub rest_positive_rate: f64,
+    /// Privileged-group rate outside the pattern.
+    pub rest_privileged_rate: f64,
+}
+
+/// The Gopher explainer, holding everything needed to answer explanation
+/// queries against one trained model: the raw training data (for patterns),
+/// its encoding, the influence engine, and the test set.
+pub struct Gopher<M: Model> {
+    config: GopherConfig,
+    train_raw: Dataset,
+    encoder: Encoder,
+    train: Encoded,
+    test: Encoded,
+    engine: InfluenceEngine<M>,
+    table: PredicateTable,
+}
+
+impl<M: Model> Gopher<M> {
+    /// Builds an explainer around an **already trained** model. The model
+    /// must have been trained on `Encoder::fit(train_raw)`-encoded data;
+    /// influence functions assume its parameters are a stationary point.
+    pub fn new(model: M, train_raw: &Dataset, test_raw: &Dataset, config: GopherConfig) -> Self {
+        let encoder = Encoder::fit(train_raw);
+        let train = encoder.transform(train_raw);
+        let test = encoder.transform(test_raw);
+        assert_eq!(
+            model.n_inputs(),
+            train.n_cols(),
+            "model input width must match the encoded data"
+        );
+        let engine = InfluenceEngine::new(model, &train, config.influence.clone());
+        let table = generate_predicates(train_raw, config.max_bins);
+        Self { config, train_raw: train_raw.clone(), encoder, train, test, engine, table }
+    }
+
+    /// Convenience constructor that encodes the data, builds the model via
+    /// `make_model(n_encoded_cols)`, trains it to convergence, and wraps it.
+    pub fn fit(
+        make_model: impl FnOnce(usize) -> M,
+        train_raw: &Dataset,
+        test_raw: &Dataset,
+        config: GopherConfig,
+    ) -> Self {
+        let encoder = Encoder::fit(train_raw);
+        let train = encoder.transform(train_raw);
+        let mut model = make_model(train.n_cols());
+        fit_default(&mut model, &train);
+        Self::new(model, train_raw, test_raw, config)
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &M {
+        self.engine.model()
+    }
+
+    /// The fitted encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The encoded training set.
+    pub fn train(&self) -> &Encoded {
+        &self.train
+    }
+
+    /// The encoded test set.
+    pub fn test(&self) -> &Encoded {
+        &self.test
+    }
+
+    /// The raw training dataset.
+    pub fn train_raw(&self) -> &Dataset {
+        &self.train_raw
+    }
+
+    /// The influence engine (for advanced queries).
+    pub fn engine(&self) -> &InfluenceEngine<M> {
+        &self.engine
+    }
+
+    /// The candidate predicate table.
+    pub fn predicate_table(&self) -> &PredicateTable {
+        &self.table
+    }
+
+    /// The explainer configuration.
+    pub fn config(&self) -> &GopherConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline: lattice search (Algorithm 1), diverse top-k
+    /// selection (Algorithm 2), and optional ground-truth verification.
+    pub fn explain(&self) -> ExplanationReport {
+        let bi = BiasInfluence::new(&self.engine, self.config.metric, &self.test);
+        let base_bias = bi.base_bias();
+        let accuracy = gopher_models::train::accuracy(self.engine.model(), &self.test);
+
+        let t0 = Instant::now();
+        let (candidates, stats) = lattice::compute_candidates(
+            &self.table,
+            |coverage| {
+                let rows = coverage.to_indices();
+                bi.responsibility(&self.train, &rows, self.config.estimator, self.config.bias_eval)
+            },
+            &self.config.lattice,
+        );
+        let mut selected = topk::top_k(&candidates, self.config.k, self.config.containment_threshold);
+        if self.config.rescore_top_with_so {
+            for cand in &mut selected {
+                let rows = cand.coverage.to_indices();
+                cand.responsibility = bi.responsibility(
+                    &self.train,
+                    &rows,
+                    Estimator::SecondOrder,
+                    self.config.bias_eval,
+                );
+                cand.interestingness = cand.responsibility / cand.support;
+            }
+            selected.sort_by(|a, b| {
+                b.interestingness
+                    .partial_cmp(&a.interestingness)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+        let search_time = t0.elapsed();
+
+        let explanations = selected
+            .into_iter()
+            .map(|candidate| self.finalize_explanation(candidate, base_bias))
+            .collect();
+
+        ExplanationReport {
+            metric: self.config.metric,
+            base_bias,
+            accuracy,
+            explanations,
+            stats,
+            search_time,
+        }
+    }
+
+    /// Descriptive statistics of a pattern's coverage, for reports: how the
+    /// covered rows differ from the rest of the training data in label and
+    /// group composition. This is the "why is this subset responsible"
+    /// context a reviewer needs next to the raw responsibility number.
+    pub fn pattern_profile(&self, candidate: &Candidate) -> PatternProfile {
+        let n = self.train.n_rows();
+        let mut in_pos = 0usize;
+        let mut in_priv = 0usize;
+        let mut in_count = 0usize;
+        let mut out_pos = 0usize;
+        let mut out_priv = 0usize;
+        for r in 0..n {
+            let covered = candidate.coverage.contains(r);
+            let pos = self.train.y[r] == 1.0;
+            let priv_ = self.train.privileged[r];
+            if covered {
+                in_count += 1;
+                in_pos += usize::from(pos);
+                in_priv += usize::from(priv_);
+            } else {
+                out_pos += usize::from(pos);
+                out_priv += usize::from(priv_);
+            }
+        }
+        let out_count = n - in_count;
+        let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        PatternProfile {
+            rows: in_count,
+            positive_rate: frac(in_pos, in_count),
+            privileged_rate: frac(in_priv, in_count),
+            rest_positive_rate: frac(out_pos, out_count),
+            rest_privileged_rate: frac(out_priv, out_count),
+        }
+    }
+
+    /// Ground-truth responsibility of an arbitrary row subset (retrains).
+    pub fn ground_truth_responsibility(&self, rows: &[u32]) -> (f64, f64) {
+        let outcome = retrain_without(self.engine.model(), &self.train, rows);
+        let new_bias = gopher_fairness::bias(self.config.metric, &outcome.model, &self.test);
+        let base = gopher_fairness::bias(self.config.metric, self.engine.model(), &self.test);
+        let resp = if base.abs() < 1e-12 { 0.0 } else { (base - new_bias) / base };
+        (resp, new_bias)
+    }
+
+    fn finalize_explanation(&self, candidate: Candidate, base_bias: f64) -> Explanation {
+        let pattern_text = candidate.pattern.render(&self.table, self.train_raw.schema());
+        let (gt_resp, gt_new) = if self.config.ground_truth_for_topk {
+            let rows = candidate.coverage.to_indices();
+            let (resp, new_bias) = self.ground_truth_responsibility(&rows);
+            (Some(resp), Some(new_bias))
+        } else {
+            (None, None)
+        };
+        let _ = base_bias;
+        Explanation {
+            pattern_text,
+            support: candidate.support,
+            est_responsibility: candidate.responsibility,
+            ground_truth_responsibility: gt_resp,
+            ground_truth_new_bias: gt_new,
+            candidate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_data::generators::german;
+    use gopher_models::LogisticRegression;
+    use gopher_prng::Rng;
+
+    fn build(n: usize, seed: u64) -> Gopher<LogisticRegression> {
+        let mut rng = Rng::new(seed);
+        let (train, test) = german(n, seed).train_test_split(0.3, &mut rng);
+        Gopher::fit(
+            |cols| LogisticRegression::new(cols, 1e-3),
+            &train,
+            &test,
+            GopherConfig { ground_truth_for_topk: true, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn end_to_end_finds_bias_reducing_patterns() {
+        let gopher = build(900, 71);
+        let report = gopher.explain();
+        assert!(report.base_bias > 0.0, "baseline bias {}", report.base_bias);
+        assert!(!report.explanations.is_empty());
+        assert!(report.explanations.len() <= 3);
+        // The top explanation must genuinely reduce bias when removed.
+        let top = &report.explanations[0];
+        let gt = top.ground_truth_responsibility.expect("ground truth requested");
+        assert!(gt > 0.0, "top pattern should reduce bias, got {gt}");
+        // Interestingness ordering is non-increasing.
+        for w in report.explanations.windows(2) {
+            assert!(
+                w[0].candidate.interestingness >= w[1].candidate.interestingness - 1e-12,
+                "explanations out of order"
+            );
+        }
+    }
+
+    #[test]
+    fn top_pattern_mentions_planted_root_cause() {
+        let gopher = build(1200, 72);
+        let report = gopher.explain();
+        // The generator plants age/gender subgroups as the dominant bias
+        // source; at least one top pattern should reference one of them.
+        let mentions_planted = report
+            .explanations
+            .iter()
+            .any(|e| e.pattern_text.contains("age") || e.pattern_text.contains("gender"));
+        let texts: Vec<&str> =
+            report.explanations.iter().map(|e| e.pattern_text.as_str()).collect();
+        assert!(mentions_planted, "no planted feature in explanations: {texts:?}");
+    }
+
+    #[test]
+    fn explanations_respect_support_threshold() {
+        let gopher = build(700, 73);
+        let report = gopher.explain();
+        for e in &report.explanations {
+            assert!(e.support >= gopher.config().lattice.support_threshold);
+        }
+    }
+
+    #[test]
+    fn explanations_are_diverse() {
+        let gopher = build(700, 74);
+        let report = gopher.explain();
+        let c = gopher.config().containment_threshold;
+        for (i, a) in report.explanations.iter().enumerate() {
+            for b in &report.explanations[..i] {
+                let contain = topk::containment(&a.candidate, &b.candidate);
+                assert!(contain < c, "containment {contain} >= threshold {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_profile_contrasts_coverage_with_rest() {
+        let gopher = build(800, 76);
+        let report = gopher.explain();
+        let top = &report.explanations[0];
+        let profile = gopher.pattern_profile(&top.candidate);
+        assert_eq!(profile.rows, top.candidate.coverage.count());
+        for rate in [
+            profile.positive_rate,
+            profile.privileged_rate,
+            profile.rest_positive_rate,
+            profile.rest_privileged_rate,
+        ] {
+            assert!((0.0..=1.0).contains(&rate));
+        }
+        // Bias-responsible patterns on German skew toward the privileged
+        // group and/or positive labels relative to the rest.
+        assert!(
+            profile.privileged_rate > profile.rest_privileged_rate
+                || profile.positive_rate > profile.rest_positive_rate,
+            "profile should show the skew that makes the pattern responsible: {profile:?}"
+        );
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let gopher = build(600, 75);
+        let report = gopher.explain();
+        assert!(!report.stats.levels.is_empty());
+        assert!(report.stats.total_scored > 0);
+        assert!(report.search_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Diagonal-covariance Gaussian mixture model fit by EM.
+//!
+//! §6.7 of the paper clusters the training data "using k-means or Gaussian
+//! mixture models"; this provides the second option. Initialization comes
+//! from a k-means run (means = centroids, variances = within-cluster
+//! variance), then EM refines soft assignments. Covariances are diagonal
+//! and floored — sufficient for the one-hot + standardized feature spaces
+//! used here and numerically robust for near-degenerate clusters.
+
+use crate::kmeans::kmeans;
+use gopher_linalg::Matrix;
+use gopher_prng::Rng;
+
+/// A fitted mixture model.
+#[derive(Debug, Clone)]
+pub struct Gmm {
+    /// Mixture weights (sum to 1).
+    pub weights: Vec<f64>,
+    /// `k × d` component means.
+    pub means: Matrix,
+    /// `k × d` component variances (diagonal covariance).
+    pub variances: Matrix,
+    /// Hard assignment per row (argmax responsibility).
+    pub assignments: Vec<usize>,
+    /// Final mean log-likelihood per row.
+    pub log_likelihood: f64,
+    /// EM iterations performed.
+    pub iterations: usize,
+}
+
+impl Gmm {
+    /// Rows hard-assigned to component `c`.
+    pub fn members(&self, c: usize) -> Vec<u32> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(r, _)| r as u32)
+            .collect()
+    }
+
+    /// Number of components.
+    pub fn k(&self) -> usize {
+        self.means.rows()
+    }
+}
+
+/// Variance floor preventing singular components. Deliberately generous:
+/// the detector clusters one-hot features, where a tighter floor makes
+/// responsibilities so peaked that EM degenerates to k-means with dead
+/// components.
+const VAR_FLOOR: f64 = 5e-2;
+
+/// Fits a diagonal GMM with `k` components by EM (k-means initialization).
+///
+/// # Panics
+/// If `k == 0` or `k > x.rows()`.
+pub fn gmm(x: &Matrix, k: usize, em_iters: usize, rng: &mut Rng) -> Gmm {
+    let n = x.rows();
+    let d = x.cols();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "cannot fit {k} components to {n} points");
+
+    // Initialize from k-means.
+    let km = kmeans(x, k, 30, rng);
+    let mut weights = vec![0.0; k];
+    let mut means = km.centroids.clone();
+    let mut variances = Matrix::zeros(k, d);
+    let mut counts = vec![0usize; k];
+    for (r, &c) in km.assignments.iter().enumerate() {
+        counts[c] += 1;
+        for j in 0..d {
+            let diff = x[(r, j)] - means[(c, j)];
+            variances[(c, j)] += diff * diff;
+        }
+    }
+    for c in 0..k {
+        weights[c] = (counts[c].max(1)) as f64 / n as f64;
+        for j in 0..d {
+            variances[(c, j)] =
+                (variances[(c, j)] / counts[c].max(1) as f64).max(VAR_FLOOR);
+        }
+    }
+    let wsum: f64 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= wsum);
+
+    // EM in log space.
+    let mut resp = Matrix::zeros(n, k);
+    let mut log_likelihood = f64::NEG_INFINITY;
+    let mut iterations = 0;
+    for iter in 0..em_iters {
+        iterations = iter + 1;
+        // E step.
+        let mut total_ll = 0.0;
+        for r in 0..n {
+            let row = x.row(r);
+            let mut logs = vec![0.0; k];
+            for c in 0..k {
+                let mut lp = weights[c].max(1e-300).ln();
+                for j in 0..d {
+                    let var = variances[(c, j)];
+                    let diff = row[j] - means[(c, j)];
+                    lp += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+                }
+                logs[c] = lp;
+            }
+            let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for c in 0..k {
+                let e = (logs[c] - max).exp();
+                resp[(r, c)] = e;
+                z += e;
+            }
+            for c in 0..k {
+                resp[(r, c)] /= z;
+            }
+            total_ll += max + z.ln();
+        }
+        let new_ll = total_ll / n as f64;
+        // M step.
+        for c in 0..k {
+            let nk: f64 = (0..n).map(|r| resp[(r, c)]).sum();
+            if nk < 1e-9 {
+                continue; // dead component: keep its parameters
+            }
+            weights[c] = nk / n as f64;
+            for j in 0..d {
+                let mean: f64 = (0..n).map(|r| resp[(r, c)] * x[(r, j)]).sum::<f64>() / nk;
+                means[(c, j)] = mean;
+                let var: f64 = (0..n)
+                    .map(|r| {
+                        let diff = x[(r, j)] - mean;
+                        resp[(r, c)] * diff * diff
+                    })
+                    .sum::<f64>()
+                    / nk;
+                variances[(c, j)] = var.max(VAR_FLOOR);
+            }
+        }
+        if (new_ll - log_likelihood).abs() < 1e-7 {
+            log_likelihood = new_ll;
+            break;
+        }
+        log_likelihood = new_ll;
+    }
+
+    let assignments = (0..n)
+        .map(|r| {
+            let mut best = 0;
+            for c in 1..k {
+                if resp[(r, c)] > resp[(r, best)] {
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect();
+    Gmm { weights, means, variances, assignments, log_likelihood, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(rng: &mut Rng) -> (Matrix, Vec<usize>) {
+        let centers = [[0.0, 0.0], [8.0, 8.0]];
+        let n_per = 60;
+        let mut x = Matrix::zeros(2 * n_per, 2);
+        let mut truth = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let r = c * n_per + i;
+                x[(r, 0)] = center[0] + rng.normal_with(0.0, 0.7);
+                x[(r, 1)] = center[1] + rng.normal_with(0.0, 0.7);
+                truth.push(c);
+            }
+        }
+        (x, truth)
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = Rng::new(131);
+        let (x, truth) = blobs(&mut rng);
+        let model = gmm(&x, 2, 30, &mut rng);
+        for c in 0..2 {
+            let ids: std::collections::BTreeSet<usize> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == c)
+                .map(|(r, _)| model.assignments[r])
+                .collect();
+            assert_eq!(ids.len(), 1, "true blob {c} split across components");
+        }
+        // Weights roughly balanced.
+        for &w in &model.weights {
+            assert!((0.3..0.7).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn log_likelihood_is_finite_and_members_partition() {
+        let mut rng = Rng::new(132);
+        let (x, _) = blobs(&mut rng);
+        let model = gmm(&x, 4, 20, &mut rng);
+        assert!(model.log_likelihood.is_finite());
+        let total: usize = (0..4).map(|c| model.members(c).len()).sum();
+        assert_eq!(total, x.rows());
+    }
+
+    #[test]
+    fn variance_floor_prevents_singularities() {
+        // Many duplicate points would collapse a component's variance.
+        let mut rng = Rng::new(133);
+        let mut x = Matrix::zeros(50, 2);
+        for r in 25..50 {
+            x[(r, 0)] = 5.0;
+            x[(r, 1)] = 5.0;
+        }
+        let model = gmm(&x, 2, 25, &mut rng);
+        assert!(model.log_likelihood.is_finite());
+        for c in 0..2 {
+            for j in 0..2 {
+                assert!(model.variances[(c, j)] >= VAR_FLOOR);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot fit")]
+    fn rejects_k_above_n() {
+        let mut rng = Rng::new(134);
+        let x = Matrix::zeros(2, 2);
+        let _ = gmm(&x, 3, 5, &mut rng);
+    }
+}

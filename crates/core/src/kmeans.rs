@@ -1,0 +1,204 @@
+//! k-means clustering (k-means++ initialization, Lloyd iterations).
+//!
+//! Used by the poisoning-detection pipeline (paper §6.7): the training data
+//! is clustered and clusters are ranked by estimated influence on bias.
+
+use gopher_linalg::{vecops, Matrix};
+use gopher_prng::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster id per input row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroid.
+    pub inertia: f64,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Rows belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<u32> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(r, _)| r as u32)
+            .collect()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.rows()
+    }
+}
+
+/// Runs k-means with k-means++ seeding.
+///
+/// # Panics
+/// If `k == 0` or `k > x.rows()`.
+pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, rng: &mut Rng) -> KMeans {
+    let n = x.rows();
+    let d = x.cols();
+    assert!(k > 0, "k must be positive");
+    assert!(k <= n, "cannot build {k} clusters from {n} points");
+
+    // k-means++ initialization.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.range(0, n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|r| {
+            let diff = vecops::distance(x.row(r), centroids.row(0));
+            diff * diff
+        })
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            rng.range(0, n)
+        } else {
+            // Sample proportional to squared distance.
+            let target = rng.uniform() * total;
+            let mut acc = 0.0;
+            let mut pick = n - 1;
+            for (r, &d2) in dist2.iter().enumerate() {
+                acc += d2;
+                if acc >= target {
+                    pick = r;
+                    break;
+                }
+            }
+            pick
+        };
+        centroids.row_mut(c).copy_from_slice(x.row(chosen));
+        for r in 0..n {
+            let diff = vecops::distance(x.row(r), centroids.row(c));
+            dist2[r] = dist2[r].min(diff * diff);
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        for r in 0..n {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dist = vecops::distance(x.row(r), centroids.row(c));
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if assignments[r] != best {
+                assignments[r] = best;
+                changed = true;
+            }
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for r in 0..n {
+            let c = assignments[r];
+            vecops::axpy(1.0, x.row(r), sums.row_mut(c));
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let r = rng.range(0, n);
+                centroids.row_mut(c).copy_from_slice(x.row(r));
+            } else {
+                let inv = 1.0 / counts[c] as f64;
+                let row = sums.row(c).to_vec();
+                for (dst, v) in centroids.row_mut(c).iter_mut().zip(row) {
+                    *dst = v * inv;
+                }
+            }
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|r| {
+            let dist = vecops::distance(x.row(r), centroids.row(assignments[r]));
+            dist * dist
+        })
+        .sum();
+    KMeans { centroids, assignments, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated Gaussian blobs.
+    fn blobs(rng: &mut Rng) -> (Matrix, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let n_per = 50;
+        let mut x = Matrix::zeros(3 * n_per, 2);
+        let mut truth = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let r = c * n_per + i;
+                x[(r, 0)] = center[0] + rng.normal_with(0.0, 0.5);
+                x[(r, 1)] = center[1] + rng.normal_with(0.0, 0.5);
+                truth.push(c);
+            }
+        }
+        (x, truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = Rng::new(101);
+        let (x, truth) = blobs(&mut rng);
+        let result = kmeans(&x, 3, 50, &mut rng);
+        // Every true cluster must map to exactly one k-means cluster.
+        for c in 0..3 {
+            let ids: std::collections::BTreeSet<usize> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == c)
+                .map(|(r, _)| result.assignments[r])
+                .collect();
+            assert_eq!(ids.len(), 1, "true cluster {c} split across k-means clusters");
+        }
+        assert!(result.inertia < 3.0 * 150.0, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn members_partition_rows() {
+        let mut rng = Rng::new(102);
+        let (x, _) = blobs(&mut rng);
+        let result = kmeans(&x, 5, 30, &mut rng);
+        let total: usize = (0..5).map(|c| result.members(c).len()).sum();
+        assert_eq!(total, x.rows());
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let mut rng = Rng::new(103);
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]);
+        let result = kmeans(&x, 3, 20, &mut rng);
+        assert!(result.inertia < 1e-18, "inertia {}", result.inertia);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot build")]
+    fn rejects_k_above_n() {
+        let mut rng = Rng::new(104);
+        let x = Matrix::zeros(2, 2);
+        let _ = kmeans(&x, 3, 10, &mut rng);
+    }
+}

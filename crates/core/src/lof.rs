@@ -1,0 +1,137 @@
+//! Local Outlier Factor (Breunig et al. 2000).
+//!
+//! This is the paper's *failing* baseline for poisoning detection (§6.7):
+//! anchoring-attack poisons sit inside dense regions of the clean data, so
+//! their LOF scores look perfectly normal. We implement the standard
+//! brute-force O(n²) variant — the datasets here are small.
+
+use gopher_linalg::{vecops, Matrix};
+
+/// Computes the LOF score of every row of `x` using `k` nearest neighbours.
+/// Scores near 1 are inliers; substantially larger scores are outliers.
+///
+/// # Panics
+/// If `k == 0` or `k >= x.rows()`.
+pub fn local_outlier_factor(x: &Matrix, k: usize) -> Vec<f64> {
+    let n = x.rows();
+    assert!(k > 0, "lof: k must be positive");
+    assert!(k < n, "lof: k={k} must be below the number of points {n}");
+
+    // k nearest neighbours (indices + distances) per point, brute force.
+    let mut neighbours: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+    let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+    for i in 0..n {
+        dists.clear();
+        for j in 0..n {
+            if i != j {
+                dists.push((vecops::distance(x.row(i), x.row(j)), j));
+            }
+        }
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Include ties with the k-th distance, as the definition requires.
+        let kth = dists[k - 1].0;
+        let cutoff = dists.iter().take_while(|(d, _)| *d <= kth).count();
+        neighbours.push(dists[..cutoff].to_vec());
+    }
+
+    // k-distance per point = distance to the k-th neighbour.
+    let k_dist: Vec<f64> = neighbours.iter().map(|nb| nb[k - 1].0).collect();
+
+    // Local reachability density.
+    let lrd: Vec<f64> = (0..n)
+        .map(|i| {
+            let nb = &neighbours[i];
+            let sum: f64 = nb.iter().map(|&(d, j)| d.max(k_dist[j])).sum();
+            if sum == 0.0 {
+                f64::INFINITY // duplicate points: infinite density
+            } else {
+                nb.len() as f64 / sum
+            }
+        })
+        .collect();
+
+    // LOF = mean ratio of neighbour densities to own density.
+    (0..n)
+        .map(|i| {
+            let nb = &neighbours[i];
+            if lrd[i].is_infinite() {
+                return 1.0; // duplicates are maximal inliers
+            }
+            let sum: f64 = nb
+                .iter()
+                .map(|&(_, j)| {
+                    if lrd[j].is_infinite() {
+                        // Neighbour infinitely denser: contributes a large
+                        // but finite ratio.
+                        1e12
+                    } else {
+                        lrd[j] / lrd[i]
+                    }
+                })
+                .sum();
+            sum / nb.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_prng::Rng;
+
+    #[test]
+    fn isolated_point_has_high_lof() {
+        let mut rng = Rng::new(111);
+        let n = 60;
+        let mut x = Matrix::zeros(n + 1, 2);
+        for r in 0..n {
+            x[(r, 0)] = rng.normal();
+            x[(r, 1)] = rng.normal();
+        }
+        // One far-away outlier.
+        x[(n, 0)] = 50.0;
+        x[(n, 1)] = 50.0;
+        let scores = local_outlier_factor(&x, 5);
+        let max_inlier = scores[..n].iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!(
+            scores[n] > 2.0 * max_inlier,
+            "outlier LOF {} vs max inlier {max_inlier}",
+            scores[n]
+        );
+    }
+
+    #[test]
+    fn uniform_cluster_scores_near_one() {
+        let mut rng = Rng::new(112);
+        let n = 100;
+        let mut x = Matrix::zeros(n, 3);
+        for r in 0..n {
+            for c in 0..3 {
+                x[(r, c)] = rng.uniform();
+            }
+        }
+        let scores = local_outlier_factor(&x, 8);
+        for (i, s) in scores.iter().enumerate() {
+            assert!((0.7..1.8).contains(s), "point {i} has LOF {s}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let scores = local_outlier_factor(&x, 2);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be below")]
+    fn rejects_k_too_large() {
+        let x = Matrix::zeros(3, 2);
+        let _ = local_outlier_factor(&x, 3);
+    }
+}

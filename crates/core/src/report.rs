@@ -1,0 +1,140 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple fixed-width text table builder.
+///
+/// ```
+/// use gopher_core::report::TextTable;
+/// let mut t = TextTable::new(&["Pattern", "Support", "Δbias"]);
+/// t.row(&["gender = Female", "5.0%", "55.2%"]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("gender = Female"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    /// On column-count mismatch.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row of owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders with padded columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let n_cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| display_width(h)).collect();
+        for row in &self.rows {
+            for (c, cell) in row.iter().enumerate() {
+                widths[c] = widths[c].max(display_width(cell));
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (c, cell) in cells.iter().enumerate() {
+                out.push_str(cell);
+                let pad = widths[c].saturating_sub(display_width(cell));
+                if c + 1 < n_cols {
+                    out.extend(std::iter::repeat_n(' ', pad + 2));
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.extend(std::iter::repeat_n('-', total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Character count (not bytes), so the `∧`/`≠` glyphs pad correctly.
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+/// Formats a fraction as a signed percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a duration compactly (`1.2s`, `34ms`, `56µs`).
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.1}ms", secs * 1e3)
+    } else {
+        format!("{:.1}µs", secs * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_padded_columns() {
+        let mut t = TextTable::new(&["A", "Bee"]);
+        t.row(&["longer", "x"]);
+        t.row(&["s", "yy"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns align: "Bee"/" x"/"yy" start at the same offset.
+        let col = lines[2].find('x').unwrap();
+        assert_eq!(lines[3].chars().nth(col).unwrap(), 'y');
+    }
+
+    #[test]
+    fn unicode_width_uses_chars() {
+        let mut t = TextTable::new(&["P"]);
+        t.row(&["a ∧ b"]);
+        assert_eq!(t.n_rows(), 1);
+        let r = t.render();
+        assert!(r.contains("a ∧ b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(&["A", "B"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.552), "55.2%");
+        assert_eq!(pct(-0.05), "-5.0%");
+        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1.50s");
+        assert_eq!(fmt_duration(std::time::Duration::from_micros(2500)), "2.5ms");
+        assert_eq!(fmt_duration(std::time::Duration::from_nanos(900)), "0.9µs");
+    }
+}

@@ -1,0 +1,143 @@
+//! Quantile binning of numeric features.
+//!
+//! Algorithm 1 in the paper enumerates single-predicate patterns `X = v`,
+//! `X < v`, `X > v` for every value `v` of every feature. For numeric
+//! features with many distinct values this explodes the candidate set and
+//! produces near-duplicate explanations (`hours < 40` vs `hours < 42`), so
+//! the paper applies binning first. We use quantile bins: thresholds are
+//! placed at equally spaced quantiles of the observed values, which adapts
+//! to skewed distributions.
+
+/// Thresholds splitting a numeric feature's range into bins.
+///
+/// `thresholds` is strictly increasing; value `v` falls into bin
+/// `thresholds.partition_point(|t| t <= v)` (bin 0 is `(-inf, t₀)`, the last
+/// bin is `[t_last, +inf)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bins {
+    thresholds: Vec<f64>,
+}
+
+impl Bins {
+    /// Computes up to `max_bins` quantile bins from observed values.
+    ///
+    /// Fewer bins are produced when the data has few distinct values (e.g. an
+    /// integer-coded feature with 4 levels gets at most 3 thresholds).
+    ///
+    /// # Panics
+    /// If `max_bins < 2`.
+    pub fn quantile(values: &[f64], max_bins: usize) -> Bins {
+        assert!(max_bins >= 2, "binning needs at least 2 bins");
+        if values.is_empty() {
+            return Bins { thresholds: Vec::new() };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len();
+        let mut thresholds = Vec::with_capacity(max_bins - 1);
+        for k in 1..max_bins {
+            // Threshold at the k/max_bins quantile.
+            let pos = (k as f64 / max_bins as f64 * n as f64) as usize;
+            let t = sorted[pos.min(n - 1)];
+            // Keep thresholds strictly increasing (skip duplicates caused by
+            // repeated values).
+            if thresholds.last().is_none_or(|&last| t > last) {
+                thresholds.push(t);
+            }
+        }
+        // Drop a threshold equal to the minimum: it would create an empty
+        // first bin.
+        if thresholds.first() == sorted.first() {
+            thresholds.remove(0);
+        }
+        Bins { thresholds }
+    }
+
+    /// The bin thresholds (strictly increasing).
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Number of bins (`thresholds.len() + 1`).
+    pub fn n_bins(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// The bin index of a value.
+    pub fn bin_of(&self, v: f64) -> usize {
+        self.thresholds.partition_point(|&t| t <= v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_values_get_even_bins() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let bins = Bins::quantile(&values, 4);
+        assert_eq!(bins.n_bins(), 4);
+        assert_eq!(bins.thresholds(), &[25.0, 50.0, 75.0]);
+        assert_eq!(bins.bin_of(0.0), 0);
+        assert_eq!(bins.bin_of(25.0), 1, "threshold value goes to upper bin");
+        assert_eq!(bins.bin_of(99.0), 3);
+        assert_eq!(bins.bin_of(-5.0), 0);
+        assert_eq!(bins.bin_of(1000.0), 3);
+    }
+
+    #[test]
+    fn repeated_values_collapse_bins() {
+        let values = vec![1.0; 50];
+        let bins = Bins::quantile(&values, 4);
+        // All values identical: no usable threshold.
+        assert_eq!(bins.n_bins(), 1);
+        assert_eq!(bins.bin_of(1.0), 0);
+    }
+
+    #[test]
+    fn skewed_values_adapt() {
+        // 90 small values, 10 large. With coarse bins the tail hides inside
+        // the top quantile; with enough bins a threshold lands in the tail.
+        let mut values = vec![0.0; 90];
+        values.extend((0..10).map(|i| 100.0 + i as f64));
+        let coarse = Bins::quantile(&values, 4);
+        assert_eq!(coarse.n_bins(), 1, "all coarse quantiles collapse onto 0.0");
+        let fine = Bins::quantile(&values, 20);
+        assert!(
+            fine.thresholds().iter().any(|&t| t >= 100.0),
+            "a fine threshold should separate the tail: {:?}",
+            fine.thresholds()
+        );
+    }
+
+    #[test]
+    fn thresholds_strictly_increasing() {
+        let values = vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0];
+        let bins = Bins::quantile(&values, 5);
+        for w in bins.thresholds().windows(2) {
+            assert!(w[0] < w[1], "thresholds not increasing: {:?}", bins.thresholds());
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_single_bin() {
+        let bins = Bins::quantile(&[], 4);
+        assert_eq!(bins.n_bins(), 1);
+        assert_eq!(bins.bin_of(42.0), 0);
+    }
+
+    #[test]
+    fn integer_coded_feature() {
+        // Installment rate 1..=4 as in German Credit.
+        let values: Vec<f64> = (0..100).map(|i| (i % 4 + 1) as f64).collect();
+        let bins = Bins::quantile(&values, 8);
+        // At most 3 distinct thresholds possible (2,3,4), and the bin of each
+        // integer must be distinct.
+        assert!(bins.n_bins() <= 4);
+        let bin_ids: Vec<usize> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| bins.bin_of(v)).collect();
+        let mut dedup = bin_ids.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), bin_ids.len(), "each integer in own bin: {bin_ids:?}");
+    }
+}

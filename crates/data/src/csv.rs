@@ -1,0 +1,216 @@
+//! Minimal CSV export/import for datasets.
+//!
+//! Exports render categorical levels by name; imports validate against a
+//! provided schema (this is a debugging/inspection facility, not a general
+//! CSV parser — fields must not contain commas, quotes or newlines, which
+//! holds for every schema in this workspace).
+
+use crate::dataset::{Column, Dataset, Value};
+use crate::schema::{FeatureKind, ProtectedSpec, Schema};
+use std::io::{BufRead, BufWriter, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem with the CSV content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "csv io error: {e}"),
+            Self::Parse { line, message } => write!(f, "csv parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Writes the dataset as CSV: a header row of feature names plus the label
+/// column, then one row per example.
+pub fn write_csv<W: Write>(data: &Dataset, writer: W) -> Result<(), CsvError> {
+    let mut out = BufWriter::new(writer);
+    let schema = data.schema();
+    let header: Vec<&str> = schema
+        .features()
+        .iter()
+        .map(|f| f.name.as_str())
+        .chain(std::iter::once(schema.label_name.as_str()))
+        .collect();
+    writeln!(out, "{}", header.join(","))?;
+    for r in 0..data.n_rows() {
+        for f in 0..data.n_features() {
+            match data.value(r, f) {
+                Value::Level(l) => write!(out, "{}", schema.level_name(f, l))?,
+                Value::Number(x) => write!(out, "{x}")?,
+            }
+            out.write_all(b",")?;
+        }
+        writeln!(out, "{}", data.labels()[r])?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV produced by [`write_csv`] back into a [`Dataset`], validating
+/// it against `schema` and attaching `protected`.
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    schema: &Schema,
+    protected: ProtectedSpec,
+) -> Result<Dataset, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or(CsvError::Parse { line: 1, message: "missing header".into() })??;
+    let names: Vec<&str> = header.split(',').collect();
+    let expected = schema.n_features() + 1;
+    if names.len() != expected {
+        return Err(CsvError::Parse {
+            line: 1,
+            message: format!("expected {expected} columns, found {}", names.len()),
+        });
+    }
+    for (i, feat) in schema.features().iter().enumerate() {
+        if names[i] != feat.name {
+            return Err(CsvError::Parse {
+                line: 1,
+                message: format!("column {i} is {:?}, expected {:?}", names[i], feat.name),
+            });
+        }
+    }
+
+    let mut columns: Vec<Column> = schema
+        .features()
+        .iter()
+        .map(|f| match f.kind {
+            FeatureKind::Categorical { .. } => Column::Categorical(Vec::new()),
+            FeatureKind::Numeric => Column::Numeric(Vec::new()),
+        })
+        .collect();
+    let mut labels = Vec::new();
+
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected {
+            return Err(CsvError::Parse {
+                line: line_no,
+                message: format!("expected {expected} fields, found {}", fields.len()),
+            });
+        }
+        for (f, field) in fields[..schema.n_features()].iter().enumerate() {
+            match &mut columns[f] {
+                Column::Categorical(vals) => {
+                    let lvl = schema.level_index(f, field).ok_or_else(|| CsvError::Parse {
+                        line: line_no,
+                        message: format!("unknown level {field:?} for feature {f}"),
+                    })?;
+                    vals.push(lvl);
+                }
+                Column::Numeric(vals) => {
+                    let x: f64 = field.parse().map_err(|_| CsvError::Parse {
+                        line: line_no,
+                        message: format!("invalid number {field:?}"),
+                    })?;
+                    vals.push(x);
+                }
+            }
+        }
+        let y: u8 = fields[schema.n_features()].parse().map_err(|_| CsvError::Parse {
+            line: line_no,
+            message: format!("invalid label {:?}", fields[schema.n_features()]),
+        })?;
+        labels.push(y);
+    }
+
+    Ok(Dataset::new(schema.clone(), columns, labels, protected))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::german;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_german() {
+        let d = german(50, 1);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let back = read_csv(Cursor::new(&buf), d.schema(), d.protected().clone()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn header_has_label_column() {
+        let d = german(2, 1);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let header = text.lines().next().unwrap();
+        assert!(header.ends_with(",good_credit"), "{header}");
+        assert_eq!(text.lines().count(), 3);
+    }
+
+    #[test]
+    fn rejects_wrong_column_count() {
+        let d = german(2, 1);
+        let err = read_csv(Cursor::new(b"a,b\n" as &[u8]), d.schema(), d.protected().clone())
+            .unwrap_err();
+        match err {
+            CsvError::Parse { line: 1, .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_level() {
+        let d = german(1, 1);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        // Corrupt the first data field (checking_status) to a bogus level.
+        let lines: Vec<&str> = text.lines().collect();
+        let mut fields: Vec<&str> = lines[1].split(',').collect();
+        fields[0] = "BOGUS";
+        let corrupted = fields.join(",");
+        text = format!("{}\n{}\n", lines[0], corrupted);
+        let err =
+            read_csv(Cursor::new(text.as_bytes()), d.schema(), d.protected().clone()).unwrap_err();
+        match err {
+            CsvError::Parse { line: 2, message } => assert!(message.contains("BOGUS")),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let d = german(3, 2);
+        let mut buf = Vec::new();
+        write_csv(&d, &mut buf).unwrap();
+        let mut text = String::from_utf8(buf).unwrap();
+        text.push('\n');
+        let back =
+            read_csv(Cursor::new(text.as_bytes()), d.schema(), d.protected().clone()).unwrap();
+        assert_eq!(back.n_rows(), 3);
+    }
+}

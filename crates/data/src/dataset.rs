@@ -1,0 +1,434 @@
+//! Column-oriented dataset with typed columns, labels, and group membership.
+
+use crate::schema::{FeatureKind, PrivilegedIf, ProtectedSpec, Schema};
+use gopher_prng::Rng;
+
+/// A single column of feature values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// Level indices into the feature's declared levels.
+    Categorical(Vec<u32>),
+    /// Raw numeric values.
+    Numeric(Vec<f64>),
+}
+
+impl Column {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Categorical(v) => v.len(),
+            Self::Numeric(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value at `row`.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Self::Categorical(v) => Value::Level(v[row]),
+            Self::Numeric(v) => Value::Number(v[row]),
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Categorical level index.
+    Level(u32),
+    /// Numeric value.
+    Number(f64),
+}
+
+impl Value {
+    /// The numeric payload, panicking for categorical values.
+    pub fn as_number(&self) -> f64 {
+        match self {
+            Self::Number(x) => *x,
+            Self::Level(_) => panic!("value is categorical, not numeric"),
+        }
+    }
+
+    /// The level payload, panicking for numeric values.
+    pub fn as_level(&self) -> u32 {
+        match self {
+            Self::Level(l) => *l,
+            Self::Number(_) => panic!("value is numeric, not categorical"),
+        }
+    }
+}
+
+/// A binary-labeled tabular dataset.
+///
+/// Invariants (checked at construction):
+/// * every column matches its schema kind and has the same length;
+/// * categorical values are valid level indices;
+/// * labels are 0/1 and have the same length as the columns;
+/// * the protected spec refers to an existing feature of a compatible kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    schema: Schema,
+    columns: Vec<Column>,
+    labels: Vec<u8>,
+    protected: ProtectedSpec,
+}
+
+impl Dataset {
+    /// Builds a dataset, validating all invariants.
+    ///
+    /// # Panics
+    /// If any invariant is violated (these are programming errors in the
+    /// generators or loaders, not runtime conditions).
+    pub fn new(
+        schema: Schema,
+        columns: Vec<Column>,
+        labels: Vec<u8>,
+        protected: ProtectedSpec,
+    ) -> Self {
+        assert_eq!(
+            columns.len(),
+            schema.n_features(),
+            "dataset: column count does not match schema"
+        );
+        let n = labels.len();
+        for (idx, (col, feat)) in columns.iter().zip(schema.features()).enumerate() {
+            assert_eq!(col.len(), n, "dataset: column {idx} has wrong length");
+            match (&feat.kind, col) {
+                (FeatureKind::Categorical { levels }, Column::Categorical(vals)) => {
+                    let k = levels.len() as u32;
+                    for &v in vals {
+                        assert!(v < k, "dataset: column {idx} level {v} out of range");
+                    }
+                }
+                (FeatureKind::Numeric, Column::Numeric(vals)) => {
+                    for &v in vals {
+                        assert!(v.is_finite(), "dataset: column {idx} has non-finite value");
+                    }
+                }
+                _ => panic!("dataset: column {idx} kind does not match schema"),
+            }
+        }
+        for &y in &labels {
+            assert!(y <= 1, "dataset: labels must be 0/1");
+        }
+        assert!(
+            protected.feature < schema.n_features(),
+            "dataset: protected feature out of range"
+        );
+        match (&protected.privileged, &schema.feature(protected.feature).kind) {
+            (PrivilegedIf::Level(l), FeatureKind::Categorical { levels }) => {
+                assert!((*l as usize) < levels.len(), "dataset: privileged level out of range");
+            }
+            (PrivilegedIf::AtLeast(_), FeatureKind::Numeric) => {}
+            _ => panic!("dataset: protected spec kind does not match feature kind"),
+        }
+        Self { schema, columns, labels, protected }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The protected-group specification.
+    pub fn protected(&self) -> &ProtectedSpec {
+        &self.protected
+    }
+
+    /// The column for feature `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// The 0/1 labels (1 = favorable outcome).
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// The value of feature `feature` in row `row`.
+    pub fn value(&self, row: usize, feature: usize) -> Value {
+        self.columns[feature].value(row)
+    }
+
+    /// Whether row `row` belongs to the privileged group.
+    pub fn is_privileged(&self, row: usize) -> bool {
+        match (&self.protected.privileged, &self.columns[self.protected.feature]) {
+            (PrivilegedIf::Level(l), Column::Categorical(vals)) => vals[row] == *l,
+            (PrivilegedIf::AtLeast(c), Column::Numeric(vals)) => vals[row] >= *c,
+            _ => unreachable!("validated at construction"),
+        }
+    }
+
+    /// Privileged-group membership for every row.
+    pub fn privileged_mask(&self) -> Vec<bool> {
+        (0..self.n_rows()).map(|r| self.is_privileged(r)).collect()
+    }
+
+    /// Base rate of the favorable label.
+    pub fn positive_rate(&self) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.labels.iter().map(|&y| y as usize).sum::<usize>() as f64 / self.labels.len() as f64
+    }
+
+    /// Returns a new dataset containing only the given rows (in the given
+    /// order; duplicates allowed).
+    pub fn select_rows(&self, rows: &[usize]) -> Dataset {
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| match col {
+                Column::Categorical(v) => {
+                    Column::Categorical(rows.iter().map(|&r| v[r]).collect())
+                }
+                Column::Numeric(v) => Column::Numeric(rows.iter().map(|&r| v[r]).collect()),
+            })
+            .collect();
+        let labels = rows.iter().map(|&r| self.labels[r]).collect();
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+            labels,
+            protected: self.protected.clone(),
+        }
+    }
+
+    /// Returns a new dataset with the rows in `remove` (given as a boolean
+    /// mask) dropped. `remove.len()` must equal `n_rows()`.
+    pub fn remove_rows(&self, remove: &[bool]) -> Dataset {
+        assert_eq!(remove.len(), self.n_rows(), "remove_rows: mask length mismatch");
+        let keep: Vec<usize> =
+            (0..self.n_rows()).filter(|&r| !remove[r]).collect();
+        self.select_rows(&keep)
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of rows (rounded
+    /// down) going to the test set, after a seeded shuffle.
+    ///
+    /// # Panics
+    /// If `test_fraction` is not in `(0, 1)`.
+    pub fn train_test_split(&self, test_fraction: f64, rng: &mut Rng) -> (Dataset, Dataset) {
+        assert!(
+            test_fraction > 0.0 && test_fraction < 1.0,
+            "train_test_split: fraction must be in (0,1)"
+        );
+        let n = self.n_rows();
+        let perm = rng.permutation(n);
+        let n_test = ((n as f64) * test_fraction) as usize;
+        let (test_rows, train_rows) = perm.split_at(n_test);
+        (self.select_rows(train_rows), self.select_rows(test_rows))
+    }
+
+    /// Concatenates two datasets with identical schemas and protected specs.
+    ///
+    /// # Panics
+    /// If schemas or protected specs differ.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.schema, other.schema, "concat: schema mismatch");
+        assert_eq!(self.protected, other.protected, "concat: protected mismatch");
+        let columns = self
+            .columns
+            .iter()
+            .zip(&other.columns)
+            .map(|(a, b)| match (a, b) {
+                (Column::Categorical(x), Column::Categorical(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Categorical(v)
+                }
+                (Column::Numeric(x), Column::Numeric(y)) => {
+                    let mut v = x.clone();
+                    v.extend_from_slice(y);
+                    Column::Numeric(v)
+                }
+                _ => unreachable!("schemas match"),
+            })
+            .collect();
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+            labels,
+            protected: self.protected.clone(),
+        }
+    }
+
+    /// Replicates the dataset `factor` times (used by the paper's Figure 5
+    /// scalability study, which scales German Credit ×50 … ×1600).
+    ///
+    /// # Panics
+    /// If `factor == 0`.
+    pub fn replicate(&self, factor: usize) -> Dataset {
+        assert!(factor > 0, "replicate: factor must be positive");
+        let n = self.n_rows();
+        let rows: Vec<usize> = (0..factor).flat_map(|_| 0..n).collect();
+        self.select_rows(&rows)
+    }
+
+    /// Renders row `row` as `name=value` pairs (for reports and examples).
+    pub fn describe_row(&self, row: usize) -> String {
+        let mut parts = Vec::with_capacity(self.n_features() + 1);
+        for (idx, feat) in self.schema.features().iter().enumerate() {
+            let rendered = match self.value(row, idx) {
+                Value::Level(l) => self.schema.level_name(idx, l).to_string(),
+                Value::Number(x) => format!("{x:.2}"),
+            };
+            parts.push(format!("{}={rendered}", feat.name));
+        }
+        parts.push(format!("{}={}", self.schema.label_name, self.labels[row]));
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Feature;
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Feature::categorical("color", ["red", "blue"]),
+                Feature::numeric("age"),
+            ],
+            "label",
+        );
+        Dataset::new(
+            schema,
+            vec![
+                Column::Categorical(vec![0, 1, 0, 1]),
+                Column::Numeric(vec![20.0, 30.0, 40.0, 50.0]),
+            ],
+            vec![0, 1, 1, 0],
+            ProtectedSpec { feature: 1, privileged: PrivilegedIf::AtLeast(35.0) },
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let d = toy();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.value(1, 0), Value::Level(1));
+        assert_eq!(d.value(2, 1), Value::Number(40.0));
+        assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn privileged_mask_uses_threshold() {
+        let d = toy();
+        assert_eq!(d.privileged_mask(), vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn privileged_mask_categorical() {
+        let schema = Schema::new(vec![Feature::categorical("g", ["f", "m"])], "y");
+        let d = Dataset::new(
+            schema,
+            vec![Column::Categorical(vec![0, 1, 1])],
+            vec![0, 1, 0],
+            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(1) },
+        );
+        assert_eq!(d.privileged_mask(), vec![false, true, true]);
+    }
+
+    #[test]
+    fn select_and_remove_rows() {
+        let d = toy();
+        let s = d.select_rows(&[3, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.value(0, 1), Value::Number(50.0));
+        assert_eq!(s.labels(), &[0, 0]);
+
+        let r = d.remove_rows(&[true, false, false, true]);
+        assert_eq!(r.n_rows(), 2);
+        assert_eq!(r.value(0, 1), Value::Number(30.0));
+        assert_eq!(r.labels(), &[1, 1]);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy().replicate(25); // 100 rows
+        let mut rng = Rng::new(0);
+        let (train, test) = d.train_test_split(0.2, &mut rng);
+        assert_eq!(test.n_rows(), 20);
+        assert_eq!(train.n_rows(), 80);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d);
+        assert_eq!(c.n_rows(), 8);
+        assert_eq!(c.value(5, 1), d.value(1, 1));
+    }
+
+    #[test]
+    fn replicate_multiplies_rows() {
+        let d = toy();
+        let r = d.replicate(3);
+        assert_eq!(r.n_rows(), 12);
+        assert_eq!(r.value(9, 1), d.value(1, 1));
+    }
+
+    #[test]
+    fn describe_row_renders_names() {
+        let d = toy();
+        let s = d.describe_row(0);
+        assert!(s.contains("color=red"), "{s}");
+        assert!(s.contains("age=20.00"), "{s}");
+        assert!(s.contains("label=0"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "level 5 out of range")]
+    fn rejects_invalid_level() {
+        let schema = Schema::new(vec![Feature::categorical("c", ["a", "b"])], "y");
+        Dataset::new(
+            schema,
+            vec![Column::Categorical(vec![5])],
+            vec![0],
+            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0/1")]
+    fn rejects_non_binary_labels() {
+        let schema = Schema::new(vec![Feature::numeric("x")], "y");
+        Dataset::new(
+            schema,
+            vec![Column::Numeric(vec![1.0])],
+            vec![2],
+            ProtectedSpec { feature: 0, privileged: PrivilegedIf::AtLeast(0.0) },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "protected spec kind does not match")]
+    fn rejects_mismatched_protected_kind() {
+        let schema = Schema::new(vec![Feature::numeric("x")], "y");
+        Dataset::new(
+            schema,
+            vec![Column::Numeric(vec![1.0])],
+            vec![0],
+            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! Synthetic Adult (Census Income) data.
+//!
+//! Mirrors the UCI Adult schema (8 of the 14 attributes — those the paper's
+//! Table 2/5 explanations reference) and plants the dataset's documented
+//! inconsistency: *income attributes of married individuals report household
+//! income*, which couples `marital`/`relationship` with the label and — since
+//! there are more married males — induces gender bias.
+//!
+//! Planted structure:
+//!
+//! * **Household-income artifact** — `marital = Married-civ-spouse ∧
+//!   relationship ∈ {Husband, Wife}` gets a large label boost. Combined with
+//!   the higher marriage rate of males this is the dominant source of the
+//!   statistical-parity gap (the paper notes the single predicate
+//!   `marital = Married` removes bias almost completely but has ~47% support
+//!   and hence a low interestingness score).
+//! * **Planted subgroup A** — `gender = Male ∧ education = Bachelors ∧
+//!   workclass = Private`: inflated positive labels (Table 2 pattern 1,
+//!   support ≈ 8%).
+//! * **Planted subgroup B** — `gender = Female ∧ marital =
+//!   Divorced/Separated ∧ age >= 45`: suppressed positive labels
+//!   (Table 2 pattern 2, support ≈ 6%).
+//! * **Education gradient** — higher education lifts income for everyone
+//!   (the secondary driver the paper's update experiments exploit).
+
+use super::{sigmoid, trunc_normal};
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
+use gopher_prng::{Categorical, Rng};
+
+/// Generates `n_rows` of synthetic Adult census data.
+pub fn adult(n_rows: usize, seed: u64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::numeric("age"),
+            Feature::categorical(
+                "workclass",
+                ["Private", "Self-emp", "Federal-gov", "Local-gov", "Unemployed"],
+            ),
+            Feature::categorical(
+                "education",
+                [
+                    "11th",
+                    "HS-grad",
+                    "Some-college",
+                    "Assoc-voc",
+                    "Assoc-acdm",
+                    "Bachelors",
+                    "Masters",
+                    "Prof-school",
+                ],
+            ),
+            Feature::categorical(
+                "marital",
+                ["Never-married", "Married-civ-spouse", "Divorced/Separated", "Widowed"],
+            ),
+            Feature::categorical(
+                "relationship",
+                ["Husband", "Wife", "Not-in-family", "Own-child", "Unmarried"],
+            ),
+            Feature::categorical("race", ["White", "Black", "Asian", "Other"]),
+            Feature::categorical("gender", ["Female", "Male"]),
+            Feature::numeric("hours"),
+        ],
+        "income_gt_50k",
+    );
+
+    let mut rng = Rng::new(seed ^ 0x0061_6475_6c74); // "adult"
+    let workclass_dist = Categorical::new(&[0.70, 0.11, 0.04, 0.09, 0.06]).expect("weights");
+    let education_dist =
+        Categorical::new(&[0.05, 0.32, 0.22, 0.04, 0.04, 0.20, 0.08, 0.05]).expect("weights");
+    let race_dist = Categorical::new(&[0.78, 0.12, 0.06, 0.04]).expect("weights");
+
+    let n = n_rows;
+    let mut age_c = Vec::with_capacity(n);
+    let mut workclass_c = Vec::with_capacity(n);
+    let mut education_c = Vec::with_capacity(n);
+    let mut marital_c = Vec::with_capacity(n);
+    let mut relationship_c = Vec::with_capacity(n);
+    let mut race_c = Vec::with_capacity(n);
+    let mut gender_c = Vec::with_capacity(n);
+    let mut hours_c = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let male = rng.bernoulli(0.55);
+        let g = u32::from(male);
+        let a = trunc_normal(&mut rng, 39.0, 13.0, 17.0, 80.0).round();
+        let wc = workclass_dist.sample(&mut rng) as u32;
+        let edu = education_dist.sample(&mut rng) as u32;
+        let race = race_dist.sample(&mut rng) as u32;
+
+        // Marital status: males are married more often in this census slice
+        // (the demographic asymmetry that turns the household-income artifact
+        // into gender bias).
+        let p_married = if male { 0.58 } else { 0.36 };
+        let marital = if rng.bernoulli(p_married) {
+            1u32 // Married-civ-spouse
+        } else {
+            // Never-married / Divorced / Widowed, age-dependent.
+            if a >= 45.0 {
+                *rng.choose(&[0u32, 2, 2, 3])
+            } else {
+                *rng.choose(&[0u32, 0, 0, 2])
+            }
+        };
+
+        // Relationship is consistent with marital status and gender.
+        let relationship = if marital == 1 {
+            if male {
+                0u32 // Husband
+            } else {
+                1u32 // Wife
+            }
+        } else if a < 25.0 && rng.bernoulli(0.5) {
+            3u32 // Own-child
+        } else if rng.bernoulli(0.6) {
+            2u32 // Not-in-family
+        } else {
+            4u32 // Unmarried
+        };
+
+        let hours = if male {
+            trunc_normal(&mut rng, 43.0, 9.0, 10.0, 80.0).round()
+        } else {
+            trunc_normal(&mut rng, 38.0, 9.0, 10.0, 80.0).round()
+        };
+
+        // Latent income score from legitimate factors.
+        let mut score = -1.6;
+        score += match edu {
+            0 => -0.8,
+            1 => -0.3,
+            2 => 0.0,
+            3 => 0.1,
+            4 => 0.2,
+            5 => 0.7,
+            6 => 1.0,
+            _ => 1.3, // Prof-school
+        };
+        score += 0.03 * (hours - 40.0);
+        // Mid-career income peak.
+        score += -0.0015 * (a - 48.0) * (a - 48.0) + 0.4;
+        score += match wc {
+            2 => 0.3,       // Federal-gov
+            1 => 0.2,       // Self-emp
+            4 => -1.2,      // Unemployed
+            _ => 0.0,
+        };
+
+        // Household-income artifact: married respondents report household
+        // income, inflating their labels.
+        if marital == 1 && (relationship == 0 || relationship == 1) {
+            score += 1.5;
+        }
+
+        let mut p_rich = sigmoid(score);
+
+        // Planted subgroups (systematic, not noise).
+        let subgroup_a = male && edu == 5 && wc == 0; // Male ∧ Bachelors ∧ Private
+        let subgroup_b = !male && marital == 2 && a >= 45.0; // Female ∧ Divorced ∧ old
+        if subgroup_a {
+            p_rich = p_rich.max(0.80);
+        }
+        if subgroup_b {
+            p_rich = p_rich.min(0.04);
+        }
+
+        labels.push(u8::from(rng.bernoulli(p_rich)));
+        age_c.push(a);
+        workclass_c.push(wc);
+        education_c.push(edu);
+        marital_c.push(marital);
+        relationship_c.push(relationship);
+        race_c.push(race);
+        gender_c.push(g);
+        hours_c.push(hours);
+    }
+
+    let gender_idx = schema.feature_index("gender").expect("gender feature exists");
+    let male_level = schema.level_index(gender_idx, "Male").expect("Male level exists");
+    Dataset::new(
+        schema,
+        vec![
+            Column::Numeric(age_c),
+            Column::Categorical(workclass_c),
+            Column::Categorical(education_c),
+            Column::Categorical(marital_c),
+            Column::Categorical(relationship_c),
+            Column::Categorical(race_c),
+            Column::Categorical(gender_c),
+            Column::Numeric(hours_c),
+        ],
+        labels,
+        ProtectedSpec {
+            feature: gender_idx,
+            privileged: PrivilegedIf::Level(male_level),
+        },
+    )
+}

@@ -1,0 +1,220 @@
+//! Synthetic German Credit data.
+//!
+//! Mirrors the UCI German Credit schema (subset of 13 of the 20 attributes —
+//! the ones the paper's explanations reference, plus enough filler to make
+//! the lattice search non-trivial) and plants the bias structure the paper
+//! reports for this dataset:
+//!
+//! * **General age bias** — older applicants (`age >= 45`, the privileged
+//!   group) are labeled "good credit" more often at equal financials.
+//! * **Planted subgroup A** — `age >= 45 ∧ gender = Female`: almost always
+//!   labeled good (support ≈ 5%). This is the paper's Table 1 top-1 pattern.
+//! * **Planted subgroup B** — `age >= 45 ∧ gender = Male ∧ credit_history =
+//!   All-paid-duly`: labeled good with high probability (support ≈ 6%),
+//!   Table 1's second pattern.
+//! * **Planted subgroup C** — `debtors = None ∧ employment = 1..4y ∧
+//!   installment_rate = 4 ∧ residence = 2`: a weaker, purely financial
+//!   subgroup with inflated positive labels (Table 1's third pattern, which
+//!   notably does not mention the sensitive attribute).
+//!
+//! Removing any planted subgroup weakens the age–label association and hence
+//! reduces statistical-parity bias of a model trained on the data.
+
+use super::{sigmoid, trunc_normal};
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
+use gopher_prng::{Categorical, Rng};
+
+/// Age cutoff separating the privileged (older) group.
+pub const GERMAN_AGE_CUTOFF: f64 = 45.0;
+
+/// Generates `n_rows` of synthetic German Credit data.
+pub fn german(n_rows: usize, seed: u64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::categorical(
+                "checking_status",
+                ["<0", "0<=X<200", ">=200", "no_checking"],
+            ),
+            Feature::numeric("duration"),
+            Feature::categorical(
+                "credit_history",
+                ["All-paid-duly", "Existing-paid-duly", "Delayed", "Critical"],
+            ),
+            Feature::categorical(
+                "purpose",
+                ["car", "furniture", "radio_tv", "education", "business"],
+            ),
+            Feature::numeric("credit_amount"),
+            Feature::categorical("savings", ["<100", "100<=X<500", ">=500", "unknown"]),
+            Feature::categorical(
+                "employment",
+                ["unemployed", "<1y", "1<=X<4y", "4<=X<7y", ">=7y"],
+            ),
+            Feature::numeric("installment_rate"),
+            Feature::categorical("debtors", ["None", "Co-applicant", "Guarantor"]),
+            Feature::numeric("residence"),
+            Feature::numeric("age"),
+            Feature::categorical("housing", ["own", "rent", "free"]),
+            Feature::categorical("gender", ["Female", "Male"]),
+        ],
+        "good_credit",
+    );
+
+    let mut rng = Rng::new(seed ^ 0x6765_726d_616e); // "german"
+    let checking_dist = Categorical::new(&[0.27, 0.27, 0.06, 0.40]).expect("valid weights");
+    let purpose_dist = Categorical::new(&[0.33, 0.18, 0.28, 0.09, 0.12]).expect("valid weights");
+    let savings_dist = Categorical::new(&[0.60, 0.15, 0.10, 0.15]).expect("valid weights");
+    let employment_dist =
+        Categorical::new(&[0.06, 0.17, 0.34, 0.17, 0.26]).expect("valid weights");
+    let debtors_dist = Categorical::new(&[0.82, 0.08, 0.10]).expect("valid weights");
+    let housing_dist = Categorical::new(&[0.71, 0.18, 0.11]).expect("valid weights");
+
+    let n = n_rows;
+    let mut checking = Vec::with_capacity(n);
+    let mut duration = Vec::with_capacity(n);
+    let mut history = Vec::with_capacity(n);
+    let mut purpose = Vec::with_capacity(n);
+    let mut amount = Vec::with_capacity(n);
+    let mut savings = Vec::with_capacity(n);
+    let mut employment = Vec::with_capacity(n);
+    let mut installment = Vec::with_capacity(n);
+    let mut debtors = Vec::with_capacity(n);
+    let mut residence = Vec::with_capacity(n);
+    let mut age = Vec::with_capacity(n);
+    let mut housing = Vec::with_capacity(n);
+    let mut gender = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Demographics. Age skews young so that P(age >= 45) ≈ 0.16, which
+        // with P(Female | old) ≈ 0.33 gives planted subgroup A a support of
+        // roughly 5% (the paper's Table 1 value).
+        let a = trunc_normal(&mut rng, 35.0, 10.0, 19.0, 75.0);
+        let old = a >= GERMAN_AGE_CUTOFF;
+        let g = if old {
+            u32::from(!rng.bernoulli(0.33)) // 33% female among the old
+        } else {
+            u32::from(!rng.bernoulli(0.46)) // 46% female among the young
+        };
+
+        let chk = checking_dist.sample(&mut rng) as u32;
+        let dur = trunc_normal(&mut rng, 21.0, 12.0, 4.0, 72.0).round();
+        // Older applicants have longer credit histories; "All-paid-duly" is
+        // boosted for them so planted subgroup B reaches ≈ 6% support.
+        let hist = if old {
+            Categorical::new(&[0.55, 0.30, 0.08, 0.07]).expect("valid weights").sample(&mut rng)
+        } else {
+            Categorical::new(&[0.15, 0.50, 0.17, 0.18]).expect("valid weights").sample(&mut rng)
+        } as u32;
+        let pur = purpose_dist.sample(&mut rng) as u32;
+        let amt = (rng.normal_with(0.0, 0.8).exp() * 2500.0).clamp(250.0, 18500.0).round();
+        let sav = savings_dist.sample(&mut rng) as u32;
+        let emp = employment_dist.sample(&mut rng) as u32;
+        let inst = (rng.range(1, 5)) as f64; // 1..=4
+        let deb = debtors_dist.sample(&mut rng) as u32;
+        let res = (rng.range(1, 5)) as f64; // 1..=4
+        let hou = housing_dist.sample(&mut rng) as u32;
+
+        // Latent creditworthiness from the financial attributes only.
+        let mut score = 0.0;
+        score += match chk {
+            0 => -0.9, // overdrawn account
+            1 => -0.2,
+            2 => 0.8,
+            _ => 0.4, // no checking account: mild positive, as in UCI data
+        };
+        score += -0.02 * (dur - 21.0); // longer loans are riskier
+        score += match hist {
+            0 => 0.5,
+            1 => 0.3,
+            2 => -0.4,
+            _ => -0.8, // critical history
+        };
+        score += -0.00008 * (amt - 2500.0);
+        score += match sav {
+            0 => -0.3,
+            1 => 0.1,
+            2 => 0.6,
+            _ => 0.0,
+        };
+        score += match emp {
+            0 => -0.6,
+            1 => -0.2,
+            2 => 0.1,
+            3 => 0.3,
+            _ => 0.5,
+        };
+        score += -0.15 * (inst - 2.5); // higher installment rate = tighter budget
+        score += match deb {
+            2 => 0.4, // guarantor helps
+            1 => -0.1,
+            _ => 0.0,
+        };
+        score += match hou {
+            0 => 0.25, // owns housing
+            1 => -0.1,
+            _ => 0.0,
+        };
+        // General (mild) age drift: the historical bias of the dataset.
+        if old {
+            score += 0.25;
+        }
+
+        let mut p_good = sigmoid(score + 0.25);
+
+        // Planted subgroups — systematic labeling errors, not noise.
+        let subgroup_a = old && g == 0;
+        let subgroup_b = old && g == 1 && hist == 0;
+        let subgroup_c = deb == 0 && emp == 2 && inst == 4.0 && res == 2.0;
+        if subgroup_a {
+            p_good = 0.975;
+        } else if subgroup_b {
+            p_good = 0.95;
+        } else if subgroup_c {
+            p_good = p_good.max(0.85);
+        }
+
+        let y = u8::from(rng.bernoulli(p_good));
+
+        checking.push(chk);
+        duration.push(dur);
+        history.push(hist);
+        purpose.push(pur);
+        amount.push(amt);
+        savings.push(sav);
+        employment.push(emp);
+        installment.push(inst);
+        debtors.push(deb);
+        residence.push(res);
+        age.push(a.round());
+        housing.push(hou);
+        gender.push(g);
+        labels.push(y);
+    }
+
+    let age_idx = schema.feature_index("age").expect("age feature exists");
+    Dataset::new(
+        schema,
+        vec![
+            Column::Categorical(checking),
+            Column::Numeric(duration),
+            Column::Categorical(history),
+            Column::Categorical(purpose),
+            Column::Numeric(amount),
+            Column::Categorical(savings),
+            Column::Categorical(employment),
+            Column::Numeric(installment),
+            Column::Categorical(debtors),
+            Column::Numeric(residence),
+            Column::Numeric(age),
+            Column::Categorical(housing),
+            Column::Categorical(gender),
+        ],
+        labels,
+        ProtectedSpec {
+            feature: age_idx,
+            privileged: PrivilegedIf::AtLeast(GERMAN_AGE_CUTOFF),
+        },
+    )
+}

@@ -1,0 +1,143 @@
+//! Synthetic Stop, Question and Frisk (SQF) data.
+//!
+//! Mirrors the NYPD SQF schema used by the paper (stop circumstances plus
+//! demographics). The label is **1 = not frisked** so that, as everywhere
+//! else in this workspace, `Ŷ = 1` is the favorable outcome; the privileged
+//! group is `race = White`.
+//!
+//! Planted structure (matching the paper's Table 3/6 findings):
+//!
+//! * Legitimate frisk drivers: fitting a relevant description, suspicion of a
+//!   violent crime, casing a victim, proximity to a crime scene, night stops.
+//! * **Planted subgroup A** — `race = Black ∧ fits_description = No ∧
+//!   location = Outside ∧ age < 25`: frisked despite no description match
+//!   (support ≈ 17%).
+//! * **Planted subgroup B** — same but `age ∈ [25, 45)` (support ≈ 13%).
+//! * **Planted subgroup C** — `race = White ∧ violent_crime = No ∧
+//!   casing_victim = Yes ∧ proximity = No`: *not* frisked despite casing
+//!   behaviour (support ≈ 7%) — the discrimination in favour of the
+//!   privileged group that Table 3's third pattern exposes.
+
+use super::{sigmoid, trunc_normal};
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
+use gopher_prng::{Categorical, Rng};
+
+/// Generates `n_rows` of synthetic SQF data.
+pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Feature::categorical("race", ["Black", "Latino", "White", "Other"]),
+            Feature::numeric("age"),
+            Feature::categorical("location", ["Outside", "Inside"]),
+            Feature::categorical("fits_description", ["No", "Yes"]),
+            Feature::categorical("casing_victim", ["No", "Yes"]),
+            Feature::categorical("violent_crime", ["No", "Yes"]),
+            Feature::categorical("proximity_to_scene", ["No", "Yes"]),
+            Feature::categorical("time_of_day", ["Day", "Night"]),
+            Feature::categorical("build", ["Thin", "Medium", "Heavy"]),
+        ],
+        "not_frisked",
+    );
+
+    let mut rng = Rng::new(seed ^ 0x0073_7166); // "sqf"
+    // Stop demographics follow the real data's heavy skew.
+    let race_dist = Categorical::new(&[0.54, 0.29, 0.12, 0.05]).expect("weights");
+    let build_dist = Categorical::new(&[0.30, 0.55, 0.15]).expect("weights");
+
+    let n = n_rows;
+    let mut race_c = Vec::with_capacity(n);
+    let mut age_c = Vec::with_capacity(n);
+    let mut location_c = Vec::with_capacity(n);
+    let mut fits_c = Vec::with_capacity(n);
+    let mut casing_c = Vec::with_capacity(n);
+    let mut violent_c = Vec::with_capacity(n);
+    let mut proximity_c = Vec::with_capacity(n);
+    let mut time_c = Vec::with_capacity(n);
+    let mut build_c = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        let race = race_dist.sample(&mut rng) as u32;
+        let white = race == 2;
+        let age = trunc_normal(&mut rng, 27.0, 11.0, 14.0, 70.0).round();
+        let location = u32::from(rng.bernoulli(0.25)); // 75% Outside
+        let fits = u32::from(rng.bernoulli(0.18));
+        // Casing is recorded more often for white stops in this synthetic
+        // slice, so planted subgroup C reaches ≈ 7% support.
+        let casing = u32::from(rng.bernoulli(if white { 0.45 } else { 0.18 }));
+        let violent = u32::from(rng.bernoulli(0.15));
+        let proximity = u32::from(rng.bernoulli(0.25));
+        let night = u32::from(rng.bernoulli(0.45));
+        let build = build_dist.sample(&mut rng) as u32;
+
+        // Latent frisk propensity from legitimate stop factors.
+        let mut frisk_score = -1.1;
+        if fits == 1 {
+            frisk_score += 1.6;
+        }
+        if violent == 1 {
+            frisk_score += 1.3;
+        }
+        if casing == 1 {
+            frisk_score += 0.9;
+        }
+        if proximity == 1 {
+            frisk_score += 0.7;
+        }
+        if night == 1 {
+            frisk_score += 0.3;
+        }
+        if build == 2 {
+            frisk_score += 0.15;
+        }
+        let mut p_frisk = sigmoid(frisk_score);
+
+        // Planted discriminatory practice.
+        let subgroup_a = race == 0 && fits == 0 && location == 0 && age < 25.0;
+        let subgroup_b = race == 0 && fits == 0 && location == 0 && (25.0..45.0).contains(&age);
+        let subgroup_c = white && violent == 0 && casing == 1 && proximity == 0;
+        if subgroup_a {
+            p_frisk = p_frisk.max(0.82);
+        } else if subgroup_b {
+            p_frisk = p_frisk.max(0.70);
+        }
+        if subgroup_c {
+            p_frisk = p_frisk.min(0.06);
+        }
+
+        // Label 1 = NOT frisked (favorable).
+        labels.push(u8::from(!rng.bernoulli(p_frisk)));
+        race_c.push(race);
+        age_c.push(age);
+        location_c.push(location);
+        fits_c.push(fits);
+        casing_c.push(casing);
+        violent_c.push(violent);
+        proximity_c.push(proximity);
+        time_c.push(night);
+        build_c.push(build);
+    }
+
+    let race_idx = schema.feature_index("race").expect("race feature exists");
+    let white_level = schema.level_index(race_idx, "White").expect("White level exists");
+    Dataset::new(
+        schema,
+        vec![
+            Column::Categorical(race_c),
+            Column::Numeric(age_c),
+            Column::Categorical(location_c),
+            Column::Categorical(fits_c),
+            Column::Categorical(casing_c),
+            Column::Categorical(violent_c),
+            Column::Categorical(proximity_c),
+            Column::Categorical(time_c),
+            Column::Categorical(build_c),
+        ],
+        labels,
+        ProtectedSpec {
+            feature: race_idx,
+            privileged: PrivilegedIf::Level(white_level),
+        },
+    )
+}

@@ -1,0 +1,30 @@
+//! Tabular datasets for fairness debugging.
+//!
+//! This crate provides:
+//!
+//! * a column-oriented [`Dataset`] with a typed [`Schema`] (categorical and
+//!   numeric features), binary labels, and a [`ProtectedSpec`] designating the
+//!   privileged/protected groups;
+//! * one-hot + z-score [`encode::Encoder`] producing the numeric design
+//!   matrices the models train on, with enough layout metadata to *decode*
+//!   and to *project* perturbed points back into the input domain (needed by
+//!   update-based explanations, paper Eq. 19);
+//! * quantile [`binning`] of numeric features for predicate generation;
+//! * synthetic [`generators`] that mirror the schemas and the documented bias
+//!   structure of the three datasets in the paper's evaluation (German
+//!   Credit, Adult Income, NYPD Stop-Question-Frisk) — see DESIGN.md for the
+//!   substitution rationale;
+//! * an anchoring-style data-[`poison`]ing attack (paper §6.7);
+//! * minimal CSV import/export ([`csv`]).
+
+pub mod binning;
+pub mod csv;
+pub mod dataset;
+pub mod encode;
+pub mod generators;
+pub mod poison;
+pub mod schema;
+
+pub use dataset::{Column, Dataset, Value};
+pub use encode::{Encoded, EncodedGroup, Encoder, EncodingLayout};
+pub use schema::{Feature, FeatureKind, ProtectedSpec, Schema};

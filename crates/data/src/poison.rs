@@ -1,0 +1,274 @@
+//! Anchoring-style data poisoning against fairness (paper §6.7).
+//!
+//! Following Mehrabi et al., "Exacerbating Algorithmic Bias through Fairness
+//! Attacks" (AAAI 2021), the *non-random anchoring attack* picks **anchor**
+//! points from the clean data and injects poisoned copies placed close to the
+//! anchors (so they evade distance-based outlier detection) with labels
+//! chosen to widen the demographic gap:
+//!
+//! * near privileged-group anchors with a favorable label, inject privileged
+//!   points labeled favorable (reinforcing `privileged → positive`);
+//! * near protected-group anchors with an unfavorable label, inject protected
+//!   points labeled unfavorable (reinforcing `protected → negative`).
+//!
+//! "Non-random" means anchors are chosen to be *popular* — points with many
+//! same-group, same-label neighbours — so the poisons sit inside dense
+//! regions of the clean distribution. This is exactly why
+//! `LocalOutlierFactor`-style detectors fail on them (§6.7), and what the
+//! influence-based detector in `gopher-core` is able to find.
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::FeatureKind;
+use gopher_prng::Rng;
+
+/// Configuration of the anchoring attack.
+#[derive(Debug, Clone)]
+pub struct AnchoringAttack {
+    /// Fraction of poisoned points to inject, relative to the clean size
+    /// (e.g. 0.05 injects `0.05 * n` points).
+    pub poison_fraction: f64,
+    /// Extra jitter applied on top of donor-sampled numeric features
+    /// (as a multiple of the column's standard deviation).
+    pub numeric_jitter: f64,
+    /// Probability of resampling each categorical feature of a poisoned copy
+    /// to a random level (small, to stay close to the anchor).
+    pub categorical_flip_prob: f64,
+    /// Number of candidate anchors scored per anchor slot ("popularity"
+    /// sampling — the *non-random* part of the attack).
+    pub anchor_candidates: usize,
+    /// Number of distinct anchors per attack direction. The non-random
+    /// anchoring attack of Mehrabi et al. uses very few anchors, so the
+    /// poisons form tight clumps inside dense regions of the clean data.
+    pub anchors_per_direction: usize,
+}
+
+impl Default for AnchoringAttack {
+    fn default() -> Self {
+        Self {
+            poison_fraction: 0.05,
+            numeric_jitter: 0.1,
+            categorical_flip_prob: 0.0,
+            anchor_candidates: 8,
+            anchors_per_direction: 1,
+        }
+    }
+}
+
+/// The result of an attack: the contaminated dataset plus bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PoisonedDataset {
+    /// Clean rows followed by the injected rows.
+    pub data: Dataset,
+    /// Ground-truth mask over `data` rows: true = injected poison.
+    pub is_poison: Vec<bool>,
+    /// Number of injected points.
+    pub n_poison: usize,
+}
+
+impl AnchoringAttack {
+    /// Runs the attack on `clean`, returning the contaminated dataset.
+    ///
+    /// # Panics
+    /// If `poison_fraction` is not in `(0, 1]` or the dataset is empty.
+    pub fn run(&self, clean: &Dataset, rng: &mut Rng) -> PoisonedDataset {
+        assert!(
+            self.poison_fraction > 0.0 && self.poison_fraction <= 1.0,
+            "poison_fraction must be in (0, 1]"
+        );
+        let n = clean.n_rows();
+        assert!(n > 0, "cannot poison an empty dataset");
+        let n_poison = ((n as f64) * self.poison_fraction).ceil() as usize;
+
+        let privileged = clean.privileged_mask();
+        // Target pools: privileged-positive and protected-negative rows.
+        let priv_pos: Vec<usize> = (0..n)
+            .filter(|&r| privileged[r] && clean.labels()[r] == 1)
+            .collect();
+        let prot_neg: Vec<usize> = (0..n)
+            .filter(|&r| !privileged[r] && clean.labels()[r] == 0)
+            .collect();
+
+        // Numeric column standard deviations, for jitter scaling.
+        let stds: Vec<f64> = (0..clean.n_features())
+            .map(|f| match clean.column(f) {
+                Column::Numeric(v) => gopher_linalg::vecops::variance(v).sqrt().max(1e-9),
+                Column::Categorical(_) => 0.0,
+            })
+            .collect();
+
+        // Popularity score of a row = how many rows share its label and
+        // group; used to prefer dense anchors among sampled candidates.
+        let popularity = |rows: &[usize], rng: &mut Rng| -> usize {
+            let mut best = rows[rng.range(0, rows.len())];
+            let mut best_score = -1.0f64;
+            for _ in 0..self.anchor_candidates {
+                let cand = rows[rng.range(0, rows.len())];
+                // Cheap density proxy: similarity of the candidate to a few
+                // random same-pool rows (categorical agreement count).
+                let mut score = 0.0;
+                for _ in 0..4 {
+                    let other = rows[rng.range(0, rows.len())];
+                    for f in 0..clean.n_features() {
+                        if let (Column::Categorical(col), FeatureKind::Categorical { .. }) =
+                            (clean.column(f), &clean.schema().feature(f).kind)
+                        {
+                            if col[cand] == col[other] {
+                                score += 1.0;
+                            }
+                        }
+                    }
+                }
+                if score > best_score {
+                    best_score = score;
+                    best = cand;
+                }
+            }
+            best
+        };
+
+        // Pick the (few) anchors once per direction: the attack's stealth
+        // comes from stacking many poisons near the same popular points.
+        let k = self.anchors_per_direction.max(1);
+        let priv_anchors: Vec<usize> =
+            (0..k).filter(|_| !priv_pos.is_empty()).map(|_| popularity(&priv_pos, rng)).collect();
+        let prot_anchors: Vec<usize> =
+            (0..k).filter(|_| !prot_neg.is_empty()).map(|_| popularity(&prot_neg, rng)).collect();
+
+        // Build poisoned rows as perturbed copies of anchors.
+        let mut new_cols: Vec<Column> = (0..clean.n_features())
+            .map(|f| match clean.column(f) {
+                Column::Numeric(_) => Column::Numeric(Vec::with_capacity(n_poison)),
+                Column::Categorical(_) => Column::Categorical(Vec::with_capacity(n_poison)),
+            })
+            .collect();
+        let mut new_labels = Vec::with_capacity(n_poison);
+
+        for i in 0..n_poison {
+            // Alternate between the two attack directions (skip one if its
+            // pool is empty).
+            let (anchors, pool, label) =
+                if (i % 2 == 0 && !priv_anchors.is_empty()) || prot_anchors.is_empty() {
+                    (&priv_anchors, &priv_pos, 1u8)
+                } else {
+                    (&prot_anchors, &prot_neg, 0u8)
+                };
+            let anchor = anchors[(i / 2) % anchors.len()];
+            // Numeric coordinates are borrowed from a random *donor* of the
+            // same pool (plus a small jitter): the poison's numeric profile
+            // is statistically indistinguishable from clean same-group data,
+            // which is exactly why distance/density outlier detectors miss
+            // it (§6.7). The anchor contributes the categorical signature.
+            let donor = pool[rng.range(0, pool.len())];
+            for f in 0..clean.n_features() {
+                // Never perturb the sensitive feature: the poison must stay
+                // in the targeted group (for numeric sensitive features even
+                // a small jitter could cross the group threshold).
+                let is_sensitive = f == clean.protected().feature;
+                match (clean.column(f), &mut new_cols[f]) {
+                    (Column::Numeric(src), Column::Numeric(dst)) => {
+                        if is_sensitive {
+                            dst.push(src[anchor]);
+                        } else {
+                            let jitter = rng.normal_with(0.0, self.numeric_jitter * stds[f]);
+                            dst.push(src[donor] + jitter);
+                        }
+                    }
+                    (Column::Categorical(src), Column::Categorical(dst)) => {
+                        let n_levels = clean.schema().feature(f).kind.n_levels().expect("cat");
+                        if !is_sensitive && rng.bernoulli(self.categorical_flip_prob) {
+                            dst.push(rng.below(n_levels as u64) as u32);
+                        } else {
+                            dst.push(src[anchor]);
+                        }
+                    }
+                    _ => unreachable!("column kinds are stable"),
+                }
+            }
+            new_labels.push(label);
+        }
+
+        let injected = Dataset::new(
+            clean.schema().clone(),
+            new_cols,
+            new_labels,
+            clean.protected().clone(),
+        );
+        let data = clean.concat(&injected);
+        let mut is_poison = vec![false; n];
+        is_poison.extend(std::iter::repeat_n(true, n_poison));
+        PoisonedDataset { data, is_poison, n_poison }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::german;
+
+    #[test]
+    fn injects_requested_fraction() {
+        let clean = german(1000, 1);
+        let mut rng = Rng::new(99);
+        let attack = AnchoringAttack { poison_fraction: 0.08, ..Default::default() };
+        let poisoned = attack.run(&clean, &mut rng);
+        assert_eq!(poisoned.n_poison, 80);
+        assert_eq!(poisoned.data.n_rows(), 1080);
+        assert_eq!(poisoned.is_poison.iter().filter(|&&p| p).count(), 80);
+        // Clean prefix is untouched.
+        assert!(!poisoned.is_poison[..1000].iter().any(|&p| p));
+    }
+
+    #[test]
+    fn poisons_widen_the_group_gap() {
+        let clean = german(2000, 2);
+        let mut rng = Rng::new(100);
+        let attack = AnchoringAttack { poison_fraction: 0.10, ..Default::default() };
+        let poisoned = attack.run(&clean, &mut rng);
+        // Gap = P(y=1 | privileged) − P(y=1 | protected), before and after.
+        let gap = |d: &Dataset| {
+            let mask = d.privileged_mask();
+            let (mut pp, mut pn, mut up, mut un) = (0f64, 0f64, 0f64, 0f64);
+            for (r, &is_priv) in mask.iter().enumerate() {
+                let y = d.labels()[r] as f64;
+                if is_priv {
+                    pp += y;
+                    pn += 1.0;
+                } else {
+                    up += y;
+                    un += 1.0;
+                }
+            }
+            pp / pn - up / un
+        };
+        assert!(
+            gap(&poisoned.data) > gap(&clean),
+            "attack should widen the label gap: {} vs {}",
+            gap(&poisoned.data),
+            gap(&clean)
+        );
+    }
+
+    #[test]
+    fn poison_labels_follow_attack_direction() {
+        let clean = german(500, 3);
+        let mut rng = Rng::new(101);
+        let poisoned = AnchoringAttack::default().run(&clean, &mut rng);
+        for r in 500..poisoned.data.n_rows() {
+            let priv_ = poisoned.data.is_privileged(r);
+            let y = poisoned.data.labels()[r];
+            assert!(
+                (priv_ && y == 1) || (!priv_ && y == 0),
+                "poison row {r} has wrong direction (priv={priv_}, y={y})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "poison_fraction must be in (0, 1]")]
+    fn rejects_bad_fraction() {
+        let clean = german(100, 4);
+        let mut rng = Rng::new(102);
+        let attack = AnchoringAttack { poison_fraction: 0.0, ..Default::default() };
+        let _ = attack.run(&clean, &mut rng);
+    }
+}

@@ -1,0 +1,193 @@
+//! Feature schemas and protected-group specifications.
+
+/// The kind of a feature, together with kind-specific metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeatureKind {
+    /// A categorical feature with a fixed set of named levels. Values are
+    /// stored as indices into `levels`.
+    Categorical {
+        /// Human-readable level names, in index order.
+        levels: Vec<String>,
+    },
+    /// A real-valued feature.
+    Numeric,
+}
+
+impl FeatureKind {
+    /// Convenience constructor for a categorical kind.
+    pub fn categorical<S: Into<String>>(levels: impl IntoIterator<Item = S>) -> Self {
+        Self::Categorical { levels: levels.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of levels for categorical kinds; `None` for numeric.
+    pub fn n_levels(&self) -> Option<usize> {
+        match self {
+            Self::Categorical { levels } => Some(levels.len()),
+            Self::Numeric => None,
+        }
+    }
+}
+
+/// A named feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Feature {
+    /// Column name (e.g. `"age"`).
+    pub name: String,
+    /// Feature kind and metadata.
+    pub kind: FeatureKind,
+}
+
+impl Feature {
+    /// Creates a categorical feature.
+    pub fn categorical<S: Into<String>, L: Into<String>>(
+        name: S,
+        levels: impl IntoIterator<Item = L>,
+    ) -> Self {
+        Self { name: name.into(), kind: FeatureKind::categorical(levels) }
+    }
+
+    /// Creates a numeric feature.
+    pub fn numeric<S: Into<String>>(name: S) -> Self {
+        Self { name: name.into(), kind: FeatureKind::Numeric }
+    }
+}
+
+/// Defines the privileged group for fairness measurement.
+///
+/// The paper assumes a binary sensitive attribute `S` with `S = 1` privileged.
+/// For categorical sensitive features the privileged group is a single level;
+/// for numeric ones (e.g. `age` in German Credit) it is a threshold
+/// `value >= cutoff`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivilegedIf {
+    /// Privileged iff the categorical feature equals this level index.
+    Level(u32),
+    /// Privileged iff the numeric feature is `>= cutoff`.
+    AtLeast(f64),
+}
+
+/// Which feature is sensitive and who counts as privileged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtectedSpec {
+    /// Index of the sensitive feature in the schema.
+    pub feature: usize,
+    /// Membership rule for the privileged group.
+    pub privileged: PrivilegedIf,
+}
+
+/// A dataset schema: an ordered list of features plus label metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    features: Vec<Feature>,
+    /// Name of the binary label column (1 = favorable outcome).
+    pub label_name: String,
+}
+
+impl Schema {
+    /// Builds a schema. Feature names must be unique and non-empty.
+    ///
+    /// # Panics
+    /// On duplicate or empty feature names.
+    pub fn new(features: Vec<Feature>, label_name: impl Into<String>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for f in &features {
+            assert!(!f.name.is_empty(), "schema: empty feature name");
+            assert!(seen.insert(f.name.clone()), "schema: duplicate feature {:?}", f.name);
+        }
+        Self { features, label_name: label_name.into() }
+    }
+
+    /// The features in declaration order.
+    pub fn features(&self) -> &[Feature] {
+        &self.features
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Looks up a feature index by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.features.iter().position(|f| f.name == name)
+    }
+
+    /// The feature at `idx`.
+    ///
+    /// # Panics
+    /// If `idx` is out of range.
+    pub fn feature(&self, idx: usize) -> &Feature {
+        &self.features[idx]
+    }
+
+    /// Looks up a categorical level index by name for feature `idx`.
+    pub fn level_index(&self, idx: usize, level: &str) -> Option<u32> {
+        match &self.features[idx].kind {
+            FeatureKind::Categorical { levels } => {
+                levels.iter().position(|l| l == level).map(|p| p as u32)
+            }
+            FeatureKind::Numeric => None,
+        }
+    }
+
+    /// The display name of categorical level `level` of feature `idx`, or a
+    /// placeholder if out of range.
+    pub fn level_name(&self, idx: usize, level: u32) -> &str {
+        match &self.features[idx].kind {
+            FeatureKind::Categorical { levels } => levels
+                .get(level as usize)
+                .map(String::as_str)
+                .unwrap_or("<invalid-level>"),
+            FeatureKind::Numeric => "<numeric>",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(
+            vec![
+                Feature::categorical("color", ["red", "green", "blue"]),
+                Feature::numeric("age"),
+            ],
+            "label",
+        )
+    }
+
+    #[test]
+    fn lookup_by_name_and_level() {
+        let s = schema();
+        assert_eq!(s.feature_index("age"), Some(1));
+        assert_eq!(s.feature_index("nope"), None);
+        assert_eq!(s.level_index(0, "green"), Some(1));
+        assert_eq!(s.level_index(0, "purple"), None);
+        assert_eq!(s.level_index(1, "anything"), None, "numeric has no levels");
+        assert_eq!(s.level_name(0, 2), "blue");
+        assert_eq!(s.level_name(0, 99), "<invalid-level>");
+    }
+
+    #[test]
+    fn n_levels() {
+        let s = schema();
+        assert_eq!(s.feature(0).kind.n_levels(), Some(3));
+        assert_eq!(s.feature(1).kind.n_levels(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate feature")]
+    fn rejects_duplicate_names() {
+        Schema::new(
+            vec![Feature::numeric("x"), Feature::numeric("x")],
+            "label",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty feature name")]
+    fn rejects_empty_names() {
+        Schema::new(vec![Feature::numeric("")], "label");
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-group confusion statistics for audit reports.
+
+use gopher_data::Encoded;
+use gopher_models::Model;
+
+/// Confusion counts for one group.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionCounts {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionCounts {
+    /// Group size.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Positive-prediction rate `P(Ŷ=1)`.
+    pub fn positive_rate(&self) -> f64 {
+        ratio(self.tp + self.fp, self.total())
+    }
+
+    /// True-positive rate `P(Ŷ=1 | Y=1)`.
+    pub fn tpr(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fn_)
+    }
+
+    /// False-positive rate `P(Ŷ=1 | Y=0)`.
+    pub fn fpr(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// Positive predictive value `P(Y=1 | Ŷ=1)`.
+    pub fn ppv(&self) -> f64 {
+        ratio(self.tp, self.tp + self.fp)
+    }
+
+    /// Accuracy within the group.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.tp + self.tn, self.total())
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Confusion statistics split by group membership.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GroupStats {
+    /// Counts over privileged rows.
+    pub privileged: ConfusionCounts,
+    /// Counts over protected rows.
+    pub protected: ConfusionCounts,
+}
+
+impl GroupStats {
+    /// Overall accuracy across both groups.
+    pub fn overall_accuracy(&self) -> f64 {
+        let correct =
+            self.privileged.tp + self.privileged.tn + self.protected.tp + self.protected.tn;
+        ratio(correct, self.privileged.total() + self.protected.total())
+    }
+}
+
+/// Computes per-group confusion counts of a model on a test set.
+pub fn group_confusion<M: Model>(model: &M, test: &Encoded) -> GroupStats {
+    let mut stats = GroupStats::default();
+    for r in 0..test.n_rows() {
+        let pred = model.predict(test.x.row(r)) == 1.0;
+        let truth = test.y[r] == 1.0;
+        let counts = if test.privileged[r] {
+            &mut stats.privileged
+        } else {
+            &mut stats.protected
+        };
+        match (pred, truth) {
+            (true, true) => counts.tp += 1,
+            (true, false) => counts.fp += 1,
+            (false, false) => counts.tn += 1,
+            (false, true) => counts.fn_ += 1,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_known_counts() {
+        let c = ConfusionCounts { tp: 30, fp: 10, tn: 40, fn_: 20 };
+        assert_eq!(c.total(), 100);
+        assert!((c.positive_rate() - 0.4).abs() < 1e-12);
+        assert!((c.tpr() - 0.6).abs() < 1e-12);
+        assert!((c.fpr() - 0.2).abs() < 1e-12);
+        assert!((c.ppv() - 0.75).abs() < 1e-12);
+        assert!((c.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_counts_are_zero_not_nan() {
+        let c = ConfusionCounts::default();
+        assert_eq!(c.positive_rate(), 0.0);
+        assert_eq!(c.tpr(), 0.0);
+        assert_eq!(c.ppv(), 0.0);
+    }
+
+    #[test]
+    fn overall_accuracy_combines_groups() {
+        let stats = GroupStats {
+            privileged: ConfusionCounts { tp: 5, fp: 0, tn: 5, fn_: 0 },
+            protected: ConfusionCounts { tp: 0, fp: 5, tn: 0, fn_: 5 },
+        };
+        assert!((stats.overall_accuracy() - 0.5).abs() < 1e-12);
+    }
+}

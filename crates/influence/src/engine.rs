@@ -1,0 +1,540 @@
+//! The influence engine: precomputation and parameter-change estimators.
+
+use gopher_data::Encoded;
+use gopher_linalg::{conjugate_gradient, vecops, Cholesky, Matrix};
+use gopher_models::Model;
+
+/// Which approximation of the retraining effect to use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Estimator {
+    /// Sum of single-point influence functions (paper §4.1.1, first order).
+    FirstOrder,
+    /// Second-order group influence (paper Eq. 10 / Basu et al. 2020).
+    SecondOrder,
+    /// Matrix-free Newton step on the reduced objective (our extension).
+    NewtonStep,
+    /// One explicit gradient-descent step (paper Eq. 13) with this learning
+    /// rate.
+    OneStepGd {
+        /// Learning rate η of the single step.
+        learning_rate: f64,
+    },
+}
+
+impl Estimator {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::FirstOrder => "first-order IF",
+            Self::SecondOrder => "second-order IF",
+            Self::NewtonStep => "newton step",
+            Self::OneStepGd { .. } => "one-step GD",
+        }
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct InfluenceConfig {
+    /// Extra damping added to the Hessian before factorization (beyond the
+    /// model's own λ). Escalated automatically if factorization fails, which
+    /// happens for the non-convex MLP.
+    pub damping: f64,
+    /// Relative step for finite-difference Hessian assembly (models without
+    /// analytic Hessians).
+    pub fd_eps: f64,
+    /// CG tolerance and iteration cap for [`Estimator::NewtonStep`].
+    pub cg_tol: f64,
+    /// Maximum CG iterations.
+    pub cg_max_iter: usize,
+}
+
+impl Default for InfluenceConfig {
+    fn default() -> Self {
+        Self { damping: 1e-6, fd_eps: 1e-5, cg_tol: 1e-10, cg_max_iter: 500 }
+    }
+}
+
+/// Precomputed state for influence queries against one trained model.
+///
+/// Construction costs one pass to collect per-example gradients (`n × p`)
+/// plus the Hessian assembly (`O(n p²)` for analytic models, `2p` full-data
+/// gradient passes otherwise — this mirrors the paper's "pre-compute the
+/// gradients and Hessian at start-up"). Each subsequent query is `O(m p)`
+/// for the subset gradient plus `O(p²)` per solve.
+pub struct InfluenceEngine<M: Model> {
+    model: M,
+    /// Per-example data-term gradients at θ*, one row per training example.
+    grads: Matrix,
+    /// Damped full Hessian `H = (1/n) Σ ∇²L + λI + damping·I`.
+    hessian: Matrix,
+    chol: Cholesky,
+    /// Damping actually applied (config damping, possibly escalated).
+    damping_used: f64,
+    config: InfluenceConfig,
+    n: usize,
+}
+
+impl<M: Model> InfluenceEngine<M> {
+    /// Precomputes gradients and the factored Hessian at the model's current
+    /// parameters (assumed trained to a stationary point).
+    ///
+    /// # Panics
+    /// If the training set is empty or the Hessian cannot be made positive
+    /// definite even with escalated damping.
+    pub fn new(model: M, train: &Encoded, config: InfluenceConfig) -> Self {
+        let n = train.n_rows();
+        assert!(n > 0, "influence engine needs a non-empty training set");
+        let p = model.n_params();
+
+        // Per-example gradients.
+        let mut grads = Matrix::zeros(n, p);
+        for r in 0..n {
+            model.accumulate_grad(train.x.row(r), train.y[r], grads.row_mut(r));
+        }
+
+        // Hessian assembly.
+        let mut hessian = Matrix::zeros(p, p);
+        if model.has_analytic_hessian() {
+            for r in 0..n {
+                model.accumulate_hessian(train.x.row(r), train.y[r], &mut hessian);
+            }
+            hessian.scale(1.0 / n as f64);
+        } else {
+            // Column-wise central differences of the mean data gradient:
+            // H[:, j] ≈ (ḡ(θ + εeⱼ) − ḡ(θ − εeⱼ)) / 2ε.
+            let eps = config.fd_eps;
+            let mut gp = vec![0.0; p];
+            let mut gm = vec![0.0; p];
+            for j in 0..p {
+                let mut plus = model.clone();
+                plus.params_mut()[j] += eps;
+                let mut minus = model.clone();
+                minus.params_mut()[j] -= eps;
+                gp.iter_mut().for_each(|v| *v = 0.0);
+                gm.iter_mut().for_each(|v| *v = 0.0);
+                for r in 0..n {
+                    plus.accumulate_grad(train.x.row(r), train.y[r], &mut gp);
+                    minus.accumulate_grad(train.x.row(r), train.y[r], &mut gm);
+                }
+                let scale = 1.0 / (2.0 * eps * n as f64);
+                for i in 0..p {
+                    hessian[(i, j)] = (gp[i] - gm[i]) * scale;
+                }
+            }
+            hessian.symmetrize();
+        }
+        hessian.add_diagonal(model.l2());
+
+        let (chol, damping_used) = Cholesky::factor_damped(&hessian, config.damping, 24)
+            .expect("Hessian must factor after damping escalation");
+        // Keep the damped Hessian so all estimators see the same operator.
+        hessian.add_diagonal(damping_used);
+
+        Self { model, grads, hessian, chol, damping_used, config, n }
+    }
+
+    /// The model the engine was built around.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Number of training examples.
+    pub fn n_train(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parameters.
+    pub fn n_params(&self) -> usize {
+        self.model.n_params()
+    }
+
+    /// The damping that was actually applied to the Hessian.
+    pub fn damping_used(&self) -> f64 {
+        self.damping_used
+    }
+
+    /// The precomputed per-example gradient of training row `r`.
+    pub fn row_gradient(&self, r: usize) -> &[f64] {
+        self.grads.row(r)
+    }
+
+    /// `g_S = Σ_{z∈S} ∇L(z, θ*)` for the given training rows.
+    pub fn subset_gradient(&self, rows: &[u32]) -> Vec<f64> {
+        let mut g = vec![0.0; self.n_params()];
+        for &r in rows {
+            vecops::axpy(1.0, self.grads.row(r as usize), &mut g);
+        }
+        g
+    }
+
+    /// Applies the subset's mean Hessian (plus λI): `out = H̃_S · v`.
+    ///
+    /// Analytic models use per-row Hessian–vector products; others use a
+    /// single central difference of the subset gradient along `v` (two
+    /// subset-gradient passes).
+    pub fn subset_hessian_vec(&self, train: &Encoded, rows: &[u32], v: &[f64]) -> Vec<f64> {
+        let p = self.n_params();
+        let m = rows.len().max(1) as f64;
+        let mut out = vec![0.0; p];
+        if rows.is_empty() {
+            return out;
+        }
+        if self.model.has_analytic_hessian() {
+            for &r in rows {
+                let r = r as usize;
+                self.model.accumulate_hessian_vec(train.x.row(r), train.y[r], v, &mut out);
+            }
+        } else {
+            let vnorm = vecops::norm_inf(v);
+            if vnorm == 0.0 {
+                return out;
+            }
+            let eps = self.config.fd_eps / vnorm;
+            let mut plus = self.model.clone();
+            for (t, vi) in plus.params_mut().iter_mut().zip(v) {
+                *t += eps * vi;
+            }
+            let mut minus = self.model.clone();
+            for (t, vi) in minus.params_mut().iter_mut().zip(v) {
+                *t -= eps * vi;
+            }
+            let mut gp = vec![0.0; p];
+            let mut gm = vec![0.0; p];
+            for &r in rows {
+                let r = r as usize;
+                plus.accumulate_grad(train.x.row(r), train.y[r], &mut gp);
+                minus.accumulate_grad(train.x.row(r), train.y[r], &mut gm);
+            }
+            let scale = 1.0 / (2.0 * eps);
+            for ((o, a), b) in out.iter_mut().zip(&gp).zip(&gm) {
+                *o = (a - b) * scale;
+            }
+        }
+        // Mean over the subset, then the subset's regularizer share.
+        let l2 = self.model.l2() + self.damping_used;
+        for (o, vi) in out.iter_mut().zip(v) {
+            *o = *o / m + l2 * vi;
+        }
+        out
+    }
+
+    /// Estimated parameter change `Δθ ≈ θ̄_S − θ*` caused by removing the
+    /// given training rows and retraining.
+    pub fn param_change(&self, train: &Encoded, rows: &[u32], estimator: Estimator) -> Vec<f64> {
+        let p = self.n_params();
+        if rows.is_empty() {
+            return vec![0.0; p];
+        }
+        let n = self.n as f64;
+        let m = rows.len() as f64;
+        let g_s = self.subset_gradient(rows);
+        match estimator {
+            Estimator::FirstOrder => {
+                // Δθ = (1/n) H⁻¹ g_S.
+                let mut delta = self.chol.solve(&g_s);
+                vecops::scale(1.0 / n, &mut delta);
+                delta
+            }
+            Estimator::SecondOrder => {
+                // Δθ₁ = (1/n) H⁻¹ g̃_S;  Δθ = Δθ₁ + (m/n) H⁻¹ (H̃_S Δθ₁).
+                let g_tilde = self.add_reg_share(&g_s, m);
+                let mut d1 = self.chol.solve(&g_tilde);
+                vecops::scale(1.0 / n, &mut d1);
+                let hs_d1 = self.subset_hessian_vec(train, rows, &d1);
+                let mut corr = self.chol.solve(&hs_d1);
+                vecops::scale(m / n, &mut corr);
+                vecops::axpy(1.0, &d1, &mut corr);
+                corr
+            }
+            Estimator::NewtonStep => {
+                // Solve (nH − mH̃_S) Δθ = g̃_S by CG with a matrix-free
+                // operator. The operator is SPD whenever m < n and the
+                // damped H dominates (guaranteed for convex losses).
+                let g_tilde = self.add_reg_share(&g_s, m);
+                let apply = |v: &[f64]| -> Vec<f64> {
+                    let mut hv = self.hessian.matvec(v);
+                    vecops::scale(n, &mut hv);
+                    let hs_v = self.subset_hessian_vec(train, rows, v);
+                    vecops::axpy(-m, &hs_v, &mut hv);
+                    hv
+                };
+                let out = conjugate_gradient(
+                    apply,
+                    &g_tilde,
+                    self.config.cg_tol,
+                    self.config.cg_max_iter.min(4 * p),
+                );
+                out.x
+            }
+            Estimator::OneStepGd { learning_rate } => {
+                // Paper Eq. 13: θ̄ = θ − η(∇L(D, θ*) − (1/n) g_S), where
+                // ∇L(D, θ*) is the mean data gradient (−λθ* at the optimum).
+                let mut mean_grad = vec![0.0; p];
+                for r in 0..self.n {
+                    vecops::axpy(1.0, self.grads.row(r), &mut mean_grad);
+                }
+                vecops::scale(1.0 / n, &mut mean_grad);
+                let mut delta = vec![0.0; p];
+                for i in 0..p {
+                    delta[i] = -learning_rate * (mean_grad[i] - g_s[i] / n);
+                }
+                delta
+            }
+        }
+    }
+
+    /// `g̃_S = g_S + m(λ + damping)θ*`.
+    fn add_reg_share(&self, g_s: &[f64], m: f64) -> Vec<f64> {
+        let l2 = self.model.l2() + self.damping_used;
+        let mut g = g_s.to_vec();
+        vecops::axpy(m * l2, self.model.params(), &mut g);
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_data::generators::german;
+    use gopher_data::Encoder;
+    use gopher_models::train::{fit_newton, NewtonConfig};
+    use gopher_models::{LogisticRegression, Model};
+    use gopher_prng::Rng;
+
+    /// Ridge regression (squared loss) — quadratic, so the Newton estimator
+    /// must match exact retraining to machine precision.
+    #[derive(Debug, Clone)]
+    struct Ridge {
+        params: Vec<f64>,
+        n_inputs: usize,
+        l2: f64,
+    }
+
+    impl Model for Ridge {
+        fn n_params(&self) -> usize {
+            self.n_inputs + 1
+        }
+        fn n_inputs(&self) -> usize {
+            self.n_inputs
+        }
+        fn params(&self) -> &[f64] {
+            &self.params
+        }
+        fn params_mut(&mut self) -> &mut [f64] {
+            &mut self.params
+        }
+        fn l2(&self) -> f64 {
+            self.l2
+        }
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];
+            z.clamp(0.0, 1.0)
+        }
+        fn loss(&self, x: &[f64], y: f64) -> f64 {
+            let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];
+            0.5 * (z - y) * (z - y)
+        }
+        fn accumulate_grad(&self, x: &[f64], y: f64, out: &mut [f64]) {
+            let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];
+            let resid = z - y;
+            vecops::axpy(resid, x, &mut out[..self.n_inputs]);
+            out[self.n_inputs] += resid;
+        }
+        fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]) {
+            vecops::axpy(1.0, x, &mut out[..self.n_inputs]);
+            out[self.n_inputs] += 1.0;
+        }
+        fn has_analytic_hessian(&self) -> bool {
+            true
+        }
+        fn accumulate_hessian_vec(&self, x: &[f64], _y: f64, v: &[f64], out: &mut [f64]) {
+            let xv = vecops::dot(x, &v[..self.n_inputs]) + v[self.n_inputs];
+            vecops::axpy(xv, x, &mut out[..self.n_inputs]);
+            out[self.n_inputs] += xv;
+        }
+    }
+
+    fn random_encoded(n: usize, d: usize, seed: u64) -> Encoded {
+        let mut rng = Rng::new(seed);
+        let mut x = Matrix::zeros(n, d);
+        let mut y = Vec::with_capacity(n);
+        let mut privileged = Vec::with_capacity(n);
+        for r in 0..n {
+            for c in 0..d {
+                x[(r, c)] = rng.normal();
+            }
+            y.push(if rng.bernoulli(0.5) { 1.0 } else { 0.0 });
+            privileged.push(rng.bernoulli(0.5));
+        }
+        Encoded { x, y, privileged }
+    }
+
+    /// Closed-form ridge optimum on a dataset.
+    fn ridge_fit(data: &Encoded, l2: f64) -> Ridge {
+        let n = data.n_rows();
+        let d = data.n_cols();
+        let p = d + 1;
+        let mut h = Matrix::zeros(p, p);
+        let mut b = vec![0.0; p];
+        for r in 0..n {
+            let x = data.x.row(r);
+            for i in 0..d {
+                for j in 0..d {
+                    h[(i, j)] += x[i] * x[j];
+                }
+                h[(i, d)] += x[i];
+                h[(d, i)] += x[i];
+                b[i] += x[i] * data.y[r];
+            }
+            h[(d, d)] += 1.0;
+            b[d] += data.y[r];
+        }
+        h.scale(1.0 / n as f64);
+        h.add_diagonal(l2);
+        vecops::scale(1.0 / n as f64, &mut b);
+        let chol = Cholesky::factor(&h).unwrap();
+        let params = chol.solve(&b);
+        Ridge { params, n_inputs: d, l2 }
+    }
+
+    #[test]
+    fn newton_estimator_is_exact_for_quadratic_loss() {
+        let data = random_encoded(200, 5, 1);
+        let l2 = 0.1;
+        let model = ridge_fit(&data, l2);
+        let engine = InfluenceEngine::new(
+            model.clone(),
+            &data,
+            InfluenceConfig { damping: 0.0, ..Default::default() },
+        );
+        // Remove 15% of rows.
+        let rows: Vec<u32> = (0..30).collect();
+        let delta = engine.param_change(&data, &rows, Estimator::NewtonStep);
+        // Exact retraining on the remaining rows.
+        let keep: Vec<usize> = (30..200).collect();
+        let reduced = data.select_rows(&keep);
+        let exact = ridge_fit(&reduced, l2);
+        for j in 0..model.n_params() {
+            let predicted = model.params()[j] + delta[j];
+            assert!(
+                (predicted - exact.params()[j]).abs() < 1e-8,
+                "param {j}: newton {predicted} vs exact {}",
+                exact.params()[j]
+            );
+        }
+    }
+
+    #[test]
+    fn second_order_beats_first_order_for_quadratic_loss() {
+        let data = random_encoded(300, 4, 2);
+        let l2 = 0.05;
+        let model = ridge_fit(&data, l2);
+        let engine = InfluenceEngine::new(
+            model.clone(),
+            &data,
+            InfluenceConfig { damping: 0.0, ..Default::default() },
+        );
+        let mut fo_err = 0.0;
+        let mut so_err = 0.0;
+        let mut rng = Rng::new(3);
+        for trial in 0..5 {
+            let m = 30 + trial * 15; // 10% … 30%
+            let rows: Vec<u32> =
+                rng.sample_indices(300, m).into_iter().map(|r| r as u32).collect();
+            let keep: Vec<usize> =
+                (0..300).filter(|r| !rows.contains(&(*r as u32))).collect();
+            let exact = ridge_fit(&data.select_rows(&keep), l2);
+            let truth = vecops::sub(exact.params(), model.params());
+            let fo = engine.param_change(&data, &rows, Estimator::FirstOrder);
+            let so = engine.param_change(&data, &rows, Estimator::SecondOrder);
+            fo_err += vecops::norm2(&vecops::sub(&fo, &truth));
+            so_err += vecops::norm2(&vecops::sub(&so, &truth));
+        }
+        assert!(
+            so_err < fo_err,
+            "second order ({so_err}) should beat first order ({fo_err})"
+        );
+    }
+
+    #[test]
+    fn estimators_match_retraining_direction_on_logistic() {
+        let raw = german(600, 21);
+        let enc = Encoder::fit(&raw);
+        let data = enc.transform(&raw);
+        let mut model = LogisticRegression::new(data.n_cols(), 1e-3);
+        fit_newton(&mut model, &data, &NewtonConfig::default());
+        let engine = InfluenceEngine::new(model.clone(), &data, InfluenceConfig::default());
+        // Remove a contiguous 10% block.
+        let rows: Vec<u32> = (0..60).collect();
+        let keep: Vec<usize> = (60..600).collect();
+        let reduced = data.select_rows(&keep);
+        let mut retrained = model.clone();
+        fit_newton(&mut retrained, &reduced, &NewtonConfig::default());
+        let truth = vecops::sub(retrained.params(), model.params());
+        let truth_norm = vecops::norm2(&truth);
+        assert!(truth_norm > 1e-6, "removal must move the parameters");
+        for est in [Estimator::FirstOrder, Estimator::SecondOrder, Estimator::NewtonStep] {
+            let delta = engine.param_change(&data, &rows, est);
+            let cos = vecops::dot(&delta, &truth)
+                / (vecops::norm2(&delta) * truth_norm).max(1e-300);
+            assert!(cos > 0.9, "{}: cosine to ground truth {cos}", est.label());
+        }
+        // Newton should be the most accurate.
+        let newton = engine.param_change(&data, &rows, Estimator::NewtonStep);
+        let fo = engine.param_change(&data, &rows, Estimator::FirstOrder);
+        let newton_err = vecops::norm2(&vecops::sub(&newton, &truth));
+        let fo_err = vecops::norm2(&vecops::sub(&fo, &truth));
+        assert!(
+            newton_err <= fo_err,
+            "newton err {newton_err} should not exceed FO err {fo_err}"
+        );
+    }
+
+    #[test]
+    fn empty_subset_changes_nothing() {
+        let data = random_encoded(50, 3, 4);
+        let model = ridge_fit(&data, 0.1);
+        let engine = InfluenceEngine::new(model, &data, InfluenceConfig::default());
+        for est in [
+            Estimator::FirstOrder,
+            Estimator::SecondOrder,
+            Estimator::NewtonStep,
+            Estimator::OneStepGd { learning_rate: 0.1 },
+        ] {
+            let delta = engine.param_change(&data, &[], est);
+            assert_eq!(delta, vec![0.0; engine.n_params()], "{}", est.label());
+        }
+    }
+
+    #[test]
+    fn one_step_gd_points_along_subset_gradient() {
+        let raw = german(300, 22);
+        let enc = Encoder::fit(&raw);
+        let data = enc.transform(&raw);
+        let mut model = LogisticRegression::new(data.n_cols(), 1e-3);
+        fit_newton(&mut model, &data, &NewtonConfig::default());
+        let engine = InfluenceEngine::new(model, &data, InfluenceConfig::default());
+        let rows: Vec<u32> = (0..30).collect();
+        let delta = engine.param_change(&data, &rows, Estimator::OneStepGd { learning_rate: 0.5 });
+        let g_s = engine.subset_gradient(&rows);
+        // At the optimum, Δθ ≈ η(g_S/n + λθ*): dominated by g_S, so the
+        // directions should be strongly aligned.
+        let cos =
+            vecops::dot(&delta, &g_s) / (vecops::norm2(&delta) * vecops::norm2(&g_s)).max(1e-300);
+        assert!(cos > 0.95, "cosine {cos}");
+    }
+
+    #[test]
+    fn subset_gradient_sums_rows() {
+        let data = random_encoded(20, 3, 5);
+        let model = ridge_fit(&data, 0.2);
+        let engine = InfluenceEngine::new(model, &data, InfluenceConfig::default());
+        let g = engine.subset_gradient(&[2, 7]);
+        let expected =
+            vecops::add(engine.row_gradient(2), engine.row_gradient(7));
+        for (a, b) in g.iter().zip(&expected) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Small dense linear algebra used by the Gopher reproduction.
+//!
+//! The models in this workspace have at most a few hundred parameters, so a
+//! simple row-major dense [`Matrix`] with Cholesky factorization and conjugate
+//! gradient is all the influence-function machinery needs. Everything is
+//! `f64`, allocation-conscious, and thoroughly unit- and property-tested.
+
+mod cholesky;
+mod cg;
+mod matrix;
+pub mod vecops;
+
+pub use cg::{conjugate_gradient, CgOutcome};
+pub use cholesky::{Cholesky, CholeskyError};
+pub use matrix::Matrix;

@@ -1,0 +1,365 @@
+//! Row-major dense matrix.
+
+use crate::vecops;
+
+/// A dense row-major `rows × cols` matrix of `f64`.
+///
+/// The storage layout makes "gradient matrix" usage cheap: row `i` of an
+/// `n × p` matrix is the gradient of example `i`, and summing a subset of rows
+/// is a sequential scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested rows (convenient in tests).
+    ///
+    /// # Panics
+    /// If rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Raw row-major storage.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Panics
+    /// If `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Matrix–vector product writing into a caller-provided buffer
+    /// (no allocation; `y.len()` must equal `rows`).
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec_into: x dimension mismatch");
+        assert_eq!(y.len(), self.rows, "matvec_into: y dimension mismatch");
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = vecops::dot(self.row(i), x);
+        }
+    }
+
+    /// Transposed product `y = Aᵀ x`.
+    ///
+    /// # Panics
+    /// If `x.len() != rows`.
+    pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "matvec_t: dimension mismatch");
+        let mut y = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            vecops::axpy(xi, self.row(i), &mut y);
+        }
+        y
+    }
+
+    /// Dense matrix product `A * B`.
+    ///
+    /// # Panics
+    /// If inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        // i-k-j loop order: streams through `other` rows, cache-friendly for
+        // row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let brow = other.row(k);
+                let orow = out.row_mut(i);
+                vecops::axpy(a, brow, orow);
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Adds `alpha * x xᵀ` to this (square) matrix — the symmetric rank-1
+    /// update used to accumulate Hessians of generalized linear models.
+    ///
+    /// # Panics
+    /// If the matrix is not `x.len() × x.len()`.
+    pub fn rank1_update(&mut self, alpha: f64, x: &[f64]) {
+        assert_eq!(self.rows, x.len(), "rank1_update: dimension mismatch");
+        assert_eq!(self.cols, x.len(), "rank1_update: matrix not square");
+        for (i, &xi) in x.iter().enumerate() {
+            let scaled = alpha * xi;
+            if scaled == 0.0 {
+                continue;
+            }
+            vecops::axpy(scaled, x, self.row_mut(i));
+        }
+    }
+
+    /// Adds `alpha * I` in place (square matrices only).
+    pub fn add_diagonal(&mut self, alpha: f64) {
+        assert_eq!(self.rows, self.cols, "add_diagonal: matrix not square");
+        for i in 0..self.rows {
+            self[(i, i)] += alpha;
+        }
+    }
+
+    /// Adds `alpha * other` element-wise in place.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn add_scaled(&mut self, alpha: f64, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "add_scaled: row mismatch");
+        assert_eq!(self.cols, other.cols, "add_scaled: col mismatch");
+        vecops::axpy(alpha, &other.data, &mut self.data);
+    }
+
+    /// Multiplies every entry by `alpha`.
+    pub fn scale(&mut self, alpha: f64) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Maximum absolute entry (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        vecops::norm2(&self.data)
+    }
+
+    /// True if every entry is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Symmetrizes in place: `A ← (A + Aᵀ)/2`. Useful after accumulating a
+    /// Hessian from finite differences, which can be slightly asymmetric.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.rows, self.cols, "symmetrize: matrix not square");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.rows(), 2);
+        assert_eq!(z.cols(), 3);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(0, 1)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn matvec_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let y = a.matvec(&[1.0, -1.0]);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn matvec_t_matches_transpose_matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = [1.0, 0.5, -2.0];
+        let direct = a.matvec_t(&x);
+        let via_transpose = a.transpose().matvec(&x);
+        for (u, v) in direct.iter().zip(&via_transpose) {
+            assert_close(*u, *v, 1e-12);
+        }
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn rank1_update_builds_outer_product() {
+        let mut m = Matrix::zeros(3, 3);
+        m.rank1_update(2.0, &[1.0, 0.0, -1.0]);
+        assert_eq!(m[(0, 0)], 2.0);
+        assert_eq!(m[(0, 2)], -2.0);
+        assert_eq!(m[(2, 0)], -2.0);
+        assert_eq!(m[(2, 2)], 2.0);
+        assert_eq!(m[(1, 1)], 0.0);
+    }
+
+    #[test]
+    fn add_diagonal_and_scale() {
+        let mut m = Matrix::identity(2);
+        m.add_diagonal(1.0);
+        m.scale(0.5);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn symmetrize_averages_off_diagonals() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![4.0, 1.0]]);
+        m.symmetrize();
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec: dimension mismatch")]
+    fn matvec_rejects_wrong_length() {
+        let a = Matrix::zeros(2, 3);
+        let _ = a.matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, -4.0]]);
+        assert_close(a.frobenius_norm(), 5.0, 1e-12);
+        assert_close(a.max_abs(), 4.0, 1e-12);
+        assert!(a.is_finite());
+        let mut b = a.clone();
+        b[(0, 0)] = f64::NAN;
+        assert!(!b.is_finite());
+    }
+}

@@ -1,0 +1,139 @@
+//! Free functions on `&[f64]` slices: the handful of BLAS-1 style kernels the
+//! rest of the workspace needs, written so the compiler can autovectorize.
+
+/// Dot product. Panics in debug builds on length mismatch.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// `y += alpha * x` in place.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scales `x` in place by `alpha`.
+#[inline]
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Infinity norm (maximum absolute value); 0 for an empty slice.
+#[inline]
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+}
+
+/// Element-wise difference `a - b` as a new vector.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Returns `alpha * x` as a new vector.
+pub fn scaled(alpha: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| alpha * v).collect()
+}
+
+/// Euclidean distance between two points.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "distance: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    x.iter().sum::<f64>() / x.len() as f64
+}
+
+/// Population variance; 0 for slices with fewer than two elements.
+pub fn variance(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scaled(2.0, &[1.0, -1.0]), vec![2.0, -2.0]);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(distance(&a, &b), 5.0);
+        assert_eq!(distance(&b, &a), 5.0);
+        assert_eq!(distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[5.0]), 0.0);
+        // Population variance of {1,2,3,4} is 1.25.
+        assert!((variance(&[1.0, 2.0, 3.0, 4.0]) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+}

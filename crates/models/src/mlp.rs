@@ -1,0 +1,294 @@
+//! One-hidden-layer feed-forward network (the paper's neural classifier).
+
+use crate::{log_sigmoid, sigmoid, Model};
+use gopher_linalg::vecops;
+use gopher_prng::Rng;
+
+/// A feed-forward network with one tanh hidden layer and a sigmoid output,
+/// matching the paper's "1 layer, 10 nodes" configuration.
+///
+/// Architecture: `p(x) = σ(w₂ᵀ tanh(W₁ x + b₁) + b₂)` with cross-entropy
+/// loss. Parameter layout (a single flat vector, enabling generic
+/// finite-difference Hessians):
+///
+/// ```text
+/// [ W₁ row 0 | W₁ row 1 | … | W₁ row h−1 | b₁ | w₂ | b₂ ]
+/// ```
+///
+/// The loss is non-convex, so the Hessian at the optimum may be indefinite;
+/// the influence engine damps it (see `gopher-influence`). There is no cheap
+/// exact per-example Hessian, so this model keeps the trait's
+/// finite-difference defaults (`has_analytic_hessian() == false`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    params: Vec<f64>,
+    n_inputs: usize,
+    hidden: usize,
+    l2: f64,
+}
+
+/// Intermediate activations reused between forward and backward passes.
+struct Forward {
+    /// Hidden activations `tanh(W₁x + b₁)`.
+    h: Vec<f64>,
+    /// Output probability.
+    p: f64,
+    /// Pre-sigmoid output.
+    z: f64,
+}
+
+impl Mlp {
+    /// Creates an MLP with `hidden` tanh units and small random initial
+    /// weights (scaled by 1/√fan-in, drawn from `rng`).
+    ///
+    /// # Panics
+    /// If `hidden == 0` or `l2` is negative/non-finite.
+    pub fn new(n_inputs: usize, hidden: usize, l2: f64, rng: &mut Rng) -> Self {
+        assert!(hidden > 0, "mlp needs at least one hidden unit");
+        assert!(l2 >= 0.0 && l2.is_finite(), "l2 must be a non-negative finite value");
+        let n_params = hidden * n_inputs + hidden + hidden + 1;
+        let mut params = Vec::with_capacity(n_params);
+        let w1_scale = 1.0 / (n_inputs as f64).sqrt();
+        for _ in 0..hidden * n_inputs {
+            params.push(rng.normal_with(0.0, w1_scale));
+        }
+        params.extend(std::iter::repeat_n(0.0, hidden)); // b₁
+        let w2_scale = 1.0 / (hidden as f64).sqrt();
+        for _ in 0..hidden {
+            params.push(rng.normal_with(0.0, w2_scale));
+        }
+        params.push(0.0); // b₂
+        Self { params, n_inputs, hidden, l2 }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden_units(&self) -> usize {
+        self.hidden
+    }
+
+    #[inline]
+    fn w1_row(&self, unit: usize) -> &[f64] {
+        let start = unit * self.n_inputs;
+        &self.params[start..start + self.n_inputs]
+    }
+
+    #[inline]
+    fn b1(&self) -> &[f64] {
+        let start = self.hidden * self.n_inputs;
+        &self.params[start..start + self.hidden]
+    }
+
+    #[inline]
+    fn w2(&self) -> &[f64] {
+        let start = self.hidden * self.n_inputs + self.hidden;
+        &self.params[start..start + self.hidden]
+    }
+
+    #[inline]
+    fn b2(&self) -> f64 {
+        self.params[self.params.len() - 1]
+    }
+
+    fn forward(&self, x: &[f64]) -> Forward {
+        debug_assert_eq!(x.len(), self.n_inputs);
+        let mut h = Vec::with_capacity(self.hidden);
+        let b1 = self.b1();
+        for unit in 0..self.hidden {
+            let a = vecops::dot(self.w1_row(unit), x) + b1[unit];
+            h.push(a.tanh());
+        }
+        let z = vecops::dot(self.w2(), &h) + self.b2();
+        Forward { p: sigmoid(z), h, z }
+    }
+
+    /// Backpropagates `dz` (the derivative of the scalar objective w.r.t. the
+    /// pre-sigmoid output `z`) into the parameter-gradient buffer.
+    fn backprop(&self, x: &[f64], fwd: &Forward, dz: f64, out: &mut [f64]) {
+        let h = &fwd.h;
+        let w2 = self.w2();
+        let d = self.n_inputs;
+        let hidden = self.hidden;
+        // Output layer.
+        let w2_start = hidden * d + hidden;
+        for (i, &hi) in h.iter().enumerate() {
+            out[w2_start + i] += dz * hi;
+        }
+        out[hidden * d + hidden + hidden] += dz; // b₂
+        // Hidden layer.
+        for unit in 0..hidden {
+            let da = dz * w2[unit] * (1.0 - h[unit] * h[unit]);
+            if da == 0.0 {
+                continue;
+            }
+            let row = &mut out[unit * d..(unit + 1) * d];
+            vecops::axpy(da, x, row);
+            out[hidden * d + unit] += da; // b₁
+        }
+    }
+}
+
+impl Model for Mlp {
+    fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    fn params_mut(&mut self) -> &mut [f64] {
+        &mut self.params
+    }
+
+    fn l2(&self) -> f64 {
+        self.l2
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.forward(x).p
+    }
+
+    fn loss(&self, x: &[f64], y: f64) -> f64 {
+        let fwd = self.forward(x);
+        -(y * log_sigmoid(fwd.z) + (1.0 - y) * log_sigmoid(-fwd.z))
+    }
+
+    fn accumulate_grad(&self, x: &[f64], y: f64, out: &mut [f64]) {
+        let fwd = self.forward(x);
+        self.backprop(x, &fwd, fwd.p - y, out);
+    }
+
+    fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]) {
+        let fwd = self.forward(x);
+        self.backprop(x, &fwd, fwd.p * (1.0 - fwd.p), out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> Mlp {
+        let mut rng = Rng::new(42);
+        Mlp::new(3, 4, 0.0, &mut rng)
+    }
+
+    #[test]
+    fn parameter_layout_sizes() {
+        let m = model();
+        assert_eq!(m.n_params(), 4 * 3 + 4 + 4 + 1);
+        assert_eq!(m.n_inputs(), 3);
+        assert_eq!(m.hidden_units(), 4);
+    }
+
+    #[test]
+    fn loss_matches_cross_entropy_of_proba() {
+        let m = model();
+        let x = [0.5, -1.0, 2.0];
+        let p = m.predict_proba(&x);
+        assert!((m.loss(&x, 1.0) + p.ln()).abs() < 1e-10);
+        assert!((m.loss(&x, 0.0) + (1.0 - p).ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let m = model();
+        let x = [0.5, -1.0, 2.0];
+        for &y in &[0.0, 1.0] {
+            let mut g = vec![0.0; m.n_params()];
+            m.accumulate_grad(&x, y, &mut g);
+            let eps = 1e-6;
+            for j in 0..m.n_params() {
+                let mut mp = m.clone();
+                mp.params_mut()[j] += eps;
+                let mut mm = m.clone();
+                mm.params_mut()[j] -= eps;
+                let fd = (mp.loss(&x, y) - mm.loss(&x, y)) / (2.0 * eps);
+                assert!(
+                    (g[j] - fd).abs() < 1e-5,
+                    "y={y} param {j}: analytic {} vs fd {fd}",
+                    g[j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_proba_matches_finite_difference() {
+        let m = model();
+        let x = [0.2, 0.8, -0.4];
+        let mut g = vec![0.0; m.n_params()];
+        m.accumulate_grad_proba(&x, &mut g);
+        let eps = 1e-6;
+        for j in 0..m.n_params() {
+            let mut mp = m.clone();
+            mp.params_mut()[j] += eps;
+            let mut mm = m.clone();
+            mm.params_mut()[j] -= eps;
+            let fd = (mp.predict_proba(&x) - mm.predict_proba(&x)) / (2.0 * eps);
+            assert!((g[j] - fd).abs() < 1e-6, "param {j}: {} vs {fd}", g[j]);
+        }
+    }
+
+    #[test]
+    fn finite_diff_hessian_is_symmetric_enough() {
+        let m = model();
+        let x = [0.5, -1.0, 2.0];
+        let p = m.n_params();
+        let mut h = gopher_linalg::Matrix::zeros(p, p);
+        m.accumulate_hessian(&x, 1.0, &mut h);
+        for i in 0..p {
+            for j in 0..p {
+                assert!(
+                    (h[(i, j)] - h[(j, i)]).abs() < 1e-4,
+                    "asymmetry at ({i},{j}): {} vs {}",
+                    h[(i, j)],
+                    h[(j, i)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_vec_matches_gradient_difference() {
+        // Directly validate H·v ≈ (∇L(θ+εv) − ∇L(θ−εv)) / 2ε with an
+        // independent ε from the one the default uses.
+        let m = model();
+        let x = [0.5, -1.0, 2.0];
+        let y = 0.0;
+        let pn = m.n_params();
+        let v: Vec<f64> = (0..pn).map(|i| ((i % 5) as f64 - 2.0) * 0.3).collect();
+        let mut hv = vec![0.0; pn];
+        m.accumulate_hessian_vec(&x, y, &v, &mut hv);
+        let eps = 3e-5;
+        let mut mp = m.clone();
+        for (t, vi) in mp.params_mut().iter_mut().zip(&v) {
+            *t += eps * vi;
+        }
+        let mut mm = m.clone();
+        for (t, vi) in mm.params_mut().iter_mut().zip(&v) {
+            *t -= eps * vi;
+        }
+        let mut gp = vec![0.0; pn];
+        let mut gm = vec![0.0; pn];
+        mp.accumulate_grad(&x, y, &mut gp);
+        mm.accumulate_grad(&x, y, &mut gm);
+        for j in 0..pn {
+            let fd = (gp[j] - gm[j]) / (2.0 * eps);
+            assert!((hv[j] - fd).abs() < 1e-4, "param {j}: {} vs {fd}", hv[j]);
+        }
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let mut r1 = Rng::new(7);
+        let mut r2 = Rng::new(7);
+        let a = Mlp::new(5, 3, 0.01, &mut r1);
+        let b = Mlp::new(5, 3, 0.01, &mut r2);
+        assert_eq!(a, b);
+    }
+}

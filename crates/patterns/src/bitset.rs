@@ -1,0 +1,170 @@
+//! Packed bitset over training-row ids.
+
+/// A fixed-capacity bitset over row indices `0..len`, packed into `u64`
+/// words. Pattern coverage sets are intersected constantly during the
+/// lattice search, so `and`/`count` work word-at-a-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over `len` rows.
+    pub fn new(len: usize) -> Self {
+        Self { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// A set over `len` rows with the given members.
+    pub fn from_indices(len: usize, indices: &[u32]) -> Self {
+        let mut s = Self::new(len);
+        for &i in indices {
+            s.insert(i as usize);
+        }
+        s
+    }
+
+    /// Universe size (number of rows, not number of members).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Adds a row id.
+    ///
+    /// # Panics
+    /// If `i >= len` (debug builds index-check the word array anyway).
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bitset: index {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        if i >= self.len {
+            return false;
+        }
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// New set = self ∩ other.
+    ///
+    /// # Panics
+    /// If universe sizes differ.
+    pub fn and(&self, other: &BitSet) -> BitSet {
+        assert_eq!(self.len, other.len, "bitset: universe mismatch");
+        BitSet {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            len: self.len,
+        }
+    }
+
+    /// Size of the intersection without materializing it.
+    pub fn intersection_count(&self, other: &BitSet) -> usize {
+        assert_eq!(self.len, other.len, "bitset: universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Members as sorted row ids.
+    pub fn to_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count());
+        for (w_idx, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push((w_idx * 64 + bit) as u32);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Iterates members as row ids in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(w_idx, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some((w_idx * 64 + bit) as u32)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_count() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert_eq!(s.count(), 4);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1));
+        assert!(!s.contains(500), "out of range is simply absent");
+    }
+
+    #[test]
+    fn and_and_intersection_count_agree() {
+        let a = BitSet::from_indices(100, &[1, 5, 50, 64, 99]);
+        let b = BitSet::from_indices(100, &[5, 50, 65, 99]);
+        let i = a.and(&b);
+        assert_eq!(i.to_indices(), vec![5, 50, 99]);
+        assert_eq!(a.intersection_count(&b), 3);
+    }
+
+    #[test]
+    fn to_indices_round_trips() {
+        let idx = vec![0u32, 7, 63, 64, 127, 128];
+        let s = BitSet::from_indices(200, &idx);
+        assert_eq!(s.to_indices(), idx);
+        assert_eq!(s.iter().collect::<Vec<_>>(), idx);
+    }
+
+    #[test]
+    fn empty_intersection() {
+        let a = BitSet::from_indices(64, &[0, 1, 2]);
+        let b = BitSet::from_indices(64, &[3, 4, 5]);
+        assert!(a.and(&b).is_empty());
+        assert_eq!(a.intersection_count(&b), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn and_rejects_mismatched_universes() {
+        let a = BitSet::new(10);
+        let b = BitSet::new(20);
+        let _ = a.and(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_rejects_out_of_range() {
+        let mut s = BitSet::new(10);
+        s.insert(10);
+    }
+}

@@ -1,0 +1,217 @@
+//! Candidate predicate generation (the `Φ₁` loop of Algorithm 1).
+
+use crate::bitset::BitSet;
+use crate::predicate::Predicate;
+use gopher_data::binning::Bins;
+use gopher_data::{Column, Dataset, FeatureKind};
+
+/// All candidate predicates over a dataset, each with its precomputed
+/// coverage bitset.
+///
+/// * categorical feature, level `v` → `X = v`;
+/// * numeric feature, bin threshold `t` → `X < t` and `X ≥ t` (the paper's
+///   `X = val` comparison is meaningless for binned numerics and omitted;
+///   ranges arise as `X ≥ a ∧ X < b` during merging).
+///
+/// Predicates whose support is below the threshold or above
+/// `1 − support_threshold`'s complement… are *kept* here — support filtering
+/// belongs to the lattice (it owns the threshold); generation only drops
+/// empty and full coverage sets, which can never appear in a useful pattern.
+#[derive(Debug, Clone)]
+pub struct PredicateTable {
+    predicates: Vec<Predicate>,
+    coverage: Vec<BitSet>,
+    n_rows: usize,
+}
+
+impl PredicateTable {
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True if no predicates were generated.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Number of dataset rows the coverage bitsets range over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// The predicate with the given id.
+    pub fn predicate(&self, id: u16) -> &Predicate {
+        &self.predicates[id as usize]
+    }
+
+    /// The coverage of the predicate with the given id.
+    pub fn coverage(&self, id: u16) -> &BitSet {
+        &self.coverage[id as usize]
+    }
+
+    /// Iterates `(id, predicate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &Predicate)> {
+        self.predicates.iter().enumerate().map(|(i, p)| (i as u16, p))
+    }
+}
+
+/// Generates the candidate predicates for a dataset, binning numeric
+/// features into at most `max_bins` quantile bins (paper §4.2: binning both
+/// shrinks the search space and prevents near-duplicate explanations).
+///
+/// # Panics
+/// If the number of generated predicates exceeds `u16::MAX` (raise the
+/// binning coarseness instead of hitting this).
+pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
+    let n = data.n_rows();
+    let mut predicates: Vec<Predicate> = Vec::new();
+    let mut coverage: Vec<BitSet> = Vec::new();
+
+    fn push_into(
+        predicates: &mut Vec<Predicate>,
+        coverage: &mut Vec<BitSet>,
+        n: usize,
+        pred: Predicate,
+        cov: BitSet,
+    ) {
+        let count = cov.count();
+        if count == 0 || count == n {
+            return; // useless: never or always true
+        }
+        assert!(
+            predicates.len() < u16::MAX as usize,
+            "too many candidate predicates; use coarser binning"
+        );
+        predicates.push(pred);
+        coverage.push(cov);
+    }
+
+    for (f, feat) in data.schema().features().iter().enumerate() {
+        match (&feat.kind, data.column(f)) {
+            (FeatureKind::Categorical { levels }, Column::Categorical(vals)) => {
+                for level in 0..levels.len() as u32 {
+                    let mut cov = BitSet::new(n);
+                    for (r, &v) in vals.iter().enumerate() {
+                        if v == level {
+                            cov.insert(r);
+                        }
+                    }
+                    push_into(&mut predicates, &mut coverage, n, Predicate::eq_level(f, level), cov);
+                }
+            }
+            (FeatureKind::Numeric, Column::Numeric(vals)) => {
+                let bins = Bins::quantile(vals, max_bins);
+                for &t in bins.thresholds() {
+                    let mut lt_cov = BitSet::new(n);
+                    let mut ge_cov = BitSet::new(n);
+                    for (r, &v) in vals.iter().enumerate() {
+                        if v < t {
+                            lt_cov.insert(r);
+                        } else {
+                            ge_cov.insert(r);
+                        }
+                    }
+                    push_into(&mut predicates, &mut coverage, n, Predicate::lt(f, t), lt_cov);
+                    push_into(&mut predicates, &mut coverage, n, Predicate::ge(f, t), ge_cov);
+                }
+            }
+            _ => unreachable!("dataset validated against schema"),
+        }
+    }
+
+    // The sensitive attribute's group boundary is always a candidate
+    // threshold: fairness explanations routinely need exactly that split
+    // (e.g. `age >= 45` in German Credit), and quantile bins have no reason
+    // to land on it.
+    if let gopher_data::schema::PrivilegedIf::AtLeast(cutoff) = data.protected().privileged {
+        let f = data.protected().feature;
+        let already = predicates
+            .iter()
+            .any(|p: &Predicate| p.feature == f && matches!(p.value, crate::PredValue::Threshold(t) if t == cutoff));
+        if !already {
+            if let Column::Numeric(vals) = data.column(f) {
+                let mut lt_cov = BitSet::new(n);
+                let mut ge_cov = BitSet::new(n);
+                for (r, &v) in vals.iter().enumerate() {
+                    if v < cutoff {
+                        lt_cov.insert(r);
+                    } else {
+                        ge_cov.insert(r);
+                    }
+                }
+                push_into(&mut predicates, &mut coverage, n, Predicate::lt(f, cutoff), lt_cov);
+                push_into(&mut predicates, &mut coverage, n, Predicate::ge(f, cutoff), ge_cov);
+            }
+        }
+    }
+
+    PredicateTable { predicates, coverage, n_rows: n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_data::generators::german;
+    use gopher_data::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
+
+    #[test]
+    fn coverage_matches_matches() {
+        let d = german(200, 51);
+        let table = generate_predicates(&d, 4);
+        assert!(!table.is_empty());
+        for (id, pred) in table.iter() {
+            let cov = table.coverage(id);
+            for r in 0..d.n_rows() {
+                assert_eq!(
+                    cov.contains(r),
+                    pred.matches(&d, r),
+                    "coverage mismatch for {:?} at row {r}",
+                    pred
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lt_and_ge_partition_rows() {
+        let d = german(300, 52);
+        let table = generate_predicates(&d, 4);
+        // Every numeric threshold generates complementary covers.
+        for (id, pred) in table.iter() {
+            if pred.op == crate::Op::Lt {
+                // Find the Ge twin (generated right after).
+                let twin = table.predicate(id + 1);
+                if twin.feature == pred.feature && twin.op == crate::Op::Ge {
+                    let total = table.coverage(id).count() + table.coverage(id + 1).count();
+                    assert_eq!(total, d.n_rows());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_full_predicates_are_dropped() {
+        // A categorical column where one level never occurs.
+        let schema = Schema::new(vec![Feature::categorical("c", ["a", "b", "never"])], "y");
+        let d = Dataset::new(
+            schema,
+            vec![Column::Categorical(vec![0, 1, 0, 1])],
+            vec![0, 1, 0, 1],
+            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+        );
+        let table = generate_predicates(&d, 4);
+        // Only the two occurring levels produce predicates.
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn german_has_reasonable_candidate_count() {
+        let d = german(1000, 53);
+        let table = generate_predicates(&d, 4);
+        // 13 features, mostly categorical with 2–5 levels + numeric bins:
+        // expect tens of predicates, not thousands.
+        assert!(table.len() >= 30, "{}", table.len());
+        assert!(table.len() <= 120, "{}", table.len());
+    }
+}

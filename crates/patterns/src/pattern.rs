@@ -1,0 +1,128 @@
+//! Conjunctive patterns (sets of predicate ids).
+
+use crate::candidates::PredicateTable;
+use gopher_data::Schema;
+
+/// A pattern: a conjunction of predicates, stored as sorted ids into a
+/// [`PredicateTable`]. Sorted storage makes prefix-join merging and
+/// deduplication cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pattern {
+    ids: Vec<u16>,
+}
+
+impl Pattern {
+    /// A single-predicate pattern.
+    pub fn singleton(id: u16) -> Self {
+        Self { ids: vec![id] }
+    }
+
+    /// Builds a pattern from predicate ids (sorted and deduplicated).
+    pub fn from_ids(mut ids: Vec<u16>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        Self { ids }
+    }
+
+    /// The sorted predicate ids.
+    pub fn ids(&self) -> &[u16] {
+        &self.ids
+    }
+
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True for the (never constructed) empty pattern.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Merges two size-k patterns that share k−1 predicates into a size-(k+1)
+    /// pattern; returns `None` if they do not overlap in exactly k−1 ids.
+    pub fn merge(&self, other: &Pattern) -> Option<Pattern> {
+        if self.ids.len() != other.ids.len() {
+            return None;
+        }
+        let k = self.ids.len();
+        // Count common ids (both sorted).
+        let mut common = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < k && j < k {
+            match self.ids[i].cmp(&other.ids[j]) {
+                std::cmp::Ordering::Equal => {
+                    common += 1;
+                    i += 1;
+                    j += 1;
+                }
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+            }
+        }
+        if common != k - 1 {
+            return None;
+        }
+        let mut ids = self.ids.clone();
+        ids.extend_from_slice(&other.ids);
+        Some(Pattern::from_ids(ids))
+    }
+
+    /// The ids in `self` not present in `other`.
+    pub fn difference(&self, other: &Pattern) -> Vec<u16> {
+        self.ids.iter().copied().filter(|id| !other.ids.contains(id)).collect()
+    }
+
+    /// Renders the pattern as `pred ∧ pred ∧ …` with schema names.
+    pub fn render(&self, table: &PredicateTable, schema: &Schema) -> String {
+        self.ids
+            .iter()
+            .map(|&id| table.predicate(id).render(schema))
+            .collect::<Vec<_>>()
+            .join(" ∧ ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ids_sorts_and_dedups() {
+        let p = Pattern::from_ids(vec![5, 1, 5, 3]);
+        assert_eq!(p.ids(), &[1, 3, 5]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn merge_requires_k_minus_one_overlap() {
+        let a = Pattern::from_ids(vec![1, 2]);
+        let b = Pattern::from_ids(vec![1, 3]);
+        let c = Pattern::from_ids(vec![3, 4]);
+        assert_eq!(a.merge(&b).unwrap().ids(), &[1, 2, 3]);
+        assert!(a.merge(&c).is_none(), "disjoint pairs cannot merge");
+        assert!(a.merge(&a).is_none(), "identical patterns share k ids, not k-1");
+    }
+
+    #[test]
+    fn merge_rejects_different_sizes() {
+        let a = Pattern::from_ids(vec![1]);
+        let b = Pattern::from_ids(vec![1, 2]);
+        assert!(a.merge(&b).is_none());
+    }
+
+    #[test]
+    fn singletons_merge_into_pairs() {
+        let a = Pattern::singleton(7);
+        let b = Pattern::singleton(2);
+        assert_eq!(a.merge(&b).unwrap().ids(), &[2, 7]);
+    }
+
+    #[test]
+    fn difference_finds_novel_ids() {
+        let a = Pattern::from_ids(vec![1, 2, 3]);
+        let b = Pattern::from_ids(vec![1, 3, 4]);
+        assert_eq!(a.difference(&b), vec![2]);
+        assert_eq!(b.difference(&a), vec![4]);
+    }
+}

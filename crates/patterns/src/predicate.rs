@@ -1,0 +1,171 @@
+//! Single-feature predicates.
+
+use gopher_data::{Column, Dataset, Schema};
+
+/// Comparison operator of a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Equality on a categorical level.
+    Eq,
+    /// `value < threshold` on a numeric feature.
+    Lt,
+    /// `value >= threshold` on a numeric feature.
+    Ge,
+}
+
+/// The comparison constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PredValue {
+    /// Categorical level index.
+    Level(u32),
+    /// Numeric threshold.
+    Threshold(f64),
+}
+
+/// An atomic predicate `feature op value` (paper Definition 3.3 restricts
+/// patterns to conjunctions of exactly these shapes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Predicate {
+    /// Schema feature index.
+    pub feature: usize,
+    /// Comparison operator.
+    pub op: Op,
+    /// Comparison constant.
+    pub value: PredValue,
+}
+
+impl Predicate {
+    /// Equality predicate on a categorical level.
+    pub fn eq_level(feature: usize, level: u32) -> Self {
+        Self { feature, op: Op::Eq, value: PredValue::Level(level) }
+    }
+
+    /// `feature < threshold` on a numeric feature.
+    pub fn lt(feature: usize, threshold: f64) -> Self {
+        Self { feature, op: Op::Lt, value: PredValue::Threshold(threshold) }
+    }
+
+    /// `feature >= threshold` on a numeric feature.
+    pub fn ge(feature: usize, threshold: f64) -> Self {
+        Self { feature, op: Op::Ge, value: PredValue::Threshold(threshold) }
+    }
+
+    /// Whether a dataset row satisfies the predicate.
+    pub fn matches(&self, data: &Dataset, row: usize) -> bool {
+        match (data.column(self.feature), self.op, self.value) {
+            (Column::Categorical(vals), Op::Eq, PredValue::Level(l)) => vals[row] == l,
+            (Column::Numeric(vals), Op::Lt, PredValue::Threshold(t)) => vals[row] < t,
+            (Column::Numeric(vals), Op::Ge, PredValue::Threshold(t)) => vals[row] >= t,
+            _ => panic!("predicate kind does not match column kind"),
+        }
+    }
+
+    /// Whether two predicates can never (usefully) co-occur in one pattern:
+    /// either their conjunction is unsatisfiable or one subsumes the other.
+    ///
+    /// * `X = a ∧ X = b` (a ≠ b) — unsatisfiable; `X = a ∧ X = a` — redundant.
+    /// * `X < a ∧ X < b` — one subsumes the other.
+    /// * `X ≥ a ∧ X ≥ b` — one subsumes the other.
+    /// * `X < a ∧ X ≥ b` with `b ≥ a` — empty range. With `b < a` the pair
+    ///   forms the interval `[b, a)` and is *allowed* (this is how range
+    ///   patterns like `Age ∈ [25, 45)` arise).
+    pub fn conflicts_with(&self, other: &Predicate) -> bool {
+        if self.feature != other.feature {
+            return false;
+        }
+        match (self.op, self.value, other.op, other.value) {
+            (Op::Eq, _, Op::Eq, _) => true,
+            (Op::Lt, _, Op::Lt, _) | (Op::Ge, _, Op::Ge, _) => true,
+            (Op::Lt, PredValue::Threshold(a), Op::Ge, PredValue::Threshold(b))
+            | (Op::Ge, PredValue::Threshold(b), Op::Lt, PredValue::Threshold(a)) => b >= a,
+            // Mixed Eq with Lt/Ge on the same feature cannot occur (features
+            // are either categorical or numeric), but be conservative.
+            _ => true,
+        }
+    }
+
+    /// Renders the predicate with feature/level names from the schema.
+    pub fn render(&self, schema: &Schema) -> String {
+        let name = &schema.feature(self.feature).name;
+        match (self.op, self.value) {
+            (Op::Eq, PredValue::Level(l)) => {
+                format!("{name} = {}", schema.level_name(self.feature, l))
+            }
+            (Op::Lt, PredValue::Threshold(t)) => format!("{name} < {t}"),
+            (Op::Ge, PredValue::Threshold(t)) => format!("{name} >= {t}"),
+            _ => unreachable!("op/value validated at construction"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_data::schema::{Feature, PrivilegedIf, ProtectedSpec};
+
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Feature::categorical("color", ["red", "blue"]),
+                Feature::numeric("age"),
+            ],
+            "y",
+        );
+        Dataset::new(
+            schema,
+            vec![
+                Column::Categorical(vec![0, 1, 0]),
+                Column::Numeric(vec![20.0, 45.0, 60.0]),
+            ],
+            vec![0, 1, 1],
+            ProtectedSpec { feature: 1, privileged: PrivilegedIf::AtLeast(45.0) },
+        )
+    }
+
+    #[test]
+    fn matches_each_op() {
+        let d = toy();
+        let eq = Predicate::eq_level(0, 0);
+        assert!(eq.matches(&d, 0));
+        assert!(!eq.matches(&d, 1));
+        let lt = Predicate::lt(1, 45.0);
+        assert!(lt.matches(&d, 0));
+        assert!(!lt.matches(&d, 1), "threshold itself is not < threshold");
+        let ge = Predicate::ge(1, 45.0);
+        assert!(ge.matches(&d, 1));
+        assert!(!ge.matches(&d, 0));
+    }
+
+    #[test]
+    fn conflict_rules() {
+        let eq_red = Predicate::eq_level(0, 0);
+        let eq_blue = Predicate::eq_level(0, 1);
+        assert!(eq_red.conflicts_with(&eq_blue), "different levels conflict");
+        assert!(eq_red.conflicts_with(&eq_red), "same predicate is redundant");
+
+        let lt45 = Predicate::lt(1, 45.0);
+        let lt60 = Predicate::lt(1, 60.0);
+        assert!(lt45.conflicts_with(&lt60), "subsumption conflicts");
+
+        let ge25 = Predicate::ge(1, 25.0);
+        let ge45 = Predicate::ge(1, 45.0);
+        assert!(ge25.conflicts_with(&ge45));
+
+        // Valid range: age in [25, 45).
+        assert!(!lt45.conflicts_with(&ge25));
+        assert!(!ge25.conflicts_with(&lt45));
+        // Empty range: age >= 45 and age < 45.
+        assert!(lt45.conflicts_with(&ge45));
+
+        // Different features never conflict.
+        assert!(!eq_red.conflicts_with(&lt45));
+    }
+
+    #[test]
+    fn renders_names() {
+        let d = toy();
+        assert_eq!(Predicate::eq_level(0, 1).render(d.schema()), "color = blue");
+        assert_eq!(Predicate::ge(1, 45.0).render(d.schema()), "age >= 45");
+        assert_eq!(Predicate::lt(1, 45.0).render(d.schema()), "age < 45");
+    }
+}

@@ -1,0 +1,146 @@
+//! Weighted categorical sampling.
+
+use crate::Rng;
+
+/// A categorical (discrete) distribution over `0..k` built from non-negative
+/// weights. Sampling is O(log k) via binary search over the cumulative sum.
+///
+/// Weights do not need to be normalized. Zero-weight categories are never
+/// drawn; at least one weight must be positive.
+///
+/// ```
+/// use gopher_prng::{Categorical, Rng};
+/// let dist = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = Rng::new(0);
+/// let x = dist.sample(&mut rng);
+/// assert!(x == 0 || x == 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    /// Strictly increasing cumulative weights; last entry is the total.
+    cumulative: Vec<f64>,
+}
+
+/// Error for invalid categorical weights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CategoricalError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative or non-finite.
+    InvalidWeight(usize),
+    /// All weights were zero.
+    ZeroTotal,
+}
+
+impl std::fmt::Display for CategoricalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Empty => write!(f, "categorical distribution needs at least one weight"),
+            Self::InvalidWeight(i) => write!(f, "weight {i} is negative or non-finite"),
+            Self::ZeroTotal => write!(f, "all categorical weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for CategoricalError {}
+
+impl Categorical {
+    /// Builds the distribution, validating the weights.
+    pub fn new(weights: &[f64]) -> Result<Self, CategoricalError> {
+        if weights.is_empty() {
+            return Err(CategoricalError::Empty);
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(CategoricalError::InvalidWeight(i));
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(CategoricalError::ZeroTotal);
+        }
+        Ok(Self { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there are no categories (never true for a constructed value).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws a category index proportional to its weight.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let target = rng.uniform() * total;
+        // partition_point returns the first index with cumulative > target.
+        let idx = self.cumulative.partition_point(|&c| c <= target);
+        idx.min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(Categorical::new(&[]).unwrap_err(), CategoricalError::Empty);
+        assert_eq!(
+            Categorical::new(&[1.0, -0.5]).unwrap_err(),
+            CategoricalError::InvalidWeight(1)
+        );
+        assert_eq!(
+            Categorical::new(&[1.0, f64::NAN]).unwrap_err(),
+            CategoricalError::InvalidWeight(1)
+        );
+        assert_eq!(
+            Categorical::new(&[0.0, 0.0]).unwrap_err(),
+            CategoricalError::ZeroTotal
+        );
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let dist = Categorical::new(&[1.0, 2.0, 7.0]).unwrap();
+        let mut rng = Rng::new(11);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let expected = [0.1, 0.2, 0.7];
+        for i in 0..3 {
+            let frac = counts[i] as f64 / n as f64;
+            assert!(
+                (frac - expected[i]).abs() < 0.01,
+                "category {i}: {frac} vs {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_drawn() {
+        let dist = Categorical::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = Rng::new(12);
+        for _ in 0..10_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn single_category_always_drawn() {
+        let dist = Categorical::new(&[5.0]).unwrap();
+        let mut rng = Rng::new(13);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the Gopher reproduction workspace.
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! integration tests (and downstream users who want a single dependency)
+//! can write `use gopher_repro::prelude::*`.
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`gopher_core`] — the explainer (start at [`gopher_core::Gopher`]);
+//! * [`gopher_data`] — datasets, encoding, generators, poisoning;
+//! * [`gopher_models`] — logistic regression / SVM / MLP + trainers;
+//! * [`gopher_fairness`] — fairness metrics and their gradients;
+//! * [`gopher_influence`] — influence-function estimators;
+//! * [`gopher_patterns`] — predicates, lattice search, top-k selection;
+//! * [`gopher_linalg`] / [`gopher_prng`] — numeric substrate.
+
+pub use gopher_core;
+pub use gopher_data;
+pub use gopher_fairness;
+pub use gopher_influence;
+pub use gopher_linalg;
+pub use gopher_models;
+pub use gopher_patterns;
+pub use gopher_prng;
+
+/// The names almost every consumer needs.
+pub mod prelude {
+    pub use gopher_core::{Gopher, GopherConfig, UpdateConfig};
+    pub use gopher_data::generators::{adult, german, sqf};
+    pub use gopher_data::{Dataset, Encoded, Encoder};
+    pub use gopher_fairness::FairnessMetric;
+    pub use gopher_influence::{BiasEval, Estimator};
+    pub use gopher_models::train::{fit_default, fit_gd, fit_newton};
+    pub use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
+    pub use gopher_patterns::LatticeConfig;
+    pub use gopher_prng::Rng;
+}

@@ -1,0 +1,118 @@
+//! Property-based tests on dataset operations and fairness-metric edge
+//! cases that the unit tests don't reach.
+
+use gopher_data::generators::german;
+use gopher_fairness::{bias, bias_gradient, smooth_bias, FairnessMetric};
+use gopher_models::{LogisticRegression, Model};
+use gopher_prng::Rng;
+use gopher_repro::prelude::{Encoder, Gopher, GopherConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn train_test_split_partitions_rows(seed in 0u64..500, frac in 0.1f64..0.9) {
+        let data = german(200, seed);
+        let mut rng = Rng::new(seed);
+        let (train, test) = data.train_test_split(frac, &mut rng);
+        prop_assert_eq!(train.n_rows() + test.n_rows(), 200);
+        prop_assert_eq!(test.n_rows(), (200.0 * frac) as usize);
+        // Multisets of labels are preserved.
+        let mut all: Vec<u8> = train.labels().to_vec();
+        all.extend_from_slice(test.labels());
+        all.sort_unstable();
+        let mut orig = data.labels().to_vec();
+        orig.sort_unstable();
+        prop_assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn replicate_preserves_rates(seed in 0u64..200, factor in 1usize..5) {
+        let data = german(120, seed);
+        let rep = data.replicate(factor);
+        prop_assert_eq!(rep.n_rows(), 120 * factor);
+        prop_assert!((rep.positive_rate() - data.positive_rate()).abs() < 1e-12);
+        let orig_priv = data.privileged_mask().iter().filter(|&&p| p).count();
+        let rep_priv = rep.privileged_mask().iter().filter(|&&p| p).count();
+        prop_assert_eq!(rep_priv, orig_priv * factor);
+    }
+
+    #[test]
+    fn concat_is_associative_on_row_counts(seed in 0u64..200) {
+        let a = german(40, seed);
+        let b = german(30, seed + 1);
+        let c = german(20, seed + 2);
+        let left = a.concat(&b).concat(&c);
+        let right = a.concat(&b.concat(&c));
+        prop_assert_eq!(left, right);
+    }
+}
+
+#[test]
+fn bias_is_antisymmetric_under_group_swap() {
+    // Swapping every row's group membership must negate statistical parity.
+    let data = german(400, 42);
+    let enc = Encoder::fit(&data);
+    let mut e = enc.transform(&data);
+    let mut model = LogisticRegression::new(e.n_cols(), 1e-3);
+    gopher_models::train::fit_default(&mut model, &e);
+    let before = bias(FairnessMetric::StatisticalParity, &model, &e);
+    e.privileged.iter_mut().for_each(|p| *p = !*p);
+    let after = bias(FairnessMetric::StatisticalParity, &model, &e);
+    assert!((before + after).abs() < 1e-12, "{before} vs {after}");
+}
+
+#[test]
+fn gradient_is_finite_when_one_group_has_no_positives() {
+    // Degenerate predictive-parity case: a model that predicts almost no
+    // positives for one group must still produce a finite gradient.
+    let data = german(300, 43);
+    let enc = Encoder::fit(&data);
+    let e = enc.transform(&data);
+    let model = LogisticRegression::new(e.n_cols(), 1e-3); // untrained: p = 0.5
+    for metric in FairnessMetric::ALL {
+        let g = bias_gradient(metric, &model, &e);
+        assert!(g.iter().all(|v| v.is_finite()), "{metric}: non-finite gradient");
+        assert!(smooth_bias(metric, &model, &e).is_finite());
+    }
+}
+
+#[test]
+fn explainer_rejects_mismatched_model_width() {
+    let data = german(100, 44);
+    let mut rng = Rng::new(44);
+    let (train, test) = data.train_test_split(0.3, &mut rng);
+    let wrong = LogisticRegression::new(3, 1e-3); // far too narrow
+    let result = std::panic::catch_unwind(|| {
+        Gopher::new(wrong, &train, &test, GopherConfig::default())
+    });
+    assert!(result.is_err(), "mismatched widths must be rejected");
+}
+
+#[test]
+fn encoded_width_is_stable_across_splits() {
+    // The encoder is always fit on train; test rows must encode to the same
+    // width even if some level never occurs in the test split.
+    let data = german(150, 45);
+    let mut rng = Rng::new(45);
+    let (train, test) = data.train_test_split(0.2, &mut rng);
+    let enc = Encoder::fit(&train);
+    assert_eq!(enc.transform(&train).n_cols(), enc.transform(&test).n_cols());
+}
+
+#[test]
+fn models_expose_consistent_dimensions() {
+    let data = german(100, 46);
+    let enc = Encoder::fit(&data);
+    let e = enc.transform(&data);
+    let d = e.n_cols();
+    let lr = LogisticRegression::new(d, 0.0);
+    assert_eq!(lr.n_inputs(), d);
+    assert_eq!(lr.n_params(), d + 1);
+    assert_eq!(lr.params().len(), lr.n_params());
+    let mut rng = Rng::new(46);
+    let mlp = gopher_models::Mlp::new(d, 5, 0.0, &mut rng);
+    assert_eq!(mlp.n_inputs(), d);
+    assert_eq!(mlp.n_params(), 5 * d + 5 + 5 + 1);
+}

@@ -1,0 +1,162 @@
+//! Integration tests for estimator fidelity (the Figure 3 claims):
+//! second-order influence tracks ground truth better than first-order for
+//! cohesive subsets, and all estimators agree with retraining on direction.
+
+use gopher_influence::{
+    retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
+};
+use gopher_repro::prelude::*;
+
+struct Setup {
+    train: Encoded,
+    test: Encoded,
+    engine: InfluenceEngine<LogisticRegression>,
+}
+
+fn setup(seed: u64) -> Setup {
+    let mut rng = Rng::new(seed);
+    let (train_raw, test_raw) = german(800, seed).train_test_split(0.3, &mut rng);
+    let encoder = Encoder::fit(&train_raw);
+    let train = encoder.transform(&train_raw);
+    let test = encoder.transform(&test_raw);
+    let mut model = LogisticRegression::new(train.n_cols(), 1e-3);
+    fit_default(&mut model, &train);
+    let engine = InfluenceEngine::new(model, &train, InfluenceConfig::default());
+    Setup { train, test, engine }
+}
+
+/// Deterministic cohesive subsets: rows of one gender within an age band.
+fn cohesive_subsets(train: &Encoded) -> Vec<Vec<u32>> {
+    // The encoded German data has the privileged flag available; combine it
+    // with the label to build four group-coherent subsets.
+    let mut subsets = vec![Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    for r in 0..train.n_rows() {
+        let g = usize::from(train.privileged[r]) * 2 + usize::from(train.y[r] == 1.0);
+        subsets[g].push(r as u32);
+    }
+    // Truncate to at most 15% of the data each so the estimates stay in the
+    // regime influence functions are designed for.
+    let cap = train.n_rows() * 15 / 100;
+    for s in &mut subsets {
+        s.truncate(cap);
+    }
+    subsets.retain(|s| !s.is_empty());
+    subsets
+}
+
+#[test]
+fn estimators_match_ground_truth_sign_for_group_subsets() {
+    let s = setup(301);
+    let bi = BiasInfluence::new(&s.engine, FairnessMetric::StatisticalParity, &s.test);
+    for rows in cohesive_subsets(&s.train) {
+        let outcome = retrain_without(s.engine.model(), &s.train, &rows);
+        let gt = gopher_fairness::smooth_bias(
+            FairnessMetric::StatisticalParity,
+            &outcome.model,
+            &s.test,
+        ) - bi.base_smooth_bias();
+        if gt.abs() < 5e-3 {
+            continue; // too small for a stable sign comparison
+        }
+        for est in [Estimator::FirstOrder, Estimator::SecondOrder, Estimator::NewtonStep] {
+            let pred = bi.bias_change(&s.train, &rows, est, BiasEval::ChainRule);
+            assert_eq!(
+                pred.signum(),
+                gt.signum(),
+                "{}: predicted {pred}, ground truth {gt}",
+                est.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn second_order_beats_first_order_in_aggregate() {
+    let s = setup(302);
+    let bi = BiasInfluence::new(&s.engine, FairnessMetric::StatisticalParity, &s.test);
+    let mut fo_err = 0.0;
+    let mut so_err = 0.0;
+    for rows in cohesive_subsets(&s.train) {
+        let outcome = retrain_without(s.engine.model(), &s.train, &rows);
+        let gt = gopher_fairness::smooth_bias(
+            FairnessMetric::StatisticalParity,
+            &outcome.model,
+            &s.test,
+        ) - bi.base_smooth_bias();
+        fo_err +=
+            (bi.bias_change(&s.train, &rows, Estimator::FirstOrder, BiasEval::ChainRule) - gt).abs();
+        so_err += (bi.bias_change(&s.train, &rows, Estimator::SecondOrder, BiasEval::ChainRule)
+            - gt)
+            .abs();
+    }
+    assert!(
+        so_err < fo_err,
+        "second order total error {so_err} should beat first order {fo_err}"
+    );
+}
+
+#[test]
+fn newton_step_is_at_least_as_good_as_second_order() {
+    let s = setup(303);
+    let bi = BiasInfluence::new(&s.engine, FairnessMetric::StatisticalParity, &s.test);
+    let mut so_err = 0.0;
+    let mut newton_err = 0.0;
+    for rows in cohesive_subsets(&s.train) {
+        let outcome = retrain_without(s.engine.model(), &s.train, &rows);
+        let gt = gopher_fairness::smooth_bias(
+            FairnessMetric::StatisticalParity,
+            &outcome.model,
+            &s.test,
+        ) - bi.base_smooth_bias();
+        so_err += (bi.bias_change(&s.train, &rows, Estimator::SecondOrder, BiasEval::ChainRule)
+            - gt)
+            .abs();
+        newton_err += (bi.bias_change(&s.train, &rows, Estimator::NewtonStep, BiasEval::ChainRule)
+            - gt)
+            .abs();
+    }
+    assert!(
+        newton_err <= so_err * 1.05 + 1e-9,
+        "newton {newton_err} should not be worse than second order {so_err}"
+    );
+}
+
+#[test]
+fn estimator_quality_holds_for_all_metrics() {
+    let s = setup(304);
+    for metric in FairnessMetric::ALL {
+        let bi = BiasInfluence::new(&s.engine, metric, &s.test);
+        if bi.base_bias().abs() < 1e-6 {
+            continue;
+        }
+        for rows in cohesive_subsets(&s.train) {
+            let outcome = retrain_without(s.engine.model(), &s.train, &rows);
+            let gt = gopher_fairness::smooth_bias(metric, &outcome.model, &s.test)
+                - bi.base_smooth_bias();
+            let so = bi.bias_change(&s.train, &rows, Estimator::SecondOrder, BiasEval::ChainRule);
+            // Within 50% relative error plus a small absolute tolerance.
+            assert!(
+                (so - gt).abs() <= 0.5 * gt.abs() + 0.02,
+                "{metric}: estimate {so} vs ground truth {gt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn responsibility_scales_with_subset_impact() {
+    // A bigger bias-aligned subset must get (weakly) larger responsibility.
+    let s = setup(305);
+    let bi = BiasInfluence::new(&s.engine, FairnessMetric::StatisticalParity, &s.test);
+    let aligned: Vec<u32> = (0..s.train.n_rows() as u32)
+        .filter(|&r| s.train.privileged[r as usize] && s.train.y[r as usize] == 1.0)
+        .collect();
+    let small = &aligned[..aligned.len() / 4];
+    let large = &aligned[..aligned.len() / 2];
+    let r_small =
+        bi.responsibility(&s.train, small, Estimator::SecondOrder, BiasEval::ChainRule);
+    let r_large =
+        bi.responsibility(&s.train, large, Estimator::SecondOrder, BiasEval::ChainRule);
+    assert!(r_small > 0.0);
+    assert!(r_large > r_small, "doubling the subset should increase responsibility");
+}

@@ -55,8 +55,10 @@ fn bench_pruning(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_lattice_pruning");
     group.sample_size(10);
-    for (name, prune) in [("responsibility_pruning_on", true), ("responsibility_pruning_off", false)]
-    {
+    for (name, prune) in [
+        ("responsibility_pruning_on", true),
+        ("responsibility_pruning_off", false),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &prune, |b, &prune| {
             let config = LatticeConfig {
                 support_threshold: 0.05,

@@ -22,9 +22,13 @@ fn bench_fig4(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("first_order", &label), &rows, |b, rows| {
             b.iter(|| engine.param_change(&p.train, rows, Estimator::FirstOrder));
         });
-        group.bench_with_input(BenchmarkId::new("second_order", &label), &rows, |b, rows| {
-            b.iter(|| engine.param_change(&p.train, rows, Estimator::SecondOrder));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("second_order", &label),
+            &rows,
+            |b, rows| {
+                b.iter(|| engine.param_change(&p.train, rows, Estimator::SecondOrder));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("one_step_gd", &label), &rows, |b, rows| {
             b.iter(|| {
                 engine.param_change(&p.train, rows, Estimator::OneStepGd { learning_rate: 1.0 })

@@ -28,9 +28,13 @@ fn bench_fig5(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("first_order", &label), &rows, |b, rows| {
             b.iter(|| engine.param_change(&train, rows, Estimator::FirstOrder));
         });
-        group.bench_with_input(BenchmarkId::new("second_order", &label), &rows, |b, rows| {
-            b.iter(|| engine.param_change(&train, rows, Estimator::SecondOrder));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("second_order", &label),
+            &rows,
+            |b, rows| {
+                b.iter(|| engine.param_change(&train, rows, Estimator::SecondOrder));
+            },
+        );
     }
     group.finish();
 }

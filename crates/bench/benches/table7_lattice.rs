@@ -47,7 +47,11 @@ fn bench_table7(c: &mut Criterion) {
     }
 
     // Filtering cost over the full candidate set.
-    let config = LatticeConfig { support_threshold: 0.05, max_predicates: 3, ..Default::default() };
+    let config = LatticeConfig {
+        support_threshold: 0.05,
+        max_predicates: 3,
+        ..Default::default()
+    };
     let (candidates, _) = lattice::compute_candidates(
         &table,
         |cov| {

@@ -62,7 +62,11 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
-    Ok(Args { experiment, scale, seed })
+    Ok(Args {
+        experiment,
+        scale,
+        seed,
+    })
 }
 
 fn main() {
@@ -86,8 +90,13 @@ fn main() {
             let t0 = std::time::Instant::now();
             let report = body();
             writeln!(out, "{report}").expect("stdout");
-            writeln!(out, "[{} finished in {:.1}s]\n", name, t0.elapsed().as_secs_f64())
-                .expect("stdout");
+            writeln!(
+                out,
+                "[{} finished in {:.1}s]\n",
+                name,
+                t0.elapsed().as_secs_f64()
+            )
+            .expect("stdout");
         }
     };
 
@@ -98,8 +107,11 @@ fn main() {
     });
     run("fig4", &mut || experiments::fig4(1_000, seed, true));
     run("fig5", &mut || {
-        let factors: &[usize] =
-            if paper { &[50, 100, 200, 400, 800, 1600] } else { &[50, 100, 200, 400] };
+        let factors: &[usize] = if paper {
+            &[50, 100, 200, 400, 800, 1600]
+        } else {
+            &[50, 100, 200, 400]
+        };
         experiments::fig5(factors, seed)
     });
     run("table1", &mut || {
@@ -108,20 +120,37 @@ fn main() {
     run("table2", &mut || {
         experiments::table_explanations(DatasetKind::Adult, args.scale, seed)
     });
-    run("table3", &mut || experiments::table_explanations(DatasetKind::Sqf, args.scale, seed));
-    run("table4", &mut || experiments::table_updates(DatasetKind::German, args.scale, seed));
-    run("table5", &mut || experiments::table_updates(DatasetKind::Adult, args.scale, seed));
-    run("table6", &mut || experiments::table_updates(DatasetKind::Sqf, args.scale, seed));
+    run("table3", &mut || {
+        experiments::table_explanations(DatasetKind::Sqf, args.scale, seed)
+    });
+    run("table4", &mut || {
+        experiments::table_updates(DatasetKind::German, args.scale, seed)
+    });
+    run("table5", &mut || {
+        experiments::table_updates(DatasetKind::Adult, args.scale, seed)
+    });
+    run("table6", &mut || {
+        experiments::table_updates(DatasetKind::Sqf, args.scale, seed)
+    });
     run("table7", &mut || {
         let max_level = if paper { 6 } else { 4 };
         experiments::table7(1_000, max_level, seed)
     });
-    run("fotree", &mut || experiments::fotree(DatasetKind::German, args.scale, seed));
-    run("poison", &mut || experiments::poison(if paper { 2_000 } else { 1_000 }, seed));
-    run("ablation", &mut || experiments::ablations(if paper { 1_000 } else { 600 }, seed));
+    run("fotree", &mut || {
+        experiments::fotree(DatasetKind::German, args.scale, seed)
+    });
+    run("poison", &mut || {
+        experiments::poison(if paper { 2_000 } else { 1_000 }, seed)
+    });
+    run("ablation", &mut || {
+        experiments::ablations(if paper { 1_000 } else { 600 }, seed)
+    });
 
     if !ran_any {
-        eprintln!("error: unknown experiment {:?} (try --help)", args.experiment);
+        eprintln!(
+            "error: unknown experiment {:?} (try --help)",
+            args.experiment
+        );
         std::process::exit(2);
     }
 }

@@ -6,10 +6,14 @@
 //! ground-truth influence (% of baseline bias), and report the mean absolute
 //! error of each estimator's bias-change estimate — the paper's y-axis.
 
-use crate::workloads::{cohesive_subset, prepare, random_subset, train_lr, train_mlp, train_svm, DatasetKind};
+use crate::workloads::{
+    cohesive_subset, prepare, random_subset, train_lr, train_mlp, train_svm, DatasetKind,
+};
 use gopher_core::report::TextTable;
 use gopher_fairness::FairnessMetric;
-use gopher_influence::{retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_influence::{
+    retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
+};
 use gopher_models::Model;
 use gopher_prng::Rng;
 
@@ -114,8 +118,8 @@ fn fig3_generic<M: Model>(
         let mut buckets = vec![BucketErr::default(); 3];
         for rows in &subsets {
             let outcome = retrain_without(engine.model(), &p.train, rows);
-            let gt_change =
-                gopher_fairness::smooth_bias(metric, &outcome.model, &p.test) - bi.base_smooth_bias();
+            let gt_change = gopher_fairness::smooth_bias(metric, &outcome.model, &p.test)
+                - bi.base_smooth_bias();
             let rel = 100.0 * (-gt_change) / base;
             let Some(bucket) = bucket_of(rel, &edges) else {
                 continue;

@@ -24,7 +24,10 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
         model.clone(),
         &p.train_raw,
         &p.test_raw,
-        GopherConfig { ground_truth_for_topk: true, ..Default::default() },
+        GopherConfig {
+            ground_truth_for_topk: true,
+            ..Default::default()
+        },
     );
     let report = gopher.explain();
 
@@ -33,7 +36,12 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
     let bi = BiasInfluence::new(&engine, FairnessMetric::StatisticalParity, &p.test);
     let influence: Vec<f64> = (0..p.train.n_rows())
         .map(|r| {
-            bi.responsibility(&p.train, &[r as u32], Estimator::FirstOrder, BiasEval::ChainRule)
+            bi.responsibility(
+                &p.train,
+                &[r as u32],
+                Estimator::FirstOrder,
+                BiasEval::ChainRule,
+            )
         })
         .collect();
     let tree = FoTree::fit(&p.train_raw, &influence, &FoTreeConfig::default());
@@ -50,7 +58,9 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
             "Gopher".into(),
             e.pattern_text.clone(),
             pct(e.support),
-            e.ground_truth_responsibility.map(pct).unwrap_or_else(|| "-".into()),
+            e.ground_truth_responsibility
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     for node in &nodes {

@@ -38,8 +38,13 @@ pub fn table7(n_rows: usize, max_level: usize, seed: u64) -> String {
     out.push_str(&format!(
         "== Table 7: lattice scalability (German, τ = 5%, top-5 filtering, n = {n_rows}) ==\n\n"
     ));
-    let mut table =
-        TextTable::new(&["Level", "Execution", "Filtering", "#candidates (level)", "#cumulative"]);
+    let mut table = TextTable::new(&[
+        "Level",
+        "Execution",
+        "Filtering",
+        "#candidates (level)",
+        "#cumulative",
+    ]);
     let mut cumulative = 0usize;
     let mut upto: Vec<gopher_patterns::Candidate> = Vec::new();
     let mut by_level: std::collections::BTreeMap<usize, Vec<&gopher_patterns::Candidate>> =
@@ -66,7 +71,10 @@ pub fn table7(n_rows: usize, max_level: usize, seed: u64) -> String {
         ]);
     }
     out.push_str(&table.render());
-    out.push_str(&format!("\ntotal responsibility evaluations: {}\n", stats.total_scored));
+    out.push_str(&format!(
+        "\ntotal responsibility evaluations: {}\n",
+        stats.total_scored
+    ));
     out
 }
 
@@ -110,7 +118,10 @@ pub fn ablations(n_rows: usize, seed: u64) -> String {
         let engine = InfluenceEngine::new(
             model.clone(),
             &p.train,
-            InfluenceConfig { damping, ..Default::default() },
+            InfluenceConfig {
+                damping,
+                ..Default::default()
+            },
         );
         let bi = BiasInfluence::new(&engine, metric, &p.test);
         let err: f64 = subsets
@@ -193,7 +204,13 @@ mod tests {
         assert!(report.contains("Level"));
         assert!(report.contains("Filtering"));
         // Levels 1..=3 present.
-        assert!(report.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count() >= 2);
+        assert!(
+            report
+                .lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count()
+                >= 2
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub fn poison(n_rows: usize, seed: u64) -> String {
     let clean = DatasetKind::German.generate(n_rows, seed);
     for fraction in [0.04, 0.08, 0.12] {
         let mut rng = Rng::new(seed ^ (fraction * 1000.0) as u64);
-        let attack = AnchoringAttack { poison_fraction: fraction, ..Default::default() };
+        let attack = AnchoringAttack {
+            poison_fraction: fraction,
+            ..Default::default()
+        };
         let poisoned = attack.run(&clean, &mut rng);
 
         let encoder = Encoder::fit(&poisoned.data);

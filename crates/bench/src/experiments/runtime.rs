@@ -24,7 +24,12 @@ pub fn fig4(n_rows: usize, seed: u64, include_mlp: bool) -> String {
     out.push_str(&fig4_model("Logistic regression", train_lr(&p), &p, seed));
     out.push_str(&fig4_model("SVM", train_svm(&p), &p, seed));
     if include_mlp {
-        out.push_str(&fig4_model("Neural network", train_mlp(&p, 10, seed), &p, seed));
+        out.push_str(&fig4_model(
+            "Neural network",
+            train_mlp(&p, 10, seed),
+            &p,
+            seed,
+        ));
     }
     out
 }

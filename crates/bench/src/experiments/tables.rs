@@ -62,7 +62,10 @@ impl GopherAny {
     pub fn explain_with_updates(
         &self,
         cfg: &UpdateConfig,
-    ) -> (gopher_core::ExplanationReport, Vec<gopher_core::UpdateExplanation>) {
+    ) -> (
+        gopher_core::ExplanationReport,
+        Vec<gopher_core::UpdateExplanation>,
+    ) {
         match self {
             Self::Lr(g) => g.explain_with_updates(cfg),
             Self::Svm(g) => g.explain_with_updates(cfg),
@@ -94,7 +97,9 @@ pub fn table_explanations(kind: DatasetKind, scale: Scale, seed: u64) -> String 
         table.row_owned(vec![
             e.pattern_text.clone(),
             pct(e.support),
-            e.ground_truth_responsibility.map(pct).unwrap_or_else(|| "-".into()),
+            e.ground_truth_responsibility
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     format!(
@@ -114,7 +119,15 @@ pub fn table_explanations(kind: DatasetKind, scale: Scale, seed: u64) -> String 
 pub fn table_updates(kind: DatasetKind, scale: Scale, seed: u64) -> String {
     let n = scale.rows(kind);
     let p = prepare(kind, n, seed);
-    let gopher = gopher_for(kind, &p, seed, GopherConfig { ground_truth_for_topk: true, ..Default::default() });
+    let gopher = gopher_for(
+        kind,
+        &p,
+        seed,
+        GopherConfig {
+            ground_truth_for_topk: true,
+            ..Default::default()
+        },
+    );
     let t0 = std::time::Instant::now();
     let (report, updates) = gopher.explain_with_updates(&UpdateConfig::default());
     let total = t0.elapsed();
@@ -135,7 +148,11 @@ pub fn table_updates(kind: DatasetKind, scale: Scale, seed: u64) -> String {
         let changes = if u.changes.is_empty() {
             "(numeric/sub-threshold changes only)".to_string()
         } else {
-            u.changes.iter().map(|c| c.render(schema)).collect::<Vec<_>>().join("; ")
+            u.changes
+                .iter()
+                .map(|c| c.render(schema))
+                .collect::<Vec<_>>()
+                .join("; ")
         };
         table.row_owned(vec![
             e.pattern_text.clone(),
@@ -182,7 +199,11 @@ mod tests {
             |cols| LinearSvm::new(cols, 1e-3),
             &p.train_raw,
             &p.test_raw,
-            GopherConfig { k: 2, ground_truth_for_topk: false, ..Default::default() },
+            GopherConfig {
+                k: 2,
+                ground_truth_for_topk: false,
+                ..Default::default()
+            },
         ));
         let report = g.explain();
         assert!(report.base_bias > 0.0);
@@ -197,10 +218,15 @@ mod tests {
             DatasetKind::German,
             &p,
             4,
-            GopherConfig { k: 1, ..Default::default() },
+            GopherConfig {
+                k: 1,
+                ..Default::default()
+            },
         );
-        let (report, updates) =
-            gopher.explain_with_updates(&UpdateConfig { max_iters: 20, ..Default::default() });
+        let (report, updates) = gopher.explain_with_updates(&UpdateConfig {
+            max_iters: 20,
+            ..Default::default()
+        });
         assert_eq!(report.explanations.len(), updates.len());
     }
 }

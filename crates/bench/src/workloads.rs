@@ -83,7 +83,13 @@ pub fn prepare(kind: DatasetKind, n: usize, seed: u64) -> Prepared {
     let encoder = Encoder::fit(&train_raw);
     let train = encoder.transform(&train_raw);
     let test = encoder.transform(&test_raw);
-    Prepared { train_raw, test_raw, encoder, train, test }
+    Prepared {
+        train_raw,
+        test_raw,
+        encoder,
+        train,
+        test,
+    }
 }
 
 /// Trains logistic regression (Newton) on the prepared data.
@@ -107,7 +113,12 @@ pub fn train_mlp(p: &Prepared, hidden: usize, seed: u64) -> Mlp {
     fit_gd(
         &mut model,
         &p.train,
-        &GdConfig { learning_rate: 0.3, max_epochs: 4000, grad_tol: 1e-5, momentum: 0.9 },
+        &GdConfig {
+            learning_rate: 0.3,
+            max_epochs: 4000,
+            grad_tol: 1e-5,
+            momentum: 0.9,
+        },
     );
     model
 }
@@ -115,7 +126,10 @@ pub fn train_mlp(p: &Prepared, hidden: usize, seed: u64) -> Mlp {
 /// Samples a random subset of the given fraction of training rows.
 pub fn random_subset(n_rows: usize, fraction: f64, rng: &mut Rng) -> Vec<u32> {
     let m = ((n_rows as f64) * fraction).round().max(1.0) as usize;
-    rng.sample_indices(n_rows, m.min(n_rows)).into_iter().map(|r| r as u32).collect()
+    rng.sample_indices(n_rows, m.min(n_rows))
+        .into_iter()
+        .map(|r| r as u32)
+        .collect()
 }
 
 /// Samples a *cohesive* subset: rows agreeing with a randomly chosen row on

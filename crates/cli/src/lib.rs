@@ -1,0 +1,10 @@
+//! Library half of the `gopher` CLI.
+//!
+//! The binary (`src/main.rs`) does the argument parsing and orchestration;
+//! this crate exposes the pieces worth reusing and testing in isolation:
+//!
+//! * [`json`] — a dependency-free JSON value tree with a writer and a strict
+//!   parser (used both to emit `--json` reports and, from the integration
+//!   tests, to validate that those reports round-trip).
+
+pub mod json;

@@ -1,0 +1,570 @@
+//! `gopher` — fairness debugging from the shell.
+//!
+//! Wraps the workspace's explanation pipeline in three subcommands:
+//!
+//! * `gopher explain` — train a model on a synthetic dataset, then run the
+//!   paper's top-k pattern search and print (or emit as JSON) the
+//!   explanations;
+//! * `gopher audit` — train a model and print every fairness metric plus
+//!   per-group confusion counts;
+//! * `gopher report` — `audit` + `explain` combined into one JSON document
+//!   (implies `--json`).
+//!
+//! Run `gopher --help` for the full flag reference.
+
+use gopher_cli::json::Json;
+use gopher_core::{Gopher, GopherConfig};
+use gopher_data::generators::{adult, german, sqf};
+use gopher_data::{Dataset, Encoder};
+use gopher_fairness::{
+    bias, disparate_impact_ratio, equalized_odds_gap, group_confusion, smooth_bias,
+    ConfusionCounts, FairnessMetric,
+};
+use gopher_influence::Estimator;
+use gopher_models::train::{accuracy, fit_default};
+use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
+use gopher_prng::Rng;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+const HELP: &str = "\
+gopher — interpretable data-based explanations for fairness debugging
+
+USAGE:
+    gopher <explain|audit|report> [OPTIONS]
+
+SUBCOMMANDS:
+    explain    top-k training-data patterns responsible for model bias
+    audit      fairness metrics and per-group confusion for a trained model
+    report     audit + explain as one JSON document (implies --json)
+
+COMMON OPTIONS:
+    --data <NAME>           dataset generator: german | adult | sqf [german]
+    --rows <N>              rows to generate [1000]
+    --model <NAME>          model family: lr | svm | mlp [lr]
+    --metric <NAME>         statistical-parity | equal-opportunity |
+                            predictive-parity | average-odds [statistical-parity]
+    --seed <N>              RNG seed for generation, split and training [42]
+    --test-fraction <F>     held-out fraction for the audit set [0.3]
+    --l2 <LAMBDA>           L2 regularization strength [1e-3]
+    --json                  emit a JSON report on stdout instead of text
+
+EXPLAIN OPTIONS:
+    --k <N>                 number of explanations [3]
+    --support <TAU>         minimum pattern support threshold [0.05]
+    --max-predicates <D>    maximum predicates per pattern [3]
+    --estimator <NAME>      first-order | second-order | newton |
+                            one-step-gd [second-order]
+    --learning-rate <ETA>   step size for one-step-gd [1.0]
+    --ground-truth          retrain without each top pattern to verify it
+
+EXAMPLES:
+    gopher explain --data german --k 3 --json
+    gopher audit --data adult --model mlp --metric equal-opportunity
+    gopher report --data sqf --k 5 --support 0.1
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(UsageError::Help) => {
+            print!("{HELP}");
+            ExitCode::SUCCESS
+        }
+        Err(UsageError::Bad(msg)) => {
+            eprintln!("gopher: {msg}");
+            eprintln!("Run `gopher --help` for usage.");
+            ExitCode::from(2)
+        }
+    }
+}
+
+enum UsageError {
+    Help,
+    Bad(String),
+}
+
+fn bad(msg: impl Into<String>) -> UsageError {
+    UsageError::Bad(msg.into())
+}
+
+/// Everything the subcommands share, parsed from the flag list.
+struct Opts {
+    data: String,
+    rows: usize,
+    model: String,
+    metric: FairnessMetric,
+    seed: u64,
+    test_fraction: f64,
+    l2: f64,
+    json: bool,
+    k: usize,
+    support: f64,
+    max_predicates: usize,
+    estimator: Estimator,
+    ground_truth: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Self {
+            data: "german".into(),
+            rows: 1000,
+            model: "lr".into(),
+            metric: FairnessMetric::StatisticalParity,
+            seed: 42,
+            test_fraction: 0.3,
+            l2: 1e-3,
+            json: false,
+            k: 3,
+            support: 0.05,
+            max_predicates: 3,
+            estimator: Estimator::SecondOrder,
+            ground_truth: false,
+        }
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
+    let mut opts = Opts::default();
+    let mut learning_rate = 1.0f64;
+    let mut estimator_name = String::from("second-order");
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, UsageError> {
+            it.next()
+                .ok_or_else(|| bad(format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--help" | "-h" => return Err(UsageError::Help),
+            "--json" => opts.json = true,
+            "--ground-truth" => opts.ground_truth = true,
+            "--data" => opts.data = value("--data")?.clone(),
+            "--model" => opts.model = value("--model")?.clone(),
+            "--rows" => opts.rows = parse_num(value("--rows")?, "--rows")?,
+            "--seed" => opts.seed = parse_num(value("--seed")?, "--seed")?,
+            "--k" => opts.k = parse_num(value("--k")?, "--k")?,
+            "--max-predicates" => {
+                opts.max_predicates = parse_num(value("--max-predicates")?, "--max-predicates")?
+            }
+            "--support" => opts.support = parse_num(value("--support")?, "--support")?,
+            "--test-fraction" => {
+                opts.test_fraction = parse_num(value("--test-fraction")?, "--test-fraction")?
+            }
+            "--l2" => opts.l2 = parse_num(value("--l2")?, "--l2")?,
+            "--learning-rate" => {
+                learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
+            }
+            "--metric" => {
+                opts.metric = match value("--metric")?.as_str() {
+                    "statistical-parity" | "spd" => FairnessMetric::StatisticalParity,
+                    "equal-opportunity" | "eo" => FairnessMetric::EqualOpportunity,
+                    "predictive-parity" | "pp" => FairnessMetric::PredictiveParity,
+                    "average-odds" | "ao" => FairnessMetric::AverageOdds,
+                    other => return Err(bad(format!("unknown metric `{other}`"))),
+                }
+            }
+            "--estimator" => estimator_name = value("--estimator")?.clone(),
+            other => return Err(bad(format!("unknown flag `{other}`"))),
+        }
+    }
+    opts.estimator = match estimator_name.as_str() {
+        "first-order" | "fo" => Estimator::FirstOrder,
+        "second-order" | "so" => Estimator::SecondOrder,
+        "newton" => Estimator::NewtonStep,
+        "one-step-gd" | "gd" => Estimator::OneStepGd { learning_rate },
+        other => return Err(bad(format!("unknown estimator `{other}`"))),
+    };
+    if !(0.0..1.0).contains(&opts.test_fraction) || opts.test_fraction == 0.0 {
+        return Err(bad("--test-fraction must be in (0, 1)"));
+    }
+    if opts.rows < 20 {
+        return Err(bad("--rows must be at least 20"));
+    }
+    // Reports record the seed as a JSON number; above 2^53 that round-trips
+    // through f64 lossily and the printed seed would not reproduce the run.
+    if opts.seed > (1 << 53) {
+        return Err(bad("--seed must be at most 2^53 (9007199254740992)"));
+    }
+    if opts.k == 0 {
+        return Err(bad("--k must be positive"));
+    }
+    Ok(opts)
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str, flag: &str) -> Result<T, UsageError> {
+    text.parse()
+        .map_err(|_| bad(format!("invalid value `{text}` for {flag}")))
+}
+
+fn run(args: &[String]) -> Result<(), UsageError> {
+    let Some(command) = args.first() else {
+        return Err(UsageError::Help);
+    };
+    let opts = parse_opts(&args[1..])?;
+    match command.as_str() {
+        "--help" | "-h" | "help" => Err(UsageError::Help),
+        "explain" => dispatch(&opts, Action::Explain),
+        "audit" => dispatch(&opts, Action::Audit),
+        "report" => dispatch(&opts, Action::Report),
+        other => Err(bad(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+enum Action {
+    Explain,
+    Audit,
+    Report,
+}
+
+/// Monomorphizes the chosen model family into [`exec`].
+fn dispatch(opts: &Opts, action: Action) -> Result<(), UsageError> {
+    let generate = match opts.data.as_str() {
+        "german" => german,
+        "adult" => adult,
+        "sqf" => sqf,
+        other => return Err(bad(format!("unknown dataset `{other}`"))),
+    };
+    let data = generate(opts.rows, opts.seed);
+    let mut rng = Rng::new(opts.seed);
+    let (train, test) = data.train_test_split(opts.test_fraction, &mut rng);
+    if test.n_rows() == 0 || train.n_rows() == 0 {
+        return Err(bad(format!(
+            "--rows {} with --test-fraction {} leaves an empty split \
+             ({} train / {} test rows); increase one of them",
+            opts.rows,
+            opts.test_fraction,
+            train.n_rows(),
+            test.n_rows()
+        )));
+    }
+    let l2 = opts.l2;
+    match opts.model.as_str() {
+        "lr" | "logistic" => exec(opts, action, &train, &test, |n| {
+            LogisticRegression::new(n, l2)
+        }),
+        "svm" => exec(opts, action, &train, &test, |n| LinearSvm::new(n, l2)),
+        "mlp" => {
+            let mut model_rng = rng.fork();
+            exec(opts, action, &train, &test, move |n| {
+                Mlp::new(n, 10, l2, &mut model_rng)
+            })
+        }
+        other => Err(bad(format!("unknown model `{other}`"))),
+    }
+}
+
+fn exec<M: Model>(
+    opts: &Opts,
+    action: Action,
+    train: &Dataset,
+    test: &Dataset,
+    make_model: impl FnOnce(usize) -> M,
+) -> Result<(), UsageError> {
+    let output = match action {
+        Action::Audit => {
+            let report = audit_json(opts, train, test, make_model);
+            if opts.json {
+                format!("{report}\n")
+            } else {
+                render_audit_text(&report)
+            }
+        }
+        Action::Explain => {
+            let gopher = fit_gopher(opts, train, test, make_model);
+            let report = explain_json(opts, &gopher);
+            if opts.json {
+                format!("{report}\n")
+            } else {
+                render_explain_text(&report)
+            }
+        }
+        Action::Report => {
+            let gopher = fit_gopher(opts, train, test, make_model);
+            let audit = audit_model(opts, gopher.model(), gopher.encoder(), test);
+            let explain = explain_json(opts, &gopher);
+            format!("{}\n", Json::obj([("audit", audit), ("explain", explain)]))
+        }
+    };
+    emit(&output);
+    Ok(())
+}
+
+/// Writes to stdout, swallowing `BrokenPipe` so `gopher ... | head` exits
+/// cleanly instead of panicking.
+fn emit(text: &str) {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = stdout
+        .write_all(text.as_bytes())
+        .and_then(|()| stdout.flush())
+    {
+        if e.kind() != std::io::ErrorKind::BrokenPipe {
+            panic!("failed writing to stdout: {e}");
+        }
+    }
+}
+
+fn fit_gopher<M: Model>(
+    opts: &Opts,
+    train: &Dataset,
+    test: &Dataset,
+    make_model: impl FnOnce(usize) -> M,
+) -> Gopher<M> {
+    let config = GopherConfig {
+        metric: opts.metric,
+        k: opts.k,
+        estimator: opts.estimator,
+        ground_truth_for_topk: opts.ground_truth,
+        lattice: gopher_patterns::LatticeConfig {
+            support_threshold: opts.support,
+            max_predicates: opts.max_predicates,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Gopher::fit(make_model, train, test, config)
+}
+
+// ---------------------------------------------------------------- explain
+
+fn explain_json<M: Model>(opts: &Opts, gopher: &Gopher<M>) -> Json {
+    let report = gopher.explain();
+    let explanations: Vec<Json> = report
+        .explanations
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("pattern", Json::str(&e.pattern_text)),
+                ("support", Json::num(e.support)),
+                ("est_responsibility", Json::num(e.est_responsibility)),
+                ("interestingness", Json::num(e.candidate.interestingness)),
+                (
+                    "ground_truth_responsibility",
+                    e.ground_truth_responsibility.map_or(Json::Null, Json::num),
+                ),
+                (
+                    "ground_truth_new_bias",
+                    e.ground_truth_new_bias.map_or(Json::Null, Json::num),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("command", Json::str("explain")),
+        ("dataset", Json::str(&opts.data)),
+        ("rows", Json::num(opts.rows as f64)),
+        ("model", Json::str(&opts.model)),
+        ("metric", Json::str(report.metric.name())),
+        ("seed", Json::num(opts.seed as f64)),
+        ("estimator", Json::str(estimator_name(opts.estimator))),
+        ("base_bias", Json::num(report.base_bias)),
+        ("accuracy", Json::num(report.accuracy)),
+        ("k", Json::num(opts.k as f64)),
+        ("support_threshold", Json::num(opts.support)),
+        (
+            "candidates_scored",
+            Json::num(report.stats.total_scored as f64),
+        ),
+        (
+            "search_ms",
+            Json::num(report.search_time.as_secs_f64() * 1e3),
+        ),
+        ("explanations", Json::Arr(explanations)),
+    ])
+}
+
+fn estimator_name(e: Estimator) -> &'static str {
+    match e {
+        Estimator::FirstOrder => "first-order",
+        Estimator::SecondOrder => "second-order",
+        Estimator::NewtonStep => "newton",
+        Estimator::OneStepGd { .. } => "one-step-gd",
+    }
+}
+
+fn render_explain_text(report: &Json) -> String {
+    let mut out = String::new();
+    let get_f = |k: &str| report.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let get_s = |k: &str| report.get(k).and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "explain · {} ({} rows) · model {} · metric {}",
+        get_s("dataset"),
+        get_f("rows"),
+        get_s("model"),
+        get_s("metric"),
+    );
+    let _ = writeln!(
+        out,
+        "base bias {:+.4} · accuracy {:.1}% · {} candidates scored in {:.0} ms",
+        get_f("base_bias"),
+        100.0 * get_f("accuracy"),
+        get_f("candidates_scored"),
+        get_f("search_ms"),
+    );
+    let _ = writeln!(out);
+    let empty = Vec::new();
+    let explanations = report
+        .get("explanations")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty);
+    if explanations.is_empty() {
+        let _ = writeln!(
+            out,
+            "no patterns above the support threshold were responsible for the bias"
+        );
+        return out;
+    }
+    for (i, e) in explanations.iter().enumerate() {
+        let pattern = e.get("pattern").and_then(Json::as_str).unwrap_or("?");
+        let support = e.get("support").and_then(Json::as_f64).unwrap_or(f64::NAN);
+        let resp = e
+            .get("est_responsibility")
+            .and_then(Json::as_f64)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(out, "{}. {pattern}", i + 1);
+        let _ = write!(
+            out,
+            "   support {:.1}% · est. responsibility {:+.4}",
+            100.0 * support,
+            resp
+        );
+        if let Some(gt) = e.get("ground_truth_responsibility").and_then(Json::as_f64) {
+            let _ = write!(out, " · ground-truth Δbias {:+.1}%", 100.0 * gt);
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+// ------------------------------------------------------------------ audit
+
+fn audit_json<M: Model>(
+    opts: &Opts,
+    train: &Dataset,
+    test: &Dataset,
+    make_model: impl FnOnce(usize) -> M,
+) -> Json {
+    let encoder = Encoder::fit(train);
+    let encoded_train = encoder.transform(train);
+    let mut model = make_model(encoded_train.n_cols());
+    fit_default(&mut model, &encoded_train);
+    audit_model(opts, &model, &encoder, test)
+}
+
+fn audit_model<M: Model>(opts: &Opts, model: &M, encoder: &Encoder, test: &Dataset) -> Json {
+    let encoded_test = encoder.transform(test);
+    let metrics: Vec<Json> = [
+        FairnessMetric::StatisticalParity,
+        FairnessMetric::EqualOpportunity,
+        FairnessMetric::PredictiveParity,
+        FairnessMetric::AverageOdds,
+    ]
+    .iter()
+    .map(|&m| {
+        Json::obj([
+            ("metric", Json::str(m.name())),
+            ("bias", Json::num(bias(m, model, &encoded_test))),
+            (
+                "smooth_bias",
+                Json::num(smooth_bias(m, model, &encoded_test)),
+            ),
+        ])
+    })
+    .collect();
+    let stats = group_confusion(model, &encoded_test);
+    Json::obj([
+        ("command", Json::str("audit")),
+        ("dataset", Json::str(&opts.data)),
+        ("rows", Json::num(opts.rows as f64)),
+        ("model", Json::str(&opts.model)),
+        ("seed", Json::num(opts.seed as f64)),
+        ("test_rows", Json::num(encoded_test.n_rows() as f64)),
+        ("accuracy", Json::num(accuracy(model, &encoded_test))),
+        ("metrics", Json::Arr(metrics)),
+        (
+            "disparate_impact_ratio",
+            Json::num(disparate_impact_ratio(model, &encoded_test)),
+        ),
+        (
+            "equalized_odds_gap",
+            Json::num(equalized_odds_gap(model, &encoded_test)),
+        ),
+        ("privileged", confusion_json(&stats.privileged)),
+        ("protected", confusion_json(&stats.protected)),
+    ])
+}
+
+fn confusion_json(c: &ConfusionCounts) -> Json {
+    Json::obj([
+        ("tp", Json::num(c.tp as f64)),
+        ("fp", Json::num(c.fp as f64)),
+        ("tn", Json::num(c.tn as f64)),
+        ("fn", Json::num(c.fn_ as f64)),
+        ("positive_rate", Json::num(c.positive_rate())),
+        ("tpr", Json::num(c.tpr())),
+        ("fpr", Json::num(c.fpr())),
+    ])
+}
+
+fn render_audit_text(report: &Json) -> String {
+    let mut out = String::new();
+    let get_f = |k: &str| report.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let get_s = |k: &str| report.get(k).and_then(Json::as_str).unwrap_or("?");
+    let _ = writeln!(
+        out,
+        "audit · {} ({} rows, {} held out) · model {}",
+        get_s("dataset"),
+        get_f("rows"),
+        get_f("test_rows"),
+        get_s("model"),
+    );
+    let _ = writeln!(out, "accuracy {:.1}%", 100.0 * get_f("accuracy"));
+    let _ = writeln!(out);
+    let empty = Vec::new();
+    for m in report
+        .get("metrics")
+        .and_then(Json::as_arr)
+        .unwrap_or(&empty)
+    {
+        let _ = writeln!(
+            out,
+            "{:<22} bias {:+.4}   (smooth {:+.4})",
+            m.get("metric").and_then(Json::as_str).unwrap_or("?"),
+            m.get("bias").and_then(Json::as_f64).unwrap_or(f64::NAN),
+            m.get("smooth_bias")
+                .and_then(Json::as_f64)
+                .unwrap_or(f64::NAN),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<22} {:.4}",
+        "disparate impact",
+        get_f("disparate_impact_ratio")
+    );
+    let _ = writeln!(
+        out,
+        "{:<22} {:.4}",
+        "equalized odds gap",
+        get_f("equalized_odds_gap")
+    );
+    let _ = writeln!(out);
+    for group in ["privileged", "protected"] {
+        if let Some(c) = report.get(group) {
+            let g = |k: &str| c.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+            let _ = writeln!(out, "{group:<11} tp {:>4} fp {:>4} tn {:>4} fn {:>4} · P(Ŷ=1) {:.3} · TPR {:.3} · FPR {:.3}",
+                g("tp"),
+                g("fp"),
+                g("tn"),
+                g("fn"),
+                g("positive_rate"),
+                g("tpr"),
+                g("fpr"),
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,145 @@
+//! End-to-end tests for the `gopher` binary: spawn the real executable and
+//! validate its JSON output with the crate's own strict parser.
+
+use gopher_cli::json::{self, Json};
+use std::process::Command;
+
+fn gopher(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_gopher"))
+        .args(args)
+        .output()
+        .expect("failed to spawn gopher binary")
+}
+
+fn run_json(args: &[&str]) -> Json {
+    let out = gopher(args);
+    assert!(
+        out.status.success(),
+        "gopher {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("stdout must be UTF-8");
+    json::parse(stdout.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e}): {stdout}"))
+}
+
+#[test]
+fn explain_german_emits_parseable_report_with_positive_support() {
+    // Small row count keeps the lattice search fast; the german generator's
+    // planted bias is strong enough to surface patterns even at this size.
+    let report = run_json(&[
+        "explain", "--data", "german", "--k", "3", "--rows", "400", "--json",
+    ]);
+
+    assert_eq!(
+        report.get("command").and_then(Json::as_str),
+        Some("explain")
+    );
+    assert_eq!(report.get("dataset").and_then(Json::as_str), Some("german"));
+    let base_bias = report.get("base_bias").and_then(Json::as_f64).unwrap();
+    assert!(base_bias > 0.0, "german generator must plant positive bias");
+
+    let explanations = report
+        .get("explanations")
+        .and_then(Json::as_arr)
+        .expect("report must carry an explanations array");
+    assert!(
+        !explanations.is_empty(),
+        "expected at least one explanation"
+    );
+    assert!(explanations.len() <= 3, "--k 3 must cap the list");
+    for e in explanations {
+        let support = e.get("support").and_then(Json::as_f64).unwrap();
+        assert!(
+            support > 0.0,
+            "every explanation must have positive support"
+        );
+        assert!(support <= 1.0);
+        let pattern = e.get("pattern").and_then(Json::as_str).unwrap();
+        assert!(!pattern.is_empty());
+    }
+}
+
+#[test]
+fn audit_reports_all_four_metrics() {
+    let report = run_json(&["audit", "--data", "german", "--rows", "300", "--json"]);
+    let metrics = report.get("metrics").and_then(Json::as_arr).unwrap();
+    let names: Vec<&str> = metrics
+        .iter()
+        .map(|m| m.get("metric").and_then(Json::as_str).unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        [
+            "statistical parity",
+            "equal opportunity",
+            "predictive parity",
+            "average odds"
+        ]
+    );
+    let accuracy = report.get("accuracy").and_then(Json::as_f64).unwrap();
+    assert!((0.0..=1.0).contains(&accuracy));
+    for group in ["privileged", "protected"] {
+        let c = report.get(group).expect("confusion counts per group");
+        let total: f64 = ["tp", "fp", "tn", "fn"]
+            .iter()
+            .map(|k| c.get(k).and_then(Json::as_f64).unwrap())
+            .sum();
+        assert!(total > 0.0, "{group} group must be non-empty");
+    }
+}
+
+#[test]
+fn report_combines_audit_and_explain() {
+    let report = run_json(&["report", "--data", "german", "--rows", "300", "--k", "2"]);
+    assert!(report.get("audit").is_some());
+    let explain = report.get("explain").expect("report must embed explain");
+    assert_eq!(explain.get("k").and_then(Json::as_f64), Some(2.0));
+}
+
+#[test]
+fn explain_is_deterministic_for_a_fixed_seed() {
+    let args = [
+        "explain", "--data", "german", "--rows", "300", "--seed", "7", "--json",
+    ];
+    let a = gopher(&args);
+    let b = gopher(&args);
+    // search_ms is wall-clock and varies; compare everything else.
+    let strip = |bytes: &[u8]| {
+        let mut v = json::parse(String::from_utf8_lossy(bytes).trim()).unwrap();
+        if let Json::Obj(m) = &mut v {
+            m.remove("search_ms");
+        }
+        v
+    };
+    assert_eq!(strip(&a.stdout), strip(&b.stdout));
+}
+
+#[test]
+fn usage_errors_exit_with_code_2() {
+    let out = gopher(&["explain", "--data", "nonexistent"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+
+    let out = gopher(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // A split that would leave zero test rows must refuse to audit rather
+    // than report all-zero metrics as a clean bill of health.
+    let out = gopher(&["audit", "--rows", "25", "--test-fraction", "0.03"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("empty split"));
+
+    // Seeds above 2^53 would be recorded lossily in the JSON report.
+    let out = gopher(&["explain", "--seed", "18446744073709551615"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    let out = gopher(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for needle in ["explain", "audit", "report", "--json", "--support"] {
+        assert!(text.contains(needle), "help must mention {needle}");
+    }
+}

@@ -138,7 +138,15 @@ impl<M: Model> Gopher<M> {
         );
         let engine = InfluenceEngine::new(model, &train, config.influence.clone());
         let table = generate_predicates(train_raw, config.max_bins);
-        Self { config, train_raw: train_raw.clone(), encoder, train, test, engine, table }
+        Self {
+            config,
+            train_raw: train_raw.clone(),
+            encoder,
+            train,
+            test,
+            engine,
+            table,
+        }
     }
 
     /// Convenience constructor that encodes the data, builds the model via
@@ -208,11 +216,20 @@ impl<M: Model> Gopher<M> {
             &self.table,
             |coverage| {
                 let rows = coverage.to_indices();
-                bi.responsibility(&self.train, &rows, self.config.estimator, self.config.bias_eval)
+                bi.responsibility(
+                    &self.train,
+                    &rows,
+                    self.config.estimator,
+                    self.config.bias_eval,
+                )
             },
             &self.config.lattice,
         );
-        let mut selected = topk::top_k(&candidates, self.config.k, self.config.containment_threshold);
+        let mut selected = topk::top_k(
+            &candidates,
+            self.config.k,
+            self.config.containment_threshold,
+        );
         if self.config.rescore_top_with_so {
             for cand in &mut selected {
                 let rows = cand.coverage.to_indices();
@@ -272,7 +289,13 @@ impl<M: Model> Gopher<M> {
             }
         }
         let out_count = n - in_count;
-        let frac = |num: usize, den: usize| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let frac = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         PatternProfile {
             rows: in_count,
             positive_rate: frac(in_pos, in_count),
@@ -287,12 +310,18 @@ impl<M: Model> Gopher<M> {
         let outcome = retrain_without(self.engine.model(), &self.train, rows);
         let new_bias = gopher_fairness::bias(self.config.metric, &outcome.model, &self.test);
         let base = gopher_fairness::bias(self.config.metric, self.engine.model(), &self.test);
-        let resp = if base.abs() < 1e-12 { 0.0 } else { (base - new_bias) / base };
+        let resp = if base.abs() < 1e-12 {
+            0.0
+        } else {
+            (base - new_bias) / base
+        };
         (resp, new_bias)
     }
 
     fn finalize_explanation(&self, candidate: Candidate, base_bias: f64) -> Explanation {
-        let pattern_text = candidate.pattern.render(&self.table, self.train_raw.schema());
+        let pattern_text = candidate
+            .pattern
+            .render(&self.table, self.train_raw.schema());
         let (gt_resp, gt_new) = if self.config.ground_truth_for_topk {
             let rows = candidate.coverage.to_indices();
             let (resp, new_bias) = self.ground_truth_responsibility(&rows);
@@ -326,7 +355,10 @@ mod tests {
             |cols| LogisticRegression::new(cols, 1e-3),
             &train,
             &test,
-            GopherConfig { ground_truth_for_topk: true, ..Default::default() },
+            GopherConfig {
+                ground_truth_for_topk: true,
+                ..Default::default()
+            },
         )
     }
 
@@ -339,7 +371,9 @@ mod tests {
         assert!(report.explanations.len() <= 3);
         // The top explanation must genuinely reduce bias when removed.
         let top = &report.explanations[0];
-        let gt = top.ground_truth_responsibility.expect("ground truth requested");
+        let gt = top
+            .ground_truth_responsibility
+            .expect("ground truth requested");
         assert!(gt > 0.0, "top pattern should reduce bias, got {gt}");
         // Interestingness ordering is non-increasing.
         for w in report.explanations.windows(2) {
@@ -360,9 +394,15 @@ mod tests {
             .explanations
             .iter()
             .any(|e| e.pattern_text.contains("age") || e.pattern_text.contains("gender"));
-        let texts: Vec<&str> =
-            report.explanations.iter().map(|e| e.pattern_text.as_str()).collect();
-        assert!(mentions_planted, "no planted feature in explanations: {texts:?}");
+        let texts: Vec<&str> = report
+            .explanations
+            .iter()
+            .map(|e| e.pattern_text.as_str())
+            .collect();
+        assert!(
+            mentions_planted,
+            "no planted feature in explanations: {texts:?}"
+        );
     }
 
     #[test]

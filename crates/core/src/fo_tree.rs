@@ -24,7 +24,11 @@ pub struct FoTreeConfig {
 
 impl Default for FoTreeConfig {
     fn default() -> Self {
-        Self { max_depth: 3, min_samples: 20, max_bins: 8 }
+        Self {
+            max_depth: 3,
+            min_samples: 20,
+            max_bins: 8,
+        }
     }
 }
 
@@ -113,12 +117,21 @@ impl FoTree {
     /// # Panics
     /// If `influence.len() != data.n_rows()` or the dataset is empty.
     pub fn fit(data: &Dataset, influence: &[f64], cfg: &FoTreeConfig) -> FoTree {
-        assert_eq!(influence.len(), data.n_rows(), "one influence value per row");
+        assert_eq!(
+            influence.len(),
+            data.n_rows(),
+            "one influence value per row"
+        );
         assert!(data.n_rows() > 0, "cannot fit a tree on an empty dataset");
         let mut nodes = Vec::new();
         let all_rows: Vec<u32> = (0..data.n_rows() as u32).collect();
         let total: f64 = influence.iter().sum();
-        nodes.push(Node { rows: all_rows, depth: 0, path: Vec::new(), total_influence: total });
+        nodes.push(Node {
+            rows: all_rows,
+            depth: 0,
+            path: Vec::new(),
+            total_influence: total,
+        });
         let mut frontier = vec![0usize];
         while let Some(node_idx) = frontier.pop() {
             let (depth, rows) = {
@@ -146,7 +159,12 @@ impl FoTree {
                 let total: f64 = branch_rows.iter().map(|&r| influence[r as usize]).sum();
                 let mut path = nodes[node_idx].path.clone();
                 path.push((split.clone(), positive));
-                nodes.push(Node { rows: branch_rows, depth: depth + 1, path, total_influence: total });
+                nodes.push(Node {
+                    rows: branch_rows,
+                    depth: depth + 1,
+                    path,
+                    total_influence: total,
+                });
                 frontier.push(nodes.len() - 1);
             }
         }
@@ -203,7 +221,11 @@ fn simplify_path(path: &[(SplitCond, bool)]) -> Vec<(SplitCond, bool)> {
                 };
                 // true branch means `<`: keep the smaller bound; false
                 // branch means `>=`: keep the larger.
-                *t2 = if *positive { t2.min(*threshold) } else { t2.max(*threshold) };
+                *t2 = if *positive {
+                    t2.min(*threshold)
+                } else {
+                    t2.max(*threshold)
+                };
                 continue;
             }
         }
@@ -234,7 +256,8 @@ fn best_split(
         if left.len() < cfg.min_samples || right.len() < cfg.min_samples {
             return;
         }
-        let child_sse = sse(influence, left.iter().copied()) + sse(influence, right.iter().copied());
+        let child_sse =
+            sse(influence, left.iter().copied()) + sse(influence, right.iter().copied());
         let gain = parent_sse - child_sse;
         if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
             best = Some((gain, cond));
@@ -252,7 +275,10 @@ fn best_split(
                 let subset: Vec<f64> = rows.iter().map(|&r| vals[r as usize]).collect();
                 let bins = Bins::quantile(&subset, cfg.max_bins);
                 for &t in bins.thresholds() {
-                    consider(SplitCond::Threshold { feature: f, threshold: t });
+                    consider(SplitCond::Threshold {
+                        feature: f,
+                        threshold: t,
+                    });
                 }
             }
             _ => unreachable!("dataset validated against schema"),
@@ -315,7 +341,11 @@ mod tests {
     fn respects_depth_and_min_samples() {
         let d = german(400, 92);
         let influence: Vec<f64> = (0..d.n_rows()).map(|r| (r % 7) as f64).collect();
-        let cfg = FoTreeConfig { max_depth: 2, min_samples: 30, max_bins: 4 };
+        let cfg = FoTreeConfig {
+            max_depth: 2,
+            min_samples: 30,
+            max_bins: 4,
+        };
         let tree = FoTree::fit(&d, &influence, &cfg);
         for node in tree.top_nodes(&d, 100) {
             assert!(node.depth <= 2);
@@ -326,7 +356,9 @@ mod tests {
     #[test]
     fn top_nodes_sorted_by_total_influence() {
         let d = german(500, 93);
-        let influence: Vec<f64> = (0..d.n_rows()).map(|r| ((r * 31) % 11) as f64 - 5.0).collect();
+        let influence: Vec<f64> = (0..d.n_rows())
+            .map(|r| ((r * 31) % 11) as f64 - 5.0)
+            .collect();
         let tree = FoTree::fit(&d, &influence, &FoTreeConfig::default());
         let top = tree.top_nodes(&d, 5);
         for w in top.windows(2) {
@@ -346,8 +378,9 @@ mod tests {
     #[test]
     fn node_rows_partition_under_splits() {
         let d = german(500, 95);
-        let influence: Vec<f64> =
-            (0..d.n_rows()).map(|r| if r % 3 == 0 { 2.0 } else { -1.0 }).collect();
+        let influence: Vec<f64> = (0..d.n_rows())
+            .map(|r| if r % 3 == 0 { 2.0 } else { -1.0 })
+            .collect();
         let tree = FoTree::fit(&d, &influence, &FoTreeConfig::default());
         // Depth-1 nodes (children of the root) must partition all rows.
         let depth1: Vec<_> = tree.nodes.iter().filter(|n| n.depth == 1).collect();

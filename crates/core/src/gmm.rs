@@ -77,8 +77,7 @@ pub fn gmm(x: &Matrix, k: usize, em_iters: usize, rng: &mut Rng) -> Gmm {
     for c in 0..k {
         weights[c] = (counts[c].max(1)) as f64 / n as f64;
         for j in 0..d {
-            variances[(c, j)] =
-                (variances[(c, j)] / counts[c].max(1) as f64).max(VAR_FLOOR);
+            variances[(c, j)] = (variances[(c, j)] / counts[c].max(1) as f64).max(VAR_FLOOR);
         }
     }
     let wsum: f64 = weights.iter().sum();
@@ -155,7 +154,14 @@ pub fn gmm(x: &Matrix, k: usize, em_iters: usize, rng: &mut Rng) -> Gmm {
             best
         })
         .collect();
-    Gmm { weights, means, variances, assignments, log_likelihood, iterations }
+    Gmm {
+        weights,
+        means,
+        variances,
+        assignments,
+        log_likelihood,
+        iterations,
+    }
 }
 
 #[cfg(test)]

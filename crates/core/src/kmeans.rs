@@ -135,7 +135,12 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, rng: &mut Rng) -> KMeans {
             dist * dist
         })
         .sum();
-    KMeans { centroids, assignments, inertia, iterations }
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]
@@ -172,7 +177,11 @@ mod tests {
                 .filter(|(_, &t)| t == c)
                 .map(|(r, _)| result.assignments[r])
                 .collect();
-            assert_eq!(ids.len(), 1, "true cluster {c} split across k-means clusters");
+            assert_eq!(
+                ids.len(),
+                1,
+                "true cluster {c} split across k-means clusters"
+            );
         }
         assert!(result.inertia < 3.0 * 150.0, "inertia {}", result.inertia);
     }

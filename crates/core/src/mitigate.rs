@@ -27,7 +27,11 @@ pub struct MitigationConfig {
 
 impl Default for MitigationConfig {
     fn default() -> Self {
-        Self { target_bias: 0.05, max_rounds: 5, max_removed_fraction: 0.3 }
+        Self {
+            target_bias: 0.05,
+            max_rounds: 5,
+            max_removed_fraction: 0.3,
+        }
     }
 }
 
@@ -75,7 +79,10 @@ pub fn mitigate<M: Model>(
     gopher_config: &GopherConfig,
     config: &MitigationConfig,
 ) -> MitigationReport {
-    assert!(config.target_bias >= 0.0, "target bias must be non-negative");
+    assert!(
+        config.target_bias >= 0.0,
+        "target bias must be non-negative"
+    );
     assert!(
         (0.0..=1.0).contains(&config.max_removed_fraction),
         "max_removed_fraction must be a fraction"
@@ -119,10 +126,16 @@ pub fn mitigate<M: Model>(
             &mut make_model,
             &next,
             test_raw,
-            GopherConfig { ground_truth_for_topk: false, ..gopher_config.clone() },
+            GopherConfig {
+                ground_truth_for_topk: false,
+                ..gopher_config.clone()
+            },
         );
-        let bias_after =
-            gopher_fairness::bias(gopher_config.metric, next_gopher.model(), next_gopher.test());
+        let bias_after = gopher_fairness::bias(
+            gopher_config.metric,
+            next_gopher.model(),
+            next_gopher.test(),
+        );
         let accuracy_after =
             gopher_models::train::accuracy(next_gopher.model(), next_gopher.test());
         rounds.push(MitigationRound {
@@ -170,9 +183,16 @@ mod tests {
             &train,
             &test,
             &GopherConfig::default(),
-            &MitigationConfig { target_bias: 0.02, max_rounds: 4, max_removed_fraction: 0.4 },
+            &MitigationConfig {
+                target_bias: 0.02,
+                max_rounds: 4,
+                max_removed_fraction: 0.4,
+            },
         );
-        assert!(!report.rounds.is_empty(), "at least one removal round expected");
+        assert!(
+            !report.rounds.is_empty(),
+            "at least one removal round expected"
+        );
         let initial = report.rounds[0].bias_before;
         assert!(
             report.final_bias < initial,
@@ -194,7 +214,10 @@ mod tests {
             &train,
             &test,
             &GopherConfig::default(),
-            &MitigationConfig { target_bias: 10.0, ..Default::default() },
+            &MitigationConfig {
+                target_bias: 10.0,
+                ..Default::default()
+            },
         );
         assert!(report.achieved);
         assert!(report.rounds.is_empty());

@@ -171,7 +171,12 @@ pub fn detect_poison<M: Model>(
             let responsibility =
                 bi.responsibility(train, &members, config.estimator, BiasEval::ChainRule);
             let n_poison = members.iter().filter(|&&r| is_poison[r as usize]).count();
-            RankedCluster { cluster: c, responsibility, size: members.len(), n_poison }
+            RankedCluster {
+                cluster: c,
+                responsibility,
+                size: members.len(),
+                n_poison,
+            }
         })
         .collect();
     let key = |c: &RankedCluster| {
@@ -181,7 +186,11 @@ pub fn detect_poison<M: Model>(
             c.responsibility
         }
     };
-    ranked.sort_by(|a, b| key(b).partial_cmp(&key(a)).unwrap_or(std::cmp::Ordering::Equal));
+    ranked.sort_by(|a, b| {
+        key(b)
+            .partial_cmp(&key(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let flagged = &ranked[..config.top_clusters.min(ranked.len())];
     let caught: usize = flagged.iter().map(|c| c.n_poison).sum();
@@ -207,7 +216,12 @@ pub fn detect_poison<M: Model>(
         .count();
     let lof_recall = lof_caught as f64 / total_poison as f64;
 
-    PoisonDetectionOutcome { ranked, cluster_recall, cluster_precision, lof_recall }
+    PoisonDetectionOutcome {
+        ranked,
+        cluster_recall,
+        cluster_precision,
+        lof_recall,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +245,10 @@ mod tests {
         for seed in 0..n_trials {
             let clean = german(900, 121 + seed);
             let mut rng = Rng::new(500 + seed);
-            let attack = AnchoringAttack { poison_fraction: 0.08, ..Default::default() };
+            let attack = AnchoringAttack {
+                poison_fraction: 0.08,
+                ..Default::default()
+            };
             let poisoned = attack.run(&clean, &mut rng);
 
             let encoder = Encoder::fit(&poisoned.data);
@@ -254,7 +271,10 @@ mod tests {
             lof_recall += outcome.lof_recall / n_trials as f64;
         }
         // The influence-ranked clusters concentrate the poisons...
-        assert!(cluster_recall > 0.4, "mean cluster recall {cluster_recall} too low");
+        assert!(
+            cluster_recall > 0.4,
+            "mean cluster recall {cluster_recall} too low"
+        );
         // ...and LOF does clearly worse (paper: finds none).
         assert!(
             cluster_recall > lof_recall + 0.2,
@@ -266,7 +286,10 @@ mod tests {
     fn gmm_backend_also_detects() {
         let clean = german(700, 141);
         let mut rng = Rng::new(142);
-        let attack = AnchoringAttack { poison_fraction: 0.08, ..Default::default() };
+        let attack = AnchoringAttack {
+            poison_fraction: 0.08,
+            ..Default::default()
+        };
         let poisoned = attack.run(&clean, &mut rng);
         let encoder = Encoder::fit(&poisoned.data);
         let train = encoder.transform(&poisoned.data);
@@ -280,7 +303,10 @@ mod tests {
             &test,
             FairnessMetric::StatisticalParity,
             &poisoned.is_poison,
-            &PoisonDetectionConfig { clustering: Clustering::Gmm, ..Default::default() },
+            &PoisonDetectionConfig {
+                clustering: Clustering::Gmm,
+                ..Default::default()
+            },
             &mut rng,
         );
         // GMM's diagonal Gaussians fit one-hot blocks poorly, so unlike
@@ -290,7 +316,11 @@ mod tests {
         assert!((0.0..=1.0).contains(&outcome.cluster_recall));
         assert!((0.0..=1.0).contains(&outcome.lof_recall));
         let total: usize = outcome.ranked.iter().map(|c| c.size).sum();
-        assert_eq!(total, train.n_rows(), "gmm clusters must partition the rows");
+        assert_eq!(
+            total,
+            train.n_rows(),
+            "gmm clusters must partition the rows"
+        );
         assert!(outcome.ranked.iter().all(|c| c.responsibility.is_finite()));
     }
 
@@ -311,7 +341,10 @@ mod tests {
             &test,
             FairnessMetric::StatisticalParity,
             &poisoned.is_poison,
-            &PoisonDetectionConfig { n_clusters: 6, ..Default::default() },
+            &PoisonDetectionConfig {
+                n_clusters: 6,
+                ..Default::default()
+            },
             &mut rng,
         );
         assert_eq!(outcome.ranked.len(), 6);

@@ -18,7 +18,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -27,7 +30,8 @@ impl TextTable {
     /// On column-count mismatch.
     pub fn row(&mut self, cells: &[&str]) {
         assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row of owned strings.
@@ -133,8 +137,14 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.552), "55.2%");
         assert_eq!(pct(-0.05), "-5.0%");
-        assert_eq!(fmt_duration(std::time::Duration::from_millis(1500)), "1.50s");
-        assert_eq!(fmt_duration(std::time::Duration::from_micros(2500)), "2.5ms");
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_millis(1500)),
+            "1.50s"
+        );
+        assert_eq!(
+            fmt_duration(std::time::Duration::from_micros(2500)),
+            "2.5ms"
+        );
         assert_eq!(fmt_duration(std::time::Duration::from_nanos(900)), "0.9µs");
     }
 }

@@ -85,14 +85,22 @@ impl FeatureChange {
     /// Renders the change with schema names.
     pub fn render(&self, schema: &gopher_data::Schema) -> String {
         match self {
-            Self::Categorical { feature, from, to, fraction } => format!(
+            Self::Categorical {
+                feature,
+                from,
+                to,
+                fraction,
+            } => format!(
                 "{}: {} → {} ({:.0}% of subset)",
                 schema.feature(*feature).name,
                 schema.level_name(*feature, *from),
                 schema.level_name(*feature, *to),
                 100.0 * fraction
             ),
-            Self::Numeric { feature, mean_shift } => {
+            Self::Numeric {
+                feature,
+                mean_shift,
+            } => {
                 format!("{}: {:+.2}", schema.feature(*feature).name, mean_shift)
             }
         }
@@ -159,38 +167,36 @@ impl<M: Model> Gopher<M> {
 
         // Projected gradient descent on δ, optionally restricted to a
         // coordinate mask.
-        let run_pgd = |mask: Option<&[bool]>,
-                       grad_buf: &mut Vec<f64>,
-                       x_buf: &mut Vec<f64>|
-         -> Vec<f64> {
-            let mut delta = vec![0.0; d];
-            let mut g = vec![0.0; d];
-            for _ in 0..cfg.max_iters {
-                // Central finite differences per (unmasked) coordinate.
-                for j in 0..d {
-                    if mask.is_some_and(|m| !m[j]) {
-                        g[j] = 0.0;
-                        continue;
+        let run_pgd =
+            |mask: Option<&[bool]>, grad_buf: &mut Vec<f64>, x_buf: &mut Vec<f64>| -> Vec<f64> {
+                let mut delta = vec![0.0; d];
+                let mut g = vec![0.0; d];
+                for _ in 0..cfg.max_iters {
+                    // Central finite differences per (unmasked) coordinate.
+                    for j in 0..d {
+                        if mask.is_some_and(|m| !m[j]) {
+                            g[j] = 0.0;
+                            continue;
+                        }
+                        let orig = delta[j];
+                        delta[j] = orig + cfg.fd_eps;
+                        let plus = score(&delta, grad_buf, x_buf);
+                        delta[j] = orig - cfg.fd_eps;
+                        let minus = score(&delta, grad_buf, x_buf);
+                        delta[j] = orig;
+                        g[j] = (plus - minus) / (2.0 * cfg.fd_eps);
                     }
-                    let orig = delta[j];
-                    delta[j] = orig + cfg.fd_eps;
-                    let plus = score(&delta, grad_buf, x_buf);
-                    delta[j] = orig - cfg.fd_eps;
-                    let minus = score(&delta, grad_buf, x_buf);
-                    delta[j] = orig;
-                    g[j] = (plus - minus) / (2.0 * cfg.fd_eps);
+                    let gnorm = vecops::norm2(&g);
+                    if gnorm < cfg.grad_tol {
+                        break;
+                    }
+                    for j in 0..d {
+                        delta[j] =
+                            (delta[j] - cfg.learning_rate * g[j]).clamp(delta_lo[j], delta_hi[j]);
+                    }
                 }
-                let gnorm = vecops::norm2(&g);
-                if gnorm < cfg.grad_tol {
-                    break;
-                }
-                for j in 0..d {
-                    delta[j] =
-                        (delta[j] - cfg.learning_rate * g[j]).clamp(delta_lo[j], delta_hi[j]);
-                }
-            }
-            delta
-        };
+                delta
+            };
 
         let mut delta = run_pgd(None, &mut grad_buf, &mut x_buf);
 
@@ -254,17 +260,22 @@ impl<M: Model> Gopher<M> {
 
         let ground_truth_responsibility = if cfg.ground_truth {
             let outcome = retrain_updated(model, &updated);
-            let new_bias =
-                gopher_fairness::bias(self.config().metric, &outcome.model, self.test());
+            let new_bias = gopher_fairness::bias(self.config().metric, &outcome.model, self.test());
             let base = gopher_fairness::bias(self.config().metric, model, self.test());
-            Some(if base.abs() < 1e-12 { 0.0 } else { (base - new_bias) / base })
+            Some(if base.abs() < 1e-12 {
+                0.0
+            } else {
+                (base - new_bias) / base
+            })
         } else {
             None
         };
 
         let changes = self.describe_changes(&rows, &updated);
         UpdateExplanation {
-            pattern_text: candidate.pattern.render(self.predicate_table(), self.train_raw().schema()),
+            pattern_text: candidate
+                .pattern
+                .render(self.predicate_table(), self.train_raw().schema()),
             n_rows: rows.len(),
             delta_encoded: delta,
             changes,
@@ -295,7 +306,13 @@ impl<M: Model> Gopher<M> {
         let mut lo = vec![-1.0; d];
         let mut hi = vec![1.0; d];
         for group in self.encoder().layout().groups() {
-            if let EncodedGroup::Numeric { col, lo: dom_lo, hi: dom_hi, .. } = group {
+            if let EncodedGroup::Numeric {
+                col,
+                lo: dom_lo,
+                hi: dom_hi,
+                ..
+            } = group
+            {
                 let mut min_x = f64::INFINITY;
                 let mut max_x = f64::NEG_INFINITY;
                 for &r in rows {
@@ -363,13 +380,21 @@ impl<M: Model> Gopher<M> {
                 // at least 10% of the rows (with the fraction attached).
                 let fraction = count as f64 / rows.len() as f64;
                 if fraction >= 0.1 {
-                    changes.push(FeatureChange::Categorical { feature: f, from, to, fraction });
+                    changes.push(FeatureChange::Categorical {
+                        feature: f,
+                        from,
+                        to,
+                        fraction,
+                    });
                 }
             }
             if n_num > 0 {
                 let mean = num_shift / n_num as f64;
                 if mean.abs() > 1e-6 {
-                    changes.push(FeatureChange::Numeric { feature: f, mean_shift: mean });
+                    changes.push(FeatureChange::Numeric {
+                        feature: f,
+                        mean_shift: mean,
+                    });
                 }
             }
         }
@@ -381,7 +406,11 @@ impl<M: Model> Gopher<M> {
 fn copy_group(group: &EncodedGroup, src: &[f64], dst: &mut [f64]) {
     match group {
         EncodedGroup::Numeric { col, .. } => dst[*col] = src[*col],
-        EncodedGroup::OneHot { first_col, n_levels, .. } => {
+        EncodedGroup::OneHot {
+            first_col,
+            n_levels,
+            ..
+        } => {
             dst[*first_col..first_col + n_levels]
                 .copy_from_slice(&src[*first_col..first_col + n_levels]);
         }
@@ -392,8 +421,14 @@ fn copy_group(group: &EncodedGroup, src: &[f64], dst: &mut [f64]) {
 fn copy_group_mask(group: &EncodedGroup, mask: &mut [bool]) {
     match group {
         EncodedGroup::Numeric { col, .. } => mask[*col] = true,
-        EncodedGroup::OneHot { first_col, n_levels, .. } => {
-            mask[*first_col..first_col + n_levels].iter_mut().for_each(|m| *m = true);
+        EncodedGroup::OneHot {
+            first_col,
+            n_levels,
+            ..
+        } => {
+            mask[*first_col..first_col + n_levels]
+                .iter_mut()
+                .for_each(|m| *m = true);
         }
     }
 }
@@ -413,7 +448,10 @@ mod tests {
             |cols| LogisticRegression::new(cols, 1e-3),
             &train,
             &test,
-            GopherConfig { ground_truth_for_topk: false, ..Default::default() },
+            GopherConfig {
+                ground_truth_for_topk: false,
+                ..Default::default()
+            },
         )
     }
 
@@ -432,7 +470,10 @@ mod tests {
             update.est_bias_change
         );
         let gt = update.ground_truth_responsibility.expect("requested");
-        assert!(gt > -0.5, "update should not catastrophically backfire: {gt}");
+        assert!(
+            gt > -0.5,
+            "update should not catastrophically backfire: {gt}"
+        );
     }
 
     #[test]
@@ -474,14 +515,21 @@ mod tests {
         let gopher = build();
         let schema = gopher.train_raw().schema();
         let gender = schema.feature_index("gender").unwrap();
-        let change =
-            FeatureChange::Categorical { feature: gender, from: 1, to: 0, fraction: 0.8 };
+        let change = FeatureChange::Categorical {
+            feature: gender,
+            from: 1,
+            to: 0,
+            fraction: 0.8,
+        };
         let text = change.render(schema);
         assert!(text.contains("gender"), "{text}");
         assert!(text.contains("Male"), "{text}");
         assert!(text.contains("Female"), "{text}");
         let age = schema.feature_index("age").unwrap();
-        let shift = FeatureChange::Numeric { feature: age, mean_shift: -12.5 };
+        let shift = FeatureChange::Numeric {
+            feature: age,
+            mean_shift: -12.5,
+        };
         assert!(shift.render(schema).contains("-12.5"));
     }
 }

@@ -29,7 +29,9 @@ impl Bins {
     pub fn quantile(values: &[f64], max_bins: usize) -> Bins {
         assert!(max_bins >= 2, "binning needs at least 2 bins");
         if values.is_empty() {
-            return Bins { thresholds: Vec::new() };
+            return Bins {
+                thresholds: Vec::new(),
+            };
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
@@ -116,7 +118,11 @@ mod tests {
         let values = vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 4.0, 5.0, 5.0, 5.0];
         let bins = Bins::quantile(&values, 5);
         for w in bins.thresholds().windows(2) {
-            assert!(w[0] < w[1], "thresholds not increasing: {:?}", bins.thresholds());
+            assert!(
+                w[0] < w[1],
+                "thresholds not increasing: {:?}",
+                bins.thresholds()
+            );
         }
     }
 
@@ -135,9 +141,16 @@ mod tests {
         // At most 3 distinct thresholds possible (2,3,4), and the bin of each
         // integer must be distinct.
         assert!(bins.n_bins() <= 4);
-        let bin_ids: Vec<usize> = [1.0, 2.0, 3.0, 4.0].iter().map(|&v| bins.bin_of(v)).collect();
+        let bin_ids: Vec<usize> = [1.0, 2.0, 3.0, 4.0]
+            .iter()
+            .map(|&v| bins.bin_of(v))
+            .collect();
         let mut dedup = bin_ids.clone();
         dedup.dedup();
-        assert_eq!(dedup.len(), bin_ids.len(), "each integer in own bin: {bin_ids:?}");
+        assert_eq!(
+            dedup.len(),
+            bin_ids.len(),
+            "each integer in own bin: {bin_ids:?}"
+        );
     }
 }

@@ -74,9 +74,10 @@ pub fn read_csv<R: BufRead>(
     protected: ProtectedSpec,
 ) -> Result<Dataset, CsvError> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or(CsvError::Parse { line: 1, message: "missing header".into() })??;
+    let header = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        message: "missing header".into(),
+    })??;
     let names: Vec<&str> = header.split(',').collect();
     let expected = schema.n_features() + 1;
     if names.len() != expected {
@@ -120,10 +121,12 @@ pub fn read_csv<R: BufRead>(
         for (f, field) in fields[..schema.n_features()].iter().enumerate() {
             match &mut columns[f] {
                 Column::Categorical(vals) => {
-                    let lvl = schema.level_index(f, field).ok_or_else(|| CsvError::Parse {
-                        line: line_no,
-                        message: format!("unknown level {field:?} for feature {f}"),
-                    })?;
+                    let lvl = schema
+                        .level_index(f, field)
+                        .ok_or_else(|| CsvError::Parse {
+                            line: line_no,
+                            message: format!("unknown level {field:?} for feature {f}"),
+                        })?;
                     vals.push(lvl);
                 }
                 Column::Numeric(vals) => {
@@ -135,10 +138,12 @@ pub fn read_csv<R: BufRead>(
                 }
             }
         }
-        let y: u8 = fields[schema.n_features()].parse().map_err(|_| CsvError::Parse {
-            line: line_no,
-            message: format!("invalid label {:?}", fields[schema.n_features()]),
-        })?;
+        let y: u8 = fields[schema.n_features()]
+            .parse()
+            .map_err(|_| CsvError::Parse {
+                line: line_no,
+                message: format!("invalid label {:?}", fields[schema.n_features()]),
+            })?;
         labels.push(y);
     }
 
@@ -174,8 +179,12 @@ mod tests {
     #[test]
     fn rejects_wrong_column_count() {
         let d = german(2, 1);
-        let err = read_csv(Cursor::new(b"a,b\n" as &[u8]), d.schema(), d.protected().clone())
-            .unwrap_err();
+        let err = read_csv(
+            Cursor::new(b"a,b\n" as &[u8]),
+            d.schema(),
+            d.protected().clone(),
+        )
+        .unwrap_err();
         match err {
             CsvError::Parse { line: 1, .. } => {}
             other => panic!("unexpected error {other:?}"),
@@ -194,8 +203,12 @@ mod tests {
         fields[0] = "BOGUS";
         let corrupted = fields.join(",");
         text = format!("{}\n{}\n", lines[0], corrupted);
-        let err =
-            read_csv(Cursor::new(text.as_bytes()), d.schema(), d.protected().clone()).unwrap_err();
+        let err = read_csv(
+            Cursor::new(text.as_bytes()),
+            d.schema(),
+            d.protected().clone(),
+        )
+        .unwrap_err();
         match err {
             CsvError::Parse { line: 2, message } => assert!(message.contains("BOGUS")),
             other => panic!("unexpected error {other:?}"),
@@ -209,8 +222,12 @@ mod tests {
         write_csv(&d, &mut buf).unwrap();
         let mut text = String::from_utf8(buf).unwrap();
         text.push('\n');
-        let back =
-            read_csv(Cursor::new(text.as_bytes()), d.schema(), d.protected().clone()).unwrap();
+        let back = read_csv(
+            Cursor::new(text.as_bytes()),
+            d.schema(),
+            d.protected().clone(),
+        )
+        .unwrap();
         assert_eq!(back.n_rows(), 3);
     }
 }

@@ -119,14 +119,25 @@ impl Dataset {
             protected.feature < schema.n_features(),
             "dataset: protected feature out of range"
         );
-        match (&protected.privileged, &schema.feature(protected.feature).kind) {
+        match (
+            &protected.privileged,
+            &schema.feature(protected.feature).kind,
+        ) {
             (PrivilegedIf::Level(l), FeatureKind::Categorical { levels }) => {
-                assert!((*l as usize) < levels.len(), "dataset: privileged level out of range");
+                assert!(
+                    (*l as usize) < levels.len(),
+                    "dataset: privileged level out of range"
+                );
             }
             (PrivilegedIf::AtLeast(_), FeatureKind::Numeric) => {}
             _ => panic!("dataset: protected spec kind does not match feature kind"),
         }
-        Self { schema, columns, labels, protected }
+        Self {
+            schema,
+            columns,
+            labels,
+            protected,
+        }
     }
 
     /// Number of rows.
@@ -166,7 +177,10 @@ impl Dataset {
 
     /// Whether row `row` belongs to the privileged group.
     pub fn is_privileged(&self, row: usize) -> bool {
-        match (&self.protected.privileged, &self.columns[self.protected.feature]) {
+        match (
+            &self.protected.privileged,
+            &self.columns[self.protected.feature],
+        ) {
             (PrivilegedIf::Level(l), Column::Categorical(vals)) => vals[row] == *l,
             (PrivilegedIf::AtLeast(c), Column::Numeric(vals)) => vals[row] >= *c,
             _ => unreachable!("validated at construction"),
@@ -193,9 +207,7 @@ impl Dataset {
             .columns
             .iter()
             .map(|col| match col {
-                Column::Categorical(v) => {
-                    Column::Categorical(rows.iter().map(|&r| v[r]).collect())
-                }
+                Column::Categorical(v) => Column::Categorical(rows.iter().map(|&r| v[r]).collect()),
                 Column::Numeric(v) => Column::Numeric(rows.iter().map(|&r| v[r]).collect()),
             })
             .collect();
@@ -211,9 +223,12 @@ impl Dataset {
     /// Returns a new dataset with the rows in `remove` (given as a boolean
     /// mask) dropped. `remove.len()` must equal `n_rows()`.
     pub fn remove_rows(&self, remove: &[bool]) -> Dataset {
-        assert_eq!(remove.len(), self.n_rows(), "remove_rows: mask length mismatch");
-        let keep: Vec<usize> =
-            (0..self.n_rows()).filter(|&r| !remove[r]).collect();
+        assert_eq!(
+            remove.len(),
+            self.n_rows(),
+            "remove_rows: mask length mismatch"
+        );
+        let keep: Vec<usize> = (0..self.n_rows()).filter(|&r| !remove[r]).collect();
         self.select_rows(&keep)
     }
 
@@ -240,7 +255,10 @@ impl Dataset {
     /// If schemas or protected specs differ.
     pub fn concat(&self, other: &Dataset) -> Dataset {
         assert_eq!(self.schema, other.schema, "concat: schema mismatch");
-        assert_eq!(self.protected, other.protected, "concat: protected mismatch");
+        assert_eq!(
+            self.protected, other.protected,
+            "concat: protected mismatch"
+        );
         let columns = self
             .columns
             .iter()
@@ -316,7 +334,10 @@ mod tests {
                 Column::Numeric(vec![20.0, 30.0, 40.0, 50.0]),
             ],
             vec![0, 1, 1, 0],
-            ProtectedSpec { feature: 1, privileged: PrivilegedIf::AtLeast(35.0) },
+            ProtectedSpec {
+                feature: 1,
+                privileged: PrivilegedIf::AtLeast(35.0),
+            },
         )
     }
 
@@ -343,7 +364,10 @@ mod tests {
             schema,
             vec![Column::Categorical(vec![0, 1, 1])],
             vec![0, 1, 0],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(1) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(1),
+            },
         );
         assert_eq!(d.privileged_mask(), vec![false, true, true]);
     }
@@ -404,7 +428,10 @@ mod tests {
             schema,
             vec![Column::Categorical(vec![5])],
             vec![0],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(0),
+            },
         );
     }
 
@@ -416,7 +443,10 @@ mod tests {
             schema,
             vec![Column::Numeric(vec![1.0])],
             vec![2],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::AtLeast(0.0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::AtLeast(0.0),
+            },
         );
     }
 
@@ -428,7 +458,10 @@ mod tests {
             schema,
             vec![Column::Numeric(vec![1.0])],
             vec![0],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(0),
+            },
         );
     }
 }

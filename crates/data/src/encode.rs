@@ -68,9 +68,11 @@ impl EncodingLayout {
             .iter()
             .find(|g| match g {
                 EncodedGroup::Numeric { col: c, .. } => *c == col,
-                EncodedGroup::OneHot { first_col, n_levels, .. } => {
-                    col >= *first_col && col < first_col + n_levels
-                }
+                EncodedGroup::OneHot {
+                    first_col,
+                    n_levels,
+                    ..
+                } => col >= *first_col && col < first_col + n_levels,
             })
             .expect("column within layout")
     }
@@ -125,7 +127,11 @@ impl Encoded {
 
     /// Returns a copy without the rows whose mask entry is true.
     pub fn remove_rows(&self, remove: &[bool]) -> Encoded {
-        assert_eq!(remove.len(), self.n_rows(), "remove_rows: mask length mismatch");
+        assert_eq!(
+            remove.len(),
+            self.n_rows(),
+            "remove_rows: mask length mismatch"
+        );
         let keep: Vec<usize> = (0..self.n_rows()).filter(|&r| !remove[r]).collect();
         self.select_rows(&keep)
     }
@@ -175,7 +181,10 @@ impl Encoder {
             }
         }
         Encoder {
-            layout: EncodingLayout { groups, n_cols: next_col },
+            layout: EncodingLayout {
+                groups,
+                n_cols: next_col,
+            },
             n_features: train.n_features(),
         }
     }
@@ -201,7 +210,11 @@ impl Encoder {
         let mut x = Matrix::zeros(n, self.layout.n_cols);
         for group in &self.layout.groups {
             match group {
-                EncodedGroup::OneHot { feature, first_col, n_levels } => {
+                EncodedGroup::OneHot {
+                    feature,
+                    first_col,
+                    n_levels,
+                } => {
                     let Column::Categorical(vals) = data.column(*feature) else {
                         panic!("transform: expected categorical column {feature}");
                     };
@@ -213,7 +226,13 @@ impl Encoder {
                         x[(r, first_col + lvl as usize)] = 1.0;
                     }
                 }
-                EncodedGroup::Numeric { feature, col, mean, std, .. } => {
+                EncodedGroup::Numeric {
+                    feature,
+                    col,
+                    mean,
+                    std,
+                    ..
+                } => {
                     let Column::Numeric(vals) = data.column(*feature) else {
                         panic!("transform: expected numeric column {feature}");
                     };
@@ -235,13 +254,21 @@ impl Encoder {
     /// each one-hot block is replaced by the nearest valid one-hot vector
     /// (1 at the argmax, 0 elsewhere).
     pub fn project_row(&self, row: &mut [f64]) {
-        assert_eq!(row.len(), self.layout.n_cols, "project_row: length mismatch");
+        assert_eq!(
+            row.len(),
+            self.layout.n_cols,
+            "project_row: length mismatch"
+        );
         for group in &self.layout.groups {
             match group {
                 EncodedGroup::Numeric { col, lo, hi, .. } => {
                     row[*col] = row[*col].clamp(*lo, *hi);
                 }
-                EncodedGroup::OneHot { first_col, n_levels, .. } => {
+                EncodedGroup::OneHot {
+                    first_col,
+                    n_levels,
+                    ..
+                } => {
                     let block = &mut row[*first_col..first_col + n_levels];
                     let mut best = 0usize;
                     for (i, &v) in block.iter().enumerate() {
@@ -267,10 +294,20 @@ impl Encoder {
         let mut out = vec![Value::Number(0.0); self.n_features];
         for group in &self.layout.groups {
             match group {
-                EncodedGroup::Numeric { feature, col, mean, std, .. } => {
+                EncodedGroup::Numeric {
+                    feature,
+                    col,
+                    mean,
+                    std,
+                    ..
+                } => {
                     out[*feature] = Value::Number(row[*col] * std + mean);
                 }
-                EncodedGroup::OneHot { feature, first_col, n_levels } => {
+                EncodedGroup::OneHot {
+                    feature,
+                    first_col,
+                    n_levels,
+                } => {
                     let block = &row[*first_col..first_col + n_levels];
                     let mut best = 0usize;
                     for (i, &v) in block.iter().enumerate() {
@@ -306,7 +343,10 @@ mod tests {
                 Column::Numeric(vec![20.0, 30.0, 40.0, 50.0]),
             ],
             vec![0, 1, 1, 0],
-            ProtectedSpec { feature: 1, privileged: PrivilegedIf::AtLeast(35.0) },
+            ProtectedSpec {
+                feature: 1,
+                privileged: PrivilegedIf::AtLeast(35.0),
+            },
         )
     }
 
@@ -383,7 +423,10 @@ mod tests {
             schema,
             vec![Column::Numeric(vec![5.0, 5.0, 5.0])],
             vec![0, 1, 0],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::AtLeast(0.0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::AtLeast(0.0),
+            },
         );
         let enc = Encoder::fit(&d);
         let e = enc.transform(&d);
@@ -400,7 +443,10 @@ mod tests {
             schema2,
             vec![Column::Categorical(vec![0, 1])],
             vec![0, 1],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(0),
+            },
         );
         let enc = Encoder::fit(&d2);
         let schema3 = Schema::new(vec![Feature::categorical("c", ["a", "b", "c"])], "y");
@@ -408,7 +454,10 @@ mod tests {
             schema3,
             vec![Column::Categorical(vec![2])],
             vec![1],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(0),
+            },
         );
         let _ = enc.transform(&d3);
     }

@@ -35,7 +35,13 @@ pub fn adult(n_rows: usize, seed: u64) -> Dataset {
             Feature::numeric("age"),
             Feature::categorical(
                 "workclass",
-                ["Private", "Self-emp", "Federal-gov", "Local-gov", "Unemployed"],
+                [
+                    "Private",
+                    "Self-emp",
+                    "Federal-gov",
+                    "Local-gov",
+                    "Unemployed",
+                ],
             ),
             Feature::categorical(
                 "education",
@@ -52,7 +58,12 @@ pub fn adult(n_rows: usize, seed: u64) -> Dataset {
             ),
             Feature::categorical(
                 "marital",
-                ["Never-married", "Married-civ-spouse", "Divorced/Separated", "Widowed"],
+                [
+                    "Never-married",
+                    "Married-civ-spouse",
+                    "Divorced/Separated",
+                    "Widowed",
+                ],
             ),
             Feature::categorical(
                 "relationship",
@@ -142,9 +153,9 @@ pub fn adult(n_rows: usize, seed: u64) -> Dataset {
         // Mid-career income peak.
         score += -0.0015 * (a - 48.0) * (a - 48.0) + 0.4;
         score += match wc {
-            2 => 0.3,       // Federal-gov
-            1 => 0.2,       // Self-emp
-            4 => -1.2,      // Unemployed
+            2 => 0.3,  // Federal-gov
+            1 => 0.2,  // Self-emp
+            4 => -1.2, // Unemployed
             _ => 0.0,
         };
 
@@ -177,8 +188,12 @@ pub fn adult(n_rows: usize, seed: u64) -> Dataset {
         hours_c.push(hours);
     }
 
-    let gender_idx = schema.feature_index("gender").expect("gender feature exists");
-    let male_level = schema.level_index(gender_idx, "Male").expect("Male level exists");
+    let gender_idx = schema
+        .feature_index("gender")
+        .expect("gender feature exists");
+    let male_level = schema
+        .level_index(gender_idx, "Male")
+        .expect("Male level exists");
     Dataset::new(
         schema,
         vec![

@@ -65,8 +65,7 @@ pub fn german(n_rows: usize, seed: u64) -> Dataset {
     let checking_dist = Categorical::new(&[0.27, 0.27, 0.06, 0.40]).expect("valid weights");
     let purpose_dist = Categorical::new(&[0.33, 0.18, 0.28, 0.09, 0.12]).expect("valid weights");
     let savings_dist = Categorical::new(&[0.60, 0.15, 0.10, 0.15]).expect("valid weights");
-    let employment_dist =
-        Categorical::new(&[0.06, 0.17, 0.34, 0.17, 0.26]).expect("valid weights");
+    let employment_dist = Categorical::new(&[0.06, 0.17, 0.34, 0.17, 0.26]).expect("valid weights");
     let debtors_dist = Categorical::new(&[0.82, 0.08, 0.10]).expect("valid weights");
     let housing_dist = Categorical::new(&[0.71, 0.18, 0.11]).expect("valid weights");
 
@@ -103,12 +102,18 @@ pub fn german(n_rows: usize, seed: u64) -> Dataset {
         // Older applicants have longer credit histories; "All-paid-duly" is
         // boosted for them so planted subgroup B reaches ≈ 6% support.
         let hist = if old {
-            Categorical::new(&[0.55, 0.30, 0.08, 0.07]).expect("valid weights").sample(&mut rng)
+            Categorical::new(&[0.55, 0.30, 0.08, 0.07])
+                .expect("valid weights")
+                .sample(&mut rng)
         } else {
-            Categorical::new(&[0.15, 0.50, 0.17, 0.18]).expect("valid weights").sample(&mut rng)
+            Categorical::new(&[0.15, 0.50, 0.17, 0.18])
+                .expect("valid weights")
+                .sample(&mut rng)
         } as u32;
         let pur = purpose_dist.sample(&mut rng) as u32;
-        let amt = (rng.normal_with(0.0, 0.8).exp() * 2500.0).clamp(250.0, 18500.0).round();
+        let amt = (rng.normal_with(0.0, 0.8).exp() * 2500.0)
+            .clamp(250.0, 18500.0)
+            .round();
         let sav = savings_dist.sample(&mut rng) as u32;
         let emp = employment_dist.sample(&mut rng) as u32;
         let inst = (rng.range(1, 5)) as f64; // 1..=4

@@ -46,8 +46,7 @@ mod tests {
         assert_eq!(d.n_rows(), n);
         let pos = d.positive_rate();
         assert!(pos > 0.15 && pos < 0.85, "degenerate positive rate {pos}");
-        let priv_frac =
-            d.privileged_mask().iter().filter(|&&p| p).count() as f64 / n as f64;
+        let priv_frac = d.privileged_mask().iter().filter(|&&p| p).count() as f64 / n as f64;
         assert!(
             priv_frac > 0.05 && priv_frac < 0.95,
             "degenerate privileged fraction {priv_frac}"
@@ -142,7 +141,10 @@ mod tests {
         }
         let rate_w = w.0 as f64 / w.1 as f64;
         let rate_nw = nw.0 as f64 / nw.1 as f64;
-        assert!(rate_w - rate_nw > 0.1, "white {rate_w} vs non-white {rate_nw}");
+        assert!(
+            rate_w - rate_nw > 0.1,
+            "white {rate_w} vs non-white {rate_nw}"
+        );
     }
 
     #[test]

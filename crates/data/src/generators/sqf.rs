@@ -41,7 +41,7 @@ pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
     );
 
     let mut rng = Rng::new(seed ^ 0x0073_7166); // "sqf"
-    // Stop demographics follow the real data's heavy skew.
+                                                // Stop demographics follow the real data's heavy skew.
     let race_dist = Categorical::new(&[0.54, 0.29, 0.12, 0.05]).expect("weights");
     let build_dist = Categorical::new(&[0.30, 0.55, 0.15]).expect("weights");
 
@@ -120,7 +120,9 @@ pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
     }
 
     let race_idx = schema.feature_index("race").expect("race feature exists");
-    let white_level = schema.level_index(race_idx, "White").expect("White level exists");
+    let white_level = schema
+        .level_index(race_idx, "White")
+        .expect("White level exists");
     Dataset::new(
         schema,
         vec![

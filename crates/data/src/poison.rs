@@ -129,10 +129,14 @@ impl AnchoringAttack {
         // Pick the (few) anchors once per direction: the attack's stealth
         // comes from stacking many poisons near the same popular points.
         let k = self.anchors_per_direction.max(1);
-        let priv_anchors: Vec<usize> =
-            (0..k).filter(|_| !priv_pos.is_empty()).map(|_| popularity(&priv_pos, rng)).collect();
-        let prot_anchors: Vec<usize> =
-            (0..k).filter(|_| !prot_neg.is_empty()).map(|_| popularity(&prot_neg, rng)).collect();
+        let priv_anchors: Vec<usize> = (0..k)
+            .filter(|_| !priv_pos.is_empty())
+            .map(|_| popularity(&priv_pos, rng))
+            .collect();
+        let prot_anchors: Vec<usize> = (0..k)
+            .filter(|_| !prot_neg.is_empty())
+            .map(|_| popularity(&prot_neg, rng))
+            .collect();
 
         // Build poisoned rows as perturbed copies of anchors.
         let mut new_cols: Vec<Column> = (0..clean.n_features())
@@ -196,7 +200,11 @@ impl AnchoringAttack {
         let data = clean.concat(&injected);
         let mut is_poison = vec![false; n];
         is_poison.extend(std::iter::repeat_n(true, n_poison));
-        PoisonedDataset { data, is_poison, n_poison }
+        PoisonedDataset {
+            data,
+            is_poison,
+            n_poison,
+        }
     }
 }
 
@@ -209,7 +217,10 @@ mod tests {
     fn injects_requested_fraction() {
         let clean = german(1000, 1);
         let mut rng = Rng::new(99);
-        let attack = AnchoringAttack { poison_fraction: 0.08, ..Default::default() };
+        let attack = AnchoringAttack {
+            poison_fraction: 0.08,
+            ..Default::default()
+        };
         let poisoned = attack.run(&clean, &mut rng);
         assert_eq!(poisoned.n_poison, 80);
         assert_eq!(poisoned.data.n_rows(), 1080);
@@ -222,7 +233,10 @@ mod tests {
     fn poisons_widen_the_group_gap() {
         let clean = german(2000, 2);
         let mut rng = Rng::new(100);
-        let attack = AnchoringAttack { poison_fraction: 0.10, ..Default::default() };
+        let attack = AnchoringAttack {
+            poison_fraction: 0.10,
+            ..Default::default()
+        };
         let poisoned = attack.run(&clean, &mut rng);
         // Gap = P(y=1 | privileged) − P(y=1 | protected), before and after.
         let gap = |d: &Dataset| {
@@ -268,7 +282,10 @@ mod tests {
     fn rejects_bad_fraction() {
         let clean = german(100, 4);
         let mut rng = Rng::new(102);
-        let attack = AnchoringAttack { poison_fraction: 0.0, ..Default::default() };
+        let attack = AnchoringAttack {
+            poison_fraction: 0.0,
+            ..Default::default()
+        };
         let _ = attack.run(&clean, &mut rng);
     }
 }

@@ -16,7 +16,9 @@ pub enum FeatureKind {
 impl FeatureKind {
     /// Convenience constructor for a categorical kind.
     pub fn categorical<S: Into<String>>(levels: impl IntoIterator<Item = S>) -> Self {
-        Self::Categorical { levels: levels.into_iter().map(Into::into).collect() }
+        Self::Categorical {
+            levels: levels.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of levels for categorical kinds; `None` for numeric.
@@ -43,12 +45,18 @@ impl Feature {
         name: S,
         levels: impl IntoIterator<Item = L>,
     ) -> Self {
-        Self { name: name.into(), kind: FeatureKind::categorical(levels) }
+        Self {
+            name: name.into(),
+            kind: FeatureKind::categorical(levels),
+        }
     }
 
     /// Creates a numeric feature.
     pub fn numeric<S: Into<String>>(name: S) -> Self {
-        Self { name: name.into(), kind: FeatureKind::Numeric }
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Numeric,
+        }
     }
 }
 
@@ -92,9 +100,16 @@ impl Schema {
         let mut seen = std::collections::BTreeSet::new();
         for f in &features {
             assert!(!f.name.is_empty(), "schema: empty feature name");
-            assert!(seen.insert(f.name.clone()), "schema: duplicate feature {:?}", f.name);
+            assert!(
+                seen.insert(f.name.clone()),
+                "schema: duplicate feature {:?}",
+                f.name
+            );
         }
-        Self { features, label_name: label_name.into() }
+        Self {
+            features,
+            label_name: label_name.into(),
+        }
     }
 
     /// The features in declaration order.
@@ -179,10 +194,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate feature")]
     fn rejects_duplicate_names() {
-        Schema::new(
-            vec![Feature::numeric("x"), Feature::numeric("x")],
-            "label",
-        );
+        Schema::new(vec![Feature::numeric("x"), Feature::numeric("x")], "label");
     }
 
     #[test]

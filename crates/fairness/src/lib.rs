@@ -146,9 +146,7 @@ pub fn bias<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) -> f64 
 /// The smooth (probability-based) bias used for gradients.
 pub fn smooth_bias<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) -> f64 {
     match metric {
-        FairnessMetric::AverageOdds => {
-            average_odds(test, |r| model.predict_proba(test.x.row(r)))
-        }
+        FairnessMetric::AverageOdds => average_odds(test, |r| model.predict_proba(test.x.row(r))),
         FairnessMetric::StatisticalParity | FairnessMetric::EqualOpportunity => {
             let mut num = [0.0f64; 2];
             let mut den = [0.0f64; 2];
@@ -223,7 +221,11 @@ pub fn bias_gradient<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded
                 if counts[g] == 0.0 {
                     continue;
                 }
-                let w = if g == 1 { 1.0 / counts[1] } else { -1.0 / counts[0] };
+                let w = if g == 1 {
+                    1.0 / counts[1]
+                } else {
+                    -1.0 / counts[0]
+                };
                 row_grad.iter_mut().for_each(|v| *v = 0.0);
                 model.accumulate_grad_proba(test.x.row(r), &mut row_grad);
                 gopher_linalg::vecops::axpy(w, &row_grad, &mut grad);
@@ -327,7 +329,10 @@ mod tests {
         let (model, data) = trained_german();
         for metric in FairnessMetric::ALL {
             let b = bias(metric, &model, &data);
-            assert!(b > 0.0, "{metric} should favor the privileged group, got {b}");
+            assert!(
+                b > 0.0,
+                "{metric} should favor the privileged group, got {b}"
+            );
         }
     }
 
@@ -357,8 +362,8 @@ mod tests {
                 mp.params_mut()[j] += eps;
                 let mut mm = model.clone();
                 mm.params_mut()[j] -= eps;
-                let fd =
-                    (smooth_bias(metric, &mp, &data) - smooth_bias(metric, &mm, &data)) / (2.0 * eps);
+                let fd = (smooth_bias(metric, &mp, &data) - smooth_bias(metric, &mm, &data))
+                    / (2.0 * eps);
                 assert!(
                     (grad[j] - fd).abs() < 1e-5,
                     "{metric} param {j}: {} vs {fd}",
@@ -414,7 +419,10 @@ mod tests {
             * ((stats.privileged.tpr() - stats.protected.tpr())
                 + (stats.privileged.fpr() - stats.protected.fpr()));
         let measured = bias(FairnessMetric::AverageOdds, &model, &data);
-        assert!((measured - expected).abs() < 1e-12, "{measured} vs {expected}");
+        assert!(
+            (measured - expected).abs() < 1e-12,
+            "{measured} vs {expected}"
+        );
         // And it is bounded by the equalized-odds gap.
         assert!(measured.abs() <= equalized_odds_gap(&model, &data) + 1e-12);
     }
@@ -432,7 +440,11 @@ mod tests {
             let fd = (smooth_bias(FairnessMetric::AverageOdds, &mp, &data)
                 - smooth_bias(FairnessMetric::AverageOdds, &mm, &data))
                 / (2.0 * eps);
-            assert!((grad[j] - fd).abs() < 1e-6, "param {j}: {} vs {fd}", grad[j]);
+            assert!(
+                (grad[j] - fd).abs() < 1e-6,
+                "param {j}: {} vs {fd}",
+                grad[j]
+            );
         }
     }
 
@@ -446,8 +458,17 @@ mod tests {
 
     #[test]
     fn metric_names_are_stable() {
-        assert_eq!(FairnessMetric::StatisticalParity.to_string(), "statistical parity");
-        assert_eq!(FairnessMetric::EqualOpportunity.to_string(), "equal opportunity");
-        assert_eq!(FairnessMetric::PredictiveParity.to_string(), "predictive parity");
+        assert_eq!(
+            FairnessMetric::StatisticalParity.to_string(),
+            "statistical parity"
+        );
+        assert_eq!(
+            FairnessMetric::EqualOpportunity.to_string(),
+            "equal opportunity"
+        );
+        assert_eq!(
+            FairnessMetric::PredictiveParity.to_string(),
+            "predictive parity"
+        );
     }
 }

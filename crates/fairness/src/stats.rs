@@ -101,7 +101,12 @@ mod tests {
 
     #[test]
     fn rates_from_known_counts() {
-        let c = ConfusionCounts { tp: 30, fp: 10, tn: 40, fn_: 20 };
+        let c = ConfusionCounts {
+            tp: 30,
+            fp: 10,
+            tn: 40,
+            fn_: 20,
+        };
         assert_eq!(c.total(), 100);
         assert!((c.positive_rate() - 0.4).abs() < 1e-12);
         assert!((c.tpr() - 0.6).abs() < 1e-12);
@@ -121,8 +126,18 @@ mod tests {
     #[test]
     fn overall_accuracy_combines_groups() {
         let stats = GroupStats {
-            privileged: ConfusionCounts { tp: 5, fp: 0, tn: 5, fn_: 0 },
-            protected: ConfusionCounts { tp: 0, fp: 5, tn: 0, fn_: 5 },
+            privileged: ConfusionCounts {
+                tp: 5,
+                fp: 0,
+                tn: 5,
+                fn_: 0,
+            },
+            protected: ConfusionCounts {
+                tp: 0,
+                fp: 5,
+                tn: 0,
+                fn_: 5,
+            },
         };
         assert!((stats.overall_accuracy() - 0.5).abs() < 1e-12);
     }

@@ -37,7 +37,14 @@ impl<'a, M: Model> BiasInfluence<'a, M> {
         let grad_f = gopher_fairness::bias_gradient(metric, engine.model(), test);
         let base_hard = gopher_fairness::bias(metric, engine.model(), test);
         let base_smooth = gopher_fairness::smooth_bias(metric, engine.model(), test);
-        Self { engine, metric, test, grad_f, base_hard, base_smooth }
+        Self {
+            engine,
+            metric,
+            test,
+            grad_f,
+            base_hard,
+            base_smooth,
+        }
     }
 
     /// The metric being tracked.
@@ -159,13 +166,15 @@ mod tests {
         assert!(!rows.is_empty());
 
         let outcome = retrain_without(engine.model(), &train, &rows);
-        let true_change = gopher_fairness::smooth_bias(
-            FairnessMetric::StatisticalParity,
-            &outcome.model,
-            &test,
-        ) - bi.base_smooth_bias();
+        let true_change =
+            gopher_fairness::smooth_bias(FairnessMetric::StatisticalParity, &outcome.model, &test)
+                - bi.base_smooth_bias();
 
-        for est in [Estimator::FirstOrder, Estimator::SecondOrder, Estimator::NewtonStep] {
+        for est in [
+            Estimator::FirstOrder,
+            Estimator::SecondOrder,
+            Estimator::NewtonStep,
+        ] {
             let est_change = bi.bias_change(&train, &rows, est, BiasEval::ChainRule);
             assert_eq!(
                 est_change.signum(),
@@ -187,11 +196,9 @@ mod tests {
         let bi = BiasInfluence::new(&engine, FairnessMetric::StatisticalParity, &test);
         let rows: Vec<u32> = (0..(train.n_rows() / 5) as u32).collect(); // 20%
         let outcome = retrain_without(engine.model(), &train, &rows);
-        let true_change = gopher_fairness::smooth_bias(
-            FairnessMetric::StatisticalParity,
-            &outcome.model,
-            &test,
-        ) - bi.base_smooth_bias();
+        let true_change =
+            gopher_fairness::smooth_bias(FairnessMetric::StatisticalParity, &outcome.model, &test)
+                - bi.base_smooth_bias();
         let delta = engine.param_change(&train, &rows, Estimator::NewtonStep);
         let chain = bi.bias_change_from_delta(&delta, BiasEval::ChainRule);
         let reeval = bi.bias_change_from_delta(&delta, BiasEval::ReEvalSmooth);
@@ -213,15 +220,24 @@ mod tests {
             .filter(|&r| train.privileged[r as usize] && train.y[r as usize] == 1.0)
             .take(30)
             .collect();
-        let r = bi.responsibility(&train, &up_rows, Estimator::SecondOrder, BiasEval::ChainRule);
+        let r = bi.responsibility(
+            &train,
+            &up_rows,
+            Estimator::SecondOrder,
+            BiasEval::ChainRule,
+        );
         assert!(r > 0.0, "responsibility of bias-increasing rows {r}");
         // Protected positives pull bias down; removing them should backfire.
         let down_rows: Vec<u32> = (0..train.n_rows() as u32)
             .filter(|&r| !train.privileged[r as usize] && train.y[r as usize] == 1.0)
             .take(30)
             .collect();
-        let r2 =
-            bi.responsibility(&train, &down_rows, Estimator::SecondOrder, BiasEval::ChainRule);
+        let r2 = bi.responsibility(
+            &train,
+            &down_rows,
+            Estimator::SecondOrder,
+            BiasEval::ChainRule,
+        );
         assert!(r2 < 0.0, "responsibility of bias-reducing rows {r2}");
     }
 

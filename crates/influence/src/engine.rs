@@ -51,7 +51,12 @@ pub struct InfluenceConfig {
 
 impl Default for InfluenceConfig {
     fn default() -> Self {
-        Self { damping: 1e-6, fd_eps: 1e-5, cg_tol: 1e-10, cg_max_iter: 500 }
+        Self {
+            damping: 1e-6,
+            fd_eps: 1e-5,
+            cg_tol: 1e-10,
+            cg_max_iter: 500,
+        }
     }
 }
 
@@ -131,7 +136,15 @@ impl<M: Model> InfluenceEngine<M> {
         // Keep the damped Hessian so all estimators see the same operator.
         hessian.add_diagonal(damping_used);
 
-        Self { model, grads, hessian, chol, damping_used, config, n }
+        Self {
+            model,
+            grads,
+            hessian,
+            chol,
+            damping_used,
+            config,
+            n,
+        }
     }
 
     /// The model the engine was built around.
@@ -183,7 +196,8 @@ impl<M: Model> InfluenceEngine<M> {
         if self.model.has_analytic_hessian() {
             for &r in rows {
                 let r = r as usize;
-                self.model.accumulate_hessian_vec(train.x.row(r), train.y[r], v, &mut out);
+                self.model
+                    .accumulate_hessian_vec(train.x.row(r), train.y[r], v, &mut out);
             }
         } else {
             let vnorm = vecops::norm_inf(v);
@@ -395,7 +409,11 @@ mod tests {
         vecops::scale(1.0 / n as f64, &mut b);
         let chol = Cholesky::factor(&h).unwrap();
         let params = chol.solve(&b);
-        Ridge { params, n_inputs: d, l2 }
+        Ridge {
+            params,
+            n_inputs: d,
+            l2,
+        }
     }
 
     #[test]
@@ -406,7 +424,10 @@ mod tests {
         let engine = InfluenceEngine::new(
             model.clone(),
             &data,
-            InfluenceConfig { damping: 0.0, ..Default::default() },
+            InfluenceConfig {
+                damping: 0.0,
+                ..Default::default()
+            },
         );
         // Remove 15% of rows.
         let rows: Vec<u32> = (0..30).collect();
@@ -433,17 +454,22 @@ mod tests {
         let engine = InfluenceEngine::new(
             model.clone(),
             &data,
-            InfluenceConfig { damping: 0.0, ..Default::default() },
+            InfluenceConfig {
+                damping: 0.0,
+                ..Default::default()
+            },
         );
         let mut fo_err = 0.0;
         let mut so_err = 0.0;
         let mut rng = Rng::new(3);
         for trial in 0..5 {
             let m = 30 + trial * 15; // 10% … 30%
-            let rows: Vec<u32> =
-                rng.sample_indices(300, m).into_iter().map(|r| r as u32).collect();
-            let keep: Vec<usize> =
-                (0..300).filter(|r| !rows.contains(&(*r as u32))).collect();
+            let rows: Vec<u32> = rng
+                .sample_indices(300, m)
+                .into_iter()
+                .map(|r| r as u32)
+                .collect();
+            let keep: Vec<usize> = (0..300).filter(|r| !rows.contains(&(*r as u32))).collect();
             let exact = ridge_fit(&data.select_rows(&keep), l2);
             let truth = vecops::sub(exact.params(), model.params());
             let fo = engine.param_change(&data, &rows, Estimator::FirstOrder);
@@ -474,10 +500,14 @@ mod tests {
         let truth = vecops::sub(retrained.params(), model.params());
         let truth_norm = vecops::norm2(&truth);
         assert!(truth_norm > 1e-6, "removal must move the parameters");
-        for est in [Estimator::FirstOrder, Estimator::SecondOrder, Estimator::NewtonStep] {
+        for est in [
+            Estimator::FirstOrder,
+            Estimator::SecondOrder,
+            Estimator::NewtonStep,
+        ] {
             let delta = engine.param_change(&data, &rows, est);
-            let cos = vecops::dot(&delta, &truth)
-                / (vecops::norm2(&delta) * truth_norm).max(1e-300);
+            let cos =
+                vecops::dot(&delta, &truth) / (vecops::norm2(&delta) * truth_norm).max(1e-300);
             assert!(cos > 0.9, "{}: cosine to ground truth {cos}", est.label());
         }
         // Newton should be the most accurate.
@@ -531,8 +561,7 @@ mod tests {
         let model = ridge_fit(&data, 0.2);
         let engine = InfluenceEngine::new(model, &data, InfluenceConfig::default());
         let g = engine.subset_gradient(&[2, 7]);
-        let expected =
-            vecops::add(engine.row_gradient(2), engine.row_gradient(7));
+        let expected = vecops::add(engine.row_gradient(2), engine.row_gradient(7));
         for (a, b) in g.iter().zip(&expected) {
             assert!((a - b).abs() < 1e-12);
         }

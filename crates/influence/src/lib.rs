@@ -41,4 +41,4 @@ mod retrain;
 
 pub use bias::{BiasEval, BiasInfluence};
 pub use engine::{Estimator, InfluenceConfig, InfluenceEngine};
-pub use retrain::{retrain_without, retrain_updated, RetrainOutcome};
+pub use retrain::{retrain_updated, retrain_without, RetrainOutcome};

@@ -24,7 +24,10 @@ pub fn retrain_without<M: Model>(model: &M, train: &Encoded, rows: &[u32]) -> Re
     let reduced = train.remove_rows(&remove);
     let mut retrained = model.clone();
     let report = fit_default(&mut retrained, &reduced);
-    RetrainOutcome { model: retrained, report }
+    RetrainOutcome {
+        model: retrained,
+        report,
+    }
 }
 
 /// Retrains a copy of `model` on an already-modified training set (used by
@@ -32,7 +35,10 @@ pub fn retrain_without<M: Model>(model: &M, train: &Encoded, rows: &[u32]) -> Re
 pub fn retrain_updated<M: Model>(model: &M, updated_train: &Encoded) -> RetrainOutcome<M> {
     let mut retrained = model.clone();
     let report = fit_default(&mut retrained, updated_train);
-    RetrainOutcome { model: retrained, report }
+    RetrainOutcome {
+        model: retrained,
+        report,
+    }
 }
 
 #[cfg(test)]

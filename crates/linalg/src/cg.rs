@@ -35,7 +35,12 @@ where
     let mut r = b.to_vec(); // r = b - A·0
     let b_norm = vecops::norm2(b);
     if b_norm == 0.0 {
-        return CgOutcome { x, iterations: 0, residual_norm: 0.0, converged: true };
+        return CgOutcome {
+            x,
+            iterations: 0,
+            residual_norm: 0.0,
+            converged: true,
+        };
     }
     let target = tol * b_norm;
     let mut p = r.clone();
@@ -64,7 +69,12 @@ where
         iterations += 1;
     }
     let residual_norm = rsq.sqrt();
-    CgOutcome { x, iterations, residual_norm, converged: residual_norm <= target }
+    CgOutcome {
+        x,
+        iterations,
+        residual_norm,
+        converged: residual_norm <= target,
+    }
 }
 
 #[cfg(test)]

@@ -80,7 +80,10 @@ impl Cholesky {
         max_tries: u32,
     ) -> Result<(Self, f64), CholeskyError> {
         assert!(damping >= 0.0, "factor_damped: damping must be >= 0");
-        let mut last_err = CholeskyError { pivot: 0, value: 0.0 };
+        let mut last_err = CholeskyError {
+            pivot: 0,
+            value: 0.0,
+        };
         for attempt in 0..max_tries {
             let mut damped = a.clone();
             damped.add_diagonal(damping);
@@ -90,7 +93,11 @@ impl Cholesky {
                     last_err = e;
                     // Escalate: start from a scale-aware floor, then grow.
                     let floor = 1e-8 * a.max_abs().max(1.0);
-                    damping = if damping == 0.0 { floor } else { damping * 10.0 };
+                    damping = if damping == 0.0 {
+                        floor
+                    } else {
+                        damping * 10.0
+                    };
                     let _ = attempt;
                 }
             }

@@ -5,8 +5,8 @@
 //! gradient is all the influence-function machinery needs. Everything is
 //! `f64`, allocation-conscious, and thoroughly unit- and property-tested.
 
-mod cholesky;
 mod cg;
+mod cholesky;
 mod matrix;
 pub mod vecops;
 

@@ -25,8 +25,15 @@ impl LogisticRegression {
     /// # Panics
     /// If `l2` is negative or non-finite.
     pub fn new(n_inputs: usize, l2: f64) -> Self {
-        assert!(l2 >= 0.0 && l2.is_finite(), "l2 must be a non-negative finite value");
-        Self { params: vec![0.0; n_inputs + 1], n_inputs, l2 }
+        assert!(
+            l2 >= 0.0 && l2.is_finite(),
+            "l2 must be a non-negative finite value"
+        );
+        Self {
+            params: vec![0.0; n_inputs + 1],
+            n_inputs,
+            l2,
+        }
     }
 
     /// The decision-function value `wᵀx + b`.

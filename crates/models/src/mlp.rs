@@ -45,7 +45,10 @@ impl Mlp {
     /// If `hidden == 0` or `l2` is negative/non-finite.
     pub fn new(n_inputs: usize, hidden: usize, l2: f64, rng: &mut Rng) -> Self {
         assert!(hidden > 0, "mlp needs at least one hidden unit");
-        assert!(l2 >= 0.0 && l2.is_finite(), "l2 must be a non-negative finite value");
+        assert!(
+            l2 >= 0.0 && l2.is_finite(),
+            "l2 must be a non-negative finite value"
+        );
         let n_params = hidden * n_inputs + hidden + hidden + 1;
         let mut params = Vec::with_capacity(n_params);
         let w1_scale = 1.0 / (n_inputs as f64).sqrt();
@@ -58,7 +61,12 @@ impl Mlp {
             params.push(rng.normal_with(0.0, w2_scale));
         }
         params.push(0.0); // b₂
-        Self { params, n_inputs, hidden, l2 }
+        Self {
+            params,
+            n_inputs,
+            hidden,
+            l2,
+        }
     }
 
     /// Number of hidden units.
@@ -98,7 +106,11 @@ impl Mlp {
             h.push(a.tanh());
         }
         let z = vecops::dot(self.w2(), &h) + self.b2();
-        Forward { p: sigmoid(z), h, z }
+        Forward {
+            p: sigmoid(z),
+            h,
+            z,
+        }
     }
 
     /// Backpropagates `dz` (the derivative of the scalar objective w.r.t. the
@@ -114,7 +126,7 @@ impl Mlp {
             out[w2_start + i] += dz * hi;
         }
         out[hidden * d + hidden + hidden] += dz; // b₂
-        // Hidden layer.
+                                                 // Hidden layer.
         for unit in 0..hidden {
             let da = dz * w2[unit] * (1.0 - h[unit] * h[unit]);
             if da == 0.0 {

@@ -30,8 +30,15 @@ impl LinearSvm {
     /// # Panics
     /// If `l2` is negative or non-finite.
     pub fn new(n_inputs: usize, l2: f64) -> Self {
-        assert!(l2 >= 0.0 && l2.is_finite(), "l2 must be a non-negative finite value");
-        Self { params: vec![0.0; n_inputs + 1], n_inputs, l2 }
+        assert!(
+            l2 >= 0.0 && l2.is_finite(),
+            "l2 must be a non-negative finite value"
+        );
+        Self {
+            params: vec![0.0; n_inputs + 1],
+            n_inputs,
+            l2,
+        }
     }
 
     /// The decision-function value `wᵀx + b`.
@@ -167,7 +174,11 @@ mod tests {
                 let mut mm = m.clone();
                 mm.params_mut()[j] -= eps;
                 let fd = (mp.loss(&x, y) - mm.loss(&x, y)) / (2.0 * eps);
-                assert!((g[j] - fd).abs() < 1e-5, "y={y} param {j}: {} vs {fd}", g[j]);
+                assert!(
+                    (g[j] - fd).abs() < 1e-5,
+                    "y={y} param {j}: {} vs {fd}",
+                    g[j]
+                );
             }
         }
     }

@@ -73,7 +73,12 @@ pub struct GdConfig {
 
 impl Default for GdConfig {
     fn default() -> Self {
-        Self { learning_rate: 0.5, max_epochs: 2000, grad_tol: 1e-6, momentum: 0.9 }
+        Self {
+            learning_rate: 0.5,
+            max_epochs: 2000,
+            grad_tol: 1e-6,
+            momentum: 0.9,
+        }
     }
 }
 
@@ -118,7 +123,11 @@ pub struct NewtonConfig {
 
 impl Default for NewtonConfig {
     fn default() -> Self {
-        Self { max_iter: 50, grad_tol: 1e-10, damping: 1e-8 }
+        Self {
+            max_iter: 50,
+            grad_tol: 1e-10,
+            damping: 1e-8,
+        }
     }
 }
 
@@ -227,7 +236,12 @@ mod tests {
         let report = fit_gd(
             &mut gd,
             &data,
-            &GdConfig { learning_rate: 0.5, max_epochs: 8000, grad_tol: 1e-7, momentum: 0.9 },
+            &GdConfig {
+                learning_rate: 0.5,
+                max_epochs: 8000,
+                grad_tol: 1e-7,
+                momentum: 0.9,
+            },
         );
         assert!(report.converged, "gd grad norm {}", report.grad_norm);
         let gap = objective(&gd, &data) - objective(&newton, &data);
@@ -254,7 +268,12 @@ mod tests {
         let report = fit_gd(
             &mut model,
             &data,
-            &GdConfig { learning_rate: 0.3, max_epochs: 3000, grad_tol: 1e-5, momentum: 0.9 },
+            &GdConfig {
+                learning_rate: 0.3,
+                max_epochs: 3000,
+                grad_tol: 1e-5,
+                momentum: 0.9,
+            },
         );
         assert!(report.final_loss < before, "loss must decrease");
         assert!(report.grad_norm < 1e-3, "grad norm {}", report.grad_norm);
@@ -295,6 +314,10 @@ mod tests {
         let mut warm = model.clone();
         let report = fit_newton(&mut warm, &reduced, &NewtonConfig::default());
         assert!(report.converged);
-        assert!(report.iterations <= 10, "warm start took {} iterations", report.iterations);
+        assert!(
+            report.iterations <= 10,
+            "warm start took {} iterations",
+            report.iterations
+        );
     }
 }

@@ -12,7 +12,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over `len` rows.
     pub fn new(len: usize) -> Self {
-        Self { words: vec![0; len.div_ceil(64)], len }
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// A set over `len` rows with the given members.
@@ -65,7 +68,12 @@ impl BitSet {
     pub fn and(&self, other: &BitSet) -> BitSet {
         assert_eq!(self.len, other.len, "bitset: universe mismatch");
         BitSet {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             len: self.len,
         }
     }

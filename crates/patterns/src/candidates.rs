@@ -52,7 +52,10 @@ impl PredicateTable {
 
     /// Iterates `(id, predicate)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &Predicate)> {
-        self.predicates.iter().enumerate().map(|(i, p)| (i as u16, p))
+        self.predicates
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u16, p))
     }
 }
 
@@ -97,7 +100,13 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
                             cov.insert(r);
                         }
                     }
-                    push_into(&mut predicates, &mut coverage, n, Predicate::eq_level(f, level), cov);
+                    push_into(
+                        &mut predicates,
+                        &mut coverage,
+                        n,
+                        Predicate::eq_level(f, level),
+                        cov,
+                    );
                 }
             }
             (FeatureKind::Numeric, Column::Numeric(vals)) => {
@@ -112,8 +121,20 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
                             ge_cov.insert(r);
                         }
                     }
-                    push_into(&mut predicates, &mut coverage, n, Predicate::lt(f, t), lt_cov);
-                    push_into(&mut predicates, &mut coverage, n, Predicate::ge(f, t), ge_cov);
+                    push_into(
+                        &mut predicates,
+                        &mut coverage,
+                        n,
+                        Predicate::lt(f, t),
+                        lt_cov,
+                    );
+                    push_into(
+                        &mut predicates,
+                        &mut coverage,
+                        n,
+                        Predicate::ge(f, t),
+                        ge_cov,
+                    );
                 }
             }
             _ => unreachable!("dataset validated against schema"),
@@ -126,9 +147,9 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
     // to land on it.
     if let gopher_data::schema::PrivilegedIf::AtLeast(cutoff) = data.protected().privileged {
         let f = data.protected().feature;
-        let already = predicates
-            .iter()
-            .any(|p: &Predicate| p.feature == f && matches!(p.value, crate::PredValue::Threshold(t) if t == cutoff));
+        let already = predicates.iter().any(|p: &Predicate| {
+            p.feature == f && matches!(p.value, crate::PredValue::Threshold(t) if t == cutoff)
+        });
         if !already {
             if let Column::Numeric(vals) = data.column(f) {
                 let mut lt_cov = BitSet::new(n);
@@ -140,13 +161,29 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
                         ge_cov.insert(r);
                     }
                 }
-                push_into(&mut predicates, &mut coverage, n, Predicate::lt(f, cutoff), lt_cov);
-                push_into(&mut predicates, &mut coverage, n, Predicate::ge(f, cutoff), ge_cov);
+                push_into(
+                    &mut predicates,
+                    &mut coverage,
+                    n,
+                    Predicate::lt(f, cutoff),
+                    lt_cov,
+                );
+                push_into(
+                    &mut predicates,
+                    &mut coverage,
+                    n,
+                    Predicate::ge(f, cutoff),
+                    ge_cov,
+                );
             }
         }
     }
 
-    PredicateTable { predicates, coverage, n_rows: n }
+    PredicateTable {
+        predicates,
+        coverage,
+        n_rows: n,
+    }
 }
 
 #[cfg(test)]
@@ -198,7 +235,10 @@ mod tests {
             schema,
             vec![Column::Categorical(vec![0, 1, 0, 1])],
             vec![0, 1, 0, 1],
-            ProtectedSpec { feature: 0, privileged: PrivilegedIf::Level(0) },
+            ProtectedSpec {
+                feature: 0,
+                privileged: PrivilegedIf::Level(0),
+            },
         );
         let table = generate_predicates(&d, 4);
         // Only the two occurring levels produce predicates.

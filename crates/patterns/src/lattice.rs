@@ -101,7 +101,10 @@ where
         (0.0..1.0).contains(&config.support_threshold),
         "support threshold must be in [0, 1)"
     );
-    assert!(config.max_predicates >= 1, "need at least one predicate per pattern");
+    assert!(
+        config.max_predicates >= 1,
+        "need at least one predicate per pattern"
+    );
     let n = table.n_rows();
     let min_count = (config.support_threshold * n as f64).ceil().max(1.0) as usize;
 
@@ -163,7 +166,10 @@ where
                 let db = b.pattern.difference(&a.pattern);
                 debug_assert_eq!(da.len(), 1);
                 debug_assert_eq!(db.len(), 1);
-                if table.predicate(da[0]).conflicts_with(table.predicate(db[0])) {
+                if table
+                    .predicate(da[0])
+                    .conflicts_with(table.predicate(db[0]))
+                {
                     continue;
                 }
                 let coverage = a.coverage.and(&b.coverage);
@@ -240,7 +246,10 @@ mod tests {
     fn all_candidates_meet_support_threshold() {
         let d = german(400, 61);
         let table = generate_predicates(&d, 4);
-        let config = LatticeConfig { support_threshold: 0.05, ..Default::default() };
+        let config = LatticeConfig {
+            support_threshold: 0.05,
+            ..Default::default()
+        };
         let (cands, _) = compute_candidates(&table, toy_score(d.labels()), &config);
         assert!(!cands.is_empty());
         for c in &cands {
@@ -253,7 +262,10 @@ mod tests {
     fn responsibility_pruning_enforces_strict_improvement() {
         let d = german(400, 62);
         let table = generate_predicates(&d, 4);
-        let config = LatticeConfig { support_threshold: 0.02, ..Default::default() };
+        let config = LatticeConfig {
+            support_threshold: 0.02,
+            ..Default::default()
+        };
         let (cands, _) = compute_candidates(&table, toy_score(d.labels()), &config);
         // Every multi-predicate candidate must out-score every strict
         // sub-pattern present in the result (transitively guaranteed by the
@@ -283,7 +295,10 @@ mod tests {
         let pruned = compute_candidates(
             &table,
             toy_score(d.labels()),
-            &LatticeConfig { support_threshold: 0.05, ..Default::default() },
+            &LatticeConfig {
+                support_threshold: 0.05,
+                ..Default::default()
+            },
         )
         .0
         .len();
@@ -321,7 +336,11 @@ mod tests {
         );
         let mut seen = std::collections::HashSet::new();
         for c in &cands {
-            assert!(seen.insert(c.pattern.ids().to_vec()), "duplicate {:?}", c.pattern);
+            assert!(
+                seen.insert(c.pattern.ids().to_vec()),
+                "duplicate {:?}",
+                c.pattern
+            );
         }
     }
 
@@ -360,7 +379,10 @@ mod tests {
         let (cands, stats) = compute_candidates(
             &table,
             toy_score(d.labels()),
-            &LatticeConfig { support_threshold: 0.05, ..Default::default() },
+            &LatticeConfig {
+                support_threshold: 0.05,
+                ..Default::default()
+            },
         );
         assert!(!stats.levels.is_empty());
         assert_eq!(stats.levels[0].level, 1);
@@ -383,7 +405,12 @@ mod tests {
             },
         );
         for level in &stats.levels {
-            assert!(level.kept <= 20, "level {} kept {}", level.level, level.kept);
+            assert!(
+                level.kept <= 20,
+                "level {} kept {}",
+                level.level,
+                level.kept
+            );
         }
     }
 
@@ -394,7 +421,10 @@ mod tests {
         let (cands, _) = compute_candidates(
             &table,
             toy_score(d.labels()),
-            &LatticeConfig { support_threshold: 0.05, ..Default::default() },
+            &LatticeConfig {
+                support_threshold: 0.05,
+                ..Default::default()
+            },
         );
         for c in cands.iter().filter(|c| c.pattern.len() >= 2) {
             let mut expected: Option<BitSet> = None;

@@ -70,7 +70,11 @@ impl Pattern {
 
     /// The ids in `self` not present in `other`.
     pub fn difference(&self, other: &Pattern) -> Vec<u16> {
-        self.ids.iter().copied().filter(|id| !other.ids.contains(id)).collect()
+        self.ids
+            .iter()
+            .copied()
+            .filter(|id| !other.ids.contains(id))
+            .collect()
     }
 
     /// Renders the pattern as `pred ∧ pred ∧ …` with schema names.
@@ -101,7 +105,10 @@ mod tests {
         let c = Pattern::from_ids(vec![3, 4]);
         assert_eq!(a.merge(&b).unwrap().ids(), &[1, 2, 3]);
         assert!(a.merge(&c).is_none(), "disjoint pairs cannot merge");
-        assert!(a.merge(&a).is_none(), "identical patterns share k ids, not k-1");
+        assert!(
+            a.merge(&a).is_none(),
+            "identical patterns share k ids, not k-1"
+        );
     }
 
     #[test]

@@ -37,17 +37,29 @@ pub struct Predicate {
 impl Predicate {
     /// Equality predicate on a categorical level.
     pub fn eq_level(feature: usize, level: u32) -> Self {
-        Self { feature, op: Op::Eq, value: PredValue::Level(level) }
+        Self {
+            feature,
+            op: Op::Eq,
+            value: PredValue::Level(level),
+        }
     }
 
     /// `feature < threshold` on a numeric feature.
     pub fn lt(feature: usize, threshold: f64) -> Self {
-        Self { feature, op: Op::Lt, value: PredValue::Threshold(threshold) }
+        Self {
+            feature,
+            op: Op::Lt,
+            value: PredValue::Threshold(threshold),
+        }
     }
 
     /// `feature >= threshold` on a numeric feature.
     pub fn ge(feature: usize, threshold: f64) -> Self {
-        Self { feature, op: Op::Ge, value: PredValue::Threshold(threshold) }
+        Self {
+            feature,
+            op: Op::Ge,
+            value: PredValue::Threshold(threshold),
+        }
     }
 
     /// Whether a dataset row satisfies the predicate.
@@ -118,7 +130,10 @@ mod tests {
                 Column::Numeric(vec![20.0, 45.0, 60.0]),
             ],
             vec![0, 1, 1],
-            ProtectedSpec { feature: 1, privileged: PrivilegedIf::AtLeast(45.0) },
+            ProtectedSpec {
+                feature: 1,
+                privileged: PrivilegedIf::AtLeast(45.0),
+            },
         )
     }
 
@@ -141,7 +156,10 @@ mod tests {
         let eq_red = Predicate::eq_level(0, 0);
         let eq_blue = Predicate::eq_level(0, 1);
         assert!(eq_red.conflicts_with(&eq_blue), "different levels conflict");
-        assert!(eq_red.conflicts_with(&eq_red), "same predicate is redundant");
+        assert!(
+            eq_red.conflicts_with(&eq_red),
+            "same predicate is redundant"
+        );
 
         let lt45 = Predicate::lt(1, 45.0);
         let lt60 = Predicate::lt(1, 60.0);

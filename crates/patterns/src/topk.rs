@@ -37,7 +37,9 @@ pub fn top_k(candidates: &[Candidate], k: usize, containment_threshold: f64) -> 
         if kept.len() == k {
             break;
         }
-        let diverse = kept.iter().all(|prev| containment(cand, prev) < containment_threshold);
+        let diverse = kept
+            .iter()
+            .all(|prev| containment(cand, prev) < containment_threshold);
         if diverse {
             kept.push(cand.clone());
         }
@@ -67,7 +69,10 @@ mod tests {
     fn containment_definition() {
         let a = cand(0, &[0, 1, 2, 3], 10, 1.0);
         let b = cand(1, &[2, 3, 4, 5, 6, 7], 10, 1.0);
-        assert!((containment(&a, &b) - 0.5).abs() < 1e-12, "2 of 4 rows of a are in b");
+        assert!(
+            (containment(&a, &b) - 0.5).abs() < 1e-12,
+            "2 of 4 rows of a are in b"
+        );
         assert!((containment(&b, &a) - 2.0 / 6.0).abs() < 1e-12);
     }
 

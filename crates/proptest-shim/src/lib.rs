@@ -1,0 +1,307 @@
+//! Offline drop-in replacement for the subset of
+//! [proptest](https://crates.io/crates/proptest) used by this workspace.
+//!
+//! The build container has no network access to crates.io, so this crate
+//! re-implements just enough of proptest's surface for
+//! `tests/properties.rs` to compile and run unmodified:
+//!
+//! * the [`proptest!`] macro (multiple `#[test] fn name(arg in strategy)`
+//!   items per block);
+//! * [`Strategy`] implementations for integer and float [`Range`]s and for
+//!   tuples of strategies;
+//! * [`collection::vec`] and [`collection::btree_set`] with either a fixed
+//!   size or a size range;
+//! * [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Semantics differ from real proptest in two deliberate ways: inputs are
+//! drawn from a seeded [`gopher_prng::Rng`] (deterministic per test name, so
+//! failures reproduce), and there is **no shrinking** — a failing case is
+//! reported verbatim. Each test body runs [`CASES`] times.
+
+use std::ops::Range;
+
+pub use gopher_prng::Rng as TestRng;
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: usize = 64;
+
+/// Error type carried by `prop_assert*` failures (a rendered message).
+pub type TestCaseError = String;
+
+/// Creates the deterministic RNG for one named property test.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::new(h)
+}
+
+/// A source of random values of type [`Strategy::Value`].
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let width = (self.end - self.start) as u64;
+                assert!(width > 0, "empty range strategy");
+                self.start + rng.below(width) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.uniform_in(self.start, self.end)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+}
+
+/// Collection sizes: either an exact length or a half-open range.
+pub trait IntoSizeRange {
+    /// Draws a concrete length.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.end > self.start, "empty size range");
+        rng.range(self.start, self.end)
+    }
+}
+
+/// Strategies for standard collections ([`collection::vec()`] and
+/// [`collection::btree_set()`]).
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy produced by [`vec()`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `len` values drawn from `element`.
+    pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy produced by [`btree_set`].
+    pub struct BTreeSetStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    impl<S, L> Strategy for BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: IntoSizeRange,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Duplicates collapse, so the set size is ≤ the sampled length —
+            // matching proptest, whose btree_set also treats it as a maximum.
+            let n = self.len.sample_len(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of at most `len` values drawn from `element`.
+    pub fn btree_set<S, L>(element: S, len: L) -> BTreeSetStrategy<S, L>
+    where
+        S: Strategy,
+        S::Value: Ord,
+        L: IntoSizeRange,
+    {
+        BTreeSetStrategy { element, len }
+    }
+}
+
+/// Per-block configuration, set via `#![proptest_config(..)]` inside
+/// [`proptest!`]. Only `cases` is honored by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run for each test in the block.
+    pub cases: usize,
+    /// Accepted for source compatibility with real proptest; ignored by this
+    /// shim (there is no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: CASES,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...)` item becomes
+/// a `#[test]` running [`CASES`] random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $crate::proptest! {
+            @cases ($config).cases;
+            $( $(#[$meta])* fn $name($($arg in $strat),+) $body )*
+        }
+    };
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $crate::proptest! {
+            @cases $crate::CASES;
+            $( $(#[$meta])* fn $name($($arg in $strat),+) $body )*
+        }
+    };
+    (@cases $cases:expr;
+     $( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cases: usize = $cases;
+                let mut __proptest_rng = $crate::rng_for(stringify!($name));
+                for __proptest_case in 0..__proptest_cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    let __proptest_result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(msg) = __proptest_result {
+                        panic!(
+                            "property `{}` failed on case {}/{}: {}",
+                            stringify!($name),
+                            __proptest_case + 1,
+                            __proptest_cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body, failing the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+// The shim must at least believe its own strategies; a couple of smoke tests.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = rng_for("ranges_stay_in_bounds");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f64..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = rng_for("collections_respect_size");
+        for _ in 0..200 {
+            let v = Strategy::generate(&collection::vec(0u32..5, 2..9), &mut rng);
+            assert!((2..9).contains(&v.len()));
+            let s: BTreeSet<u32> =
+                Strategy::generate(&collection::btree_set(0u32..100, 0..10), &mut rng);
+            assert!(s.len() < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = rng_for("x");
+        let mut b = rng_for("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -20,7 +20,11 @@ fn main() {
         &train,
         &test,
         &GopherConfig::default(),
-        &MitigationConfig { target_bias: 0.05, max_rounds: 5, max_removed_fraction: 0.3 },
+        &MitigationConfig {
+            target_bias: 0.05,
+            max_rounds: 5,
+            max_removed_fraction: 0.3,
+        },
     );
 
     println!("=== greedy pattern-removal mitigation ===\n");

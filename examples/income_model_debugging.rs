@@ -39,22 +39,38 @@ fn main() {
             "Gopher".into(),
             e.pattern_text.clone(),
             pct(e.support),
-            e.ground_truth_responsibility.map(pct).unwrap_or_else(|| "-".into()),
+            e.ground_truth_responsibility
+                .map(pct)
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
 
     // FO-tree baseline: regress per-point first-order influences on the raw
     // features and read patterns off the most influential nodes.
-    let bi = BiasInfluence::new(gopher.engine(), FairnessMetric::StatisticalParity, gopher.test());
+    let bi = BiasInfluence::new(
+        gopher.engine(),
+        FairnessMetric::StatisticalParity,
+        gopher.test(),
+    );
     let influence: Vec<f64> = (0..gopher.train().n_rows())
         .map(|r| {
-            bi.responsibility(gopher.train(), &[r as u32], Estimator::FirstOrder, BiasEval::ChainRule)
+            bi.responsibility(
+                gopher.train(),
+                &[r as u32],
+                Estimator::FirstOrder,
+                BiasEval::ChainRule,
+            )
         })
         .collect();
     let tree = FoTree::fit(gopher.train_raw(), &influence, &FoTreeConfig::default());
     for node in tree.top_nodes(gopher.train_raw(), 3) {
         let (gt, _) = gopher.ground_truth_responsibility(&node.rows);
-        table.row_owned(vec!["FO-tree".into(), node.pattern_text, pct(node.support), pct(gt)]);
+        table.row_owned(vec![
+            "FO-tree".into(),
+            node.pattern_text,
+            pct(node.support),
+            pct(gt),
+        ]);
     }
     println!("{}", table.render());
 }

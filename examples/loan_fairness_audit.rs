@@ -28,7 +28,10 @@ fn main() {
     println!("=== fairness audit: credit-risk model (privileged = age >= 45) ===\n");
     let mut metrics = TextTable::new(&["Metric", "Value"]);
     for metric in FairnessMetric::ALL {
-        metrics.row_owned(vec![metric.name().into(), format!("{:+.4}", bias(metric, model, test_enc))]);
+        metrics.row_owned(vec![
+            metric.name().into(),
+            format!("{:+.4}", bias(metric, model, test_enc)),
+        ]);
     }
     metrics.row_owned(vec![
         "disparate impact ratio".into(),
@@ -42,8 +45,10 @@ fn main() {
 
     let stats = group_confusion(model, test_enc);
     let mut groups = TextTable::new(&["Group", "n", "P(Ŷ=1)", "TPR", "FPR", "PPV", "Accuracy"]);
-    for (name, c) in [("privileged (old)", stats.privileged), ("protected (young)", stats.protected)]
-    {
+    for (name, c) in [
+        ("privileged (old)", stats.privileged),
+        ("protected (young)", stats.protected),
+    ] {
         groups.row_owned(vec![
             name.into(),
             c.total().to_string(),
@@ -65,17 +70,25 @@ fn main() {
         println!("  support             : {}", pct(e.support));
         println!(
             "  bias cut if removed : {}",
-            e.ground_truth_responsibility.map(pct).unwrap_or_else(|| "-".into())
+            e.ground_truth_responsibility
+                .map(pct)
+                .unwrap_or_else(|| "-".into())
         );
         if u.changes.is_empty() {
             println!("  suggested repair    : (no homogeneous update found)");
         } else {
-            let repair =
-                u.changes.iter().map(|c| c.render(schema)).collect::<Vec<_>>().join("; ");
+            let repair = u
+                .changes
+                .iter()
+                .map(|c| c.render(schema))
+                .collect::<Vec<_>>()
+                .join("; ");
             println!("  suggested repair    : {repair}");
             println!(
                 "  bias cut if updated : {}",
-                u.ground_truth_responsibility.map(pct).unwrap_or_else(|| "-".into())
+                u.ground_truth_responsibility
+                    .map(pct)
+                    .unwrap_or_else(|| "-".into())
             );
         }
         println!();

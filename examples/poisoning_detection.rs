@@ -16,7 +16,10 @@ fn main() {
     // 1. Clean data and a stealthy attack.
     let clean = german(1_000, 99);
     let mut rng = Rng::new(100);
-    let attack = AnchoringAttack { poison_fraction: 0.08, ..Default::default() };
+    let attack = AnchoringAttack {
+        poison_fraction: 0.08,
+        ..Default::default()
+    };
     let poisoned = attack.run(&clean, &mut rng);
     println!(
         "injected {} poisons into {} clean rows",

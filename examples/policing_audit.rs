@@ -21,7 +21,11 @@ fn main() {
             |n_cols| LogisticRegression::new(n_cols, 1e-3),
             &train,
             &test,
-            GopherConfig { metric, k: 2, ..Default::default() },
+            GopherConfig {
+                metric,
+                k: 2,
+                ..Default::default()
+            },
         );
         let report = gopher.explain();
         println!("=== {} (bias {:+.3}) ===", metric, report.base_bias);
@@ -43,10 +47,16 @@ fn main() {
         |n_cols| LinearSvm::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig { k: 2, ..Default::default() },
+        GopherConfig {
+            k: 2,
+            ..Default::default()
+        },
     );
     let report = svm_gopher.explain();
-    println!("=== cross-check with SVM (statistical parity {:+.3}) ===", report.base_bias);
+    println!(
+        "=== cross-check with SVM (statistical parity {:+.3}) ===",
+        report.base_bias
+    );
     for e in &report.explanations {
         println!(
             "  {}  [support {:.1}%, Δbias {:.1}%]",

@@ -28,7 +28,10 @@ fn main() {
         "statistical parity bias = {:.3} (test accuracy {:.3})\n",
         report.base_bias, report.accuracy
     );
-    println!("top-{} training-data explanations:", report.explanations.len());
+    println!(
+        "top-{} training-data explanations:",
+        report.explanations.len()
+    );
     for (i, e) in report.explanations.iter().enumerate() {
         println!(
             "  {}. {}  [support {:.1}%, removing it cuts bias by {:.1}%]",

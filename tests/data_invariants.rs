@@ -73,7 +73,10 @@ fn gradient_is_finite_when_one_group_has_no_positives() {
     let model = LogisticRegression::new(e.n_cols(), 1e-3); // untrained: p = 0.5
     for metric in FairnessMetric::ALL {
         let g = bias_gradient(metric, &model, &e);
-        assert!(g.iter().all(|v| v.is_finite()), "{metric}: non-finite gradient");
+        assert!(
+            g.iter().all(|v| v.is_finite()),
+            "{metric}: non-finite gradient"
+        );
         assert!(smooth_bias(metric, &model, &e).is_finite());
     }
 }
@@ -84,9 +87,8 @@ fn explainer_rejects_mismatched_model_width() {
     let mut rng = Rng::new(44);
     let (train, test) = data.train_test_split(0.3, &mut rng);
     let wrong = LogisticRegression::new(3, 1e-3); // far too narrow
-    let result = std::panic::catch_unwind(|| {
-        Gopher::new(wrong, &train, &test, GopherConfig::default())
-    });
+    let result =
+        std::panic::catch_unwind(|| Gopher::new(wrong, &train, &test, GopherConfig::default()));
     assert!(result.is_err(), "mismatched widths must be rejected");
 }
 
@@ -98,7 +100,10 @@ fn encoded_width_is_stable_across_splits() {
     let mut rng = Rng::new(45);
     let (train, test) = data.train_test_split(0.2, &mut rng);
     let enc = Encoder::fit(&train);
-    assert_eq!(enc.transform(&train).n_cols(), enc.transform(&test).n_cols());
+    assert_eq!(
+        enc.transform(&train).n_cols(),
+        enc.transform(&test).n_cols()
+    );
 }
 
 #[test]

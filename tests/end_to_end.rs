@@ -10,7 +10,10 @@ fn run_pipeline(data: Dataset, seed: u64, k: usize) -> gopher_core::ExplanationR
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig { k, ..Default::default() },
+        GopherConfig {
+            k,
+            ..Default::default()
+        },
     );
     gopher.explain()
 }
@@ -18,17 +21,30 @@ fn run_pipeline(data: Dataset, seed: u64, k: usize) -> gopher_core::ExplanationR
 #[test]
 fn german_pipeline_reduces_bias() {
     let report = run_pipeline(german(800, 201), 201, 3);
-    assert!(report.base_bias > 0.05, "baseline bias {}", report.base_bias);
+    assert!(
+        report.base_bias > 0.05,
+        "baseline bias {}",
+        report.base_bias
+    );
     assert!(!report.explanations.is_empty());
     let top = &report.explanations[0];
-    let gt = top.ground_truth_responsibility.expect("ground truth on by default");
-    assert!(gt > 0.1, "top explanation should cut bias by >10%, got {gt}");
+    let gt = top
+        .ground_truth_responsibility
+        .expect("ground truth on by default");
+    assert!(
+        gt > 0.1,
+        "top explanation should cut bias by >10%, got {gt}"
+    );
 }
 
 #[test]
 fn adult_pipeline_reduces_bias() {
     let report = run_pipeline(adult(1_500, 202), 202, 3);
-    assert!(report.base_bias > 0.03, "baseline bias {}", report.base_bias);
+    assert!(
+        report.base_bias > 0.03,
+        "baseline bias {}",
+        report.base_bias
+    );
     let top = &report.explanations[0];
     assert!(top.ground_truth_responsibility.unwrap() > 0.05);
 }
@@ -36,7 +52,11 @@ fn adult_pipeline_reduces_bias() {
 #[test]
 fn sqf_pipeline_reduces_bias() {
     let report = run_pipeline(sqf(2_000, 203), 203, 3);
-    assert!(report.base_bias > 0.05, "baseline bias {}", report.base_bias);
+    assert!(
+        report.base_bias > 0.05,
+        "baseline bias {}",
+        report.base_bias
+    );
     let top = &report.explanations[0];
     assert!(top.ground_truth_responsibility.unwrap() > 0.1);
 }
@@ -49,7 +69,10 @@ fn svm_pipeline_works_end_to_end() {
         |n_cols| LinearSvm::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig { k: 2, ..Default::default() },
+        GopherConfig {
+            k: 2,
+            ..Default::default()
+        },
     );
     let report = gopher.explain();
     assert!(report.base_bias > 0.0);
@@ -66,13 +89,25 @@ fn every_metric_yields_explanations_on_german() {
             |n_cols| LogisticRegression::new(n_cols, 1e-3),
             &train,
             &test,
-            GopherConfig { metric, k: 2, ground_truth_for_topk: false, ..Default::default() },
+            GopherConfig {
+                metric,
+                k: 2,
+                ground_truth_for_topk: false,
+                ..Default::default()
+            },
         );
         let report = gopher.explain();
-        assert!(report.base_bias > 0.0, "{metric}: bias {}", report.base_bias);
+        assert!(
+            report.base_bias > 0.0,
+            "{metric}: bias {}",
+            report.base_bias
+        );
         assert!(!report.explanations.is_empty(), "{metric}: no explanations");
         for e in &report.explanations {
-            assert!(e.est_responsibility > 0.0, "{metric}: non-positive responsibility");
+            assert!(
+                e.est_responsibility > 0.0,
+                "{metric}: non-positive responsibility"
+            );
             assert!(e.support >= 0.05, "{metric}: support below τ");
         }
     }
@@ -105,7 +140,10 @@ fn mlp_pipeline_works_on_small_data() {
         GopherConfig {
             k: 2,
             ground_truth_for_topk: false,
-            lattice: LatticeConfig { max_predicates: 2, ..Default::default() },
+            lattice: LatticeConfig {
+                max_predicates: 2,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );

@@ -22,7 +22,11 @@ fn setup(seed: u64) -> Setup {
     let mut model = LogisticRegression::new(train.n_cols(), 1e-3);
     fit_default(&mut model, &train);
     let engine = InfluenceEngine::new(model, &train, InfluenceConfig::default());
-    Setup { train, test, engine }
+    Setup {
+        train,
+        test,
+        engine,
+    }
 }
 
 /// Deterministic cohesive subsets: rows of one gender within an age band.
@@ -58,7 +62,11 @@ fn estimators_match_ground_truth_sign_for_group_subsets() {
         if gt.abs() < 5e-3 {
             continue; // too small for a stable sign comparison
         }
-        for est in [Estimator::FirstOrder, Estimator::SecondOrder, Estimator::NewtonStep] {
+        for est in [
+            Estimator::FirstOrder,
+            Estimator::SecondOrder,
+            Estimator::NewtonStep,
+        ] {
             let pred = bi.bias_change(&s.train, &rows, est, BiasEval::ChainRule);
             assert_eq!(
                 pred.signum(),
@@ -83,8 +91,9 @@ fn second_order_beats_first_order_in_aggregate() {
             &outcome.model,
             &s.test,
         ) - bi.base_smooth_bias();
-        fo_err +=
-            (bi.bias_change(&s.train, &rows, Estimator::FirstOrder, BiasEval::ChainRule) - gt).abs();
+        fo_err += (bi.bias_change(&s.train, &rows, Estimator::FirstOrder, BiasEval::ChainRule)
+            - gt)
+            .abs();
         so_err += (bi.bias_change(&s.train, &rows, Estimator::SecondOrder, BiasEval::ChainRule)
             - gt)
             .abs();
@@ -153,10 +162,11 @@ fn responsibility_scales_with_subset_impact() {
         .collect();
     let small = &aligned[..aligned.len() / 4];
     let large = &aligned[..aligned.len() / 2];
-    let r_small =
-        bi.responsibility(&s.train, small, Estimator::SecondOrder, BiasEval::ChainRule);
-    let r_large =
-        bi.responsibility(&s.train, large, Estimator::SecondOrder, BiasEval::ChainRule);
+    let r_small = bi.responsibility(&s.train, small, Estimator::SecondOrder, BiasEval::ChainRule);
+    let r_large = bi.responsibility(&s.train, large, Estimator::SecondOrder, BiasEval::ChainRule);
     assert!(r_small > 0.0);
-    assert!(r_large > r_small, "doubling the subset should increase responsibility");
+    assert!(
+        r_large > r_small,
+        "doubling the subset should increase responsibility"
+    );
 }

@@ -9,7 +9,10 @@ fn build(seed: u64) -> Gopher<LogisticRegression> {
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig { ground_truth_for_topk: true, ..Default::default() },
+        GopherConfig {
+            ground_truth_for_topk: true,
+            ..Default::default()
+        },
     )
 }
 
@@ -102,11 +105,19 @@ fn fewer_iterations_is_weaker_or_equal() {
     let top = &report.explanations[0];
     let weak = gopher.update_explanation(
         &top.candidate,
-        &UpdateConfig { max_iters: 2, ground_truth: false, ..Default::default() },
+        &UpdateConfig {
+            max_iters: 2,
+            ground_truth: false,
+            ..Default::default()
+        },
     );
     let strong = gopher.update_explanation(
         &top.candidate,
-        &UpdateConfig { max_iters: 150, ground_truth: false, ..Default::default() },
+        &UpdateConfig {
+            max_iters: 150,
+            ground_truth: false,
+            ..Default::default()
+        },
     );
     assert!(
         strong.est_bias_change <= weak.est_bias_change + 1e-9,

@@ -9,9 +9,9 @@
 use crate::workloads::{prepare, train_lr, DatasetKind, Scale};
 use gopher_core::fo_tree::{FoTree, FoTreeConfig};
 use gopher_core::report::{pct, TextTable};
-use gopher_core::{Gopher, GopherConfig};
+use gopher_core::{ExplainRequest, SessionBuilder};
 use gopher_fairness::FairnessMetric;
-use gopher_influence::{BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_influence::{BiasEval, BiasInfluence, Estimator};
 
 /// Runs the comparison on one dataset.
 pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
@@ -19,21 +19,15 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
     let p = prepare(kind, n, seed);
     let model = train_lr(&p);
 
-    // Gopher's side.
-    let gopher = Gopher::new(
-        model.clone(),
-        &p.train_raw,
-        &p.test_raw,
-        GopherConfig {
-            ground_truth_for_topk: true,
-            ..Default::default()
-        },
-    );
-    let report = gopher.explain();
+    // Gopher's side: one session answers the explanation query *and* backs
+    // the FO-tree's per-point influence scores with the same engine handle.
+    let session = SessionBuilder::new().build(model, &p.train_raw, &p.test_raw);
+    let report = session
+        .explain(&ExplainRequest::default().with_ground_truth(true))
+        .report;
 
     // FO-tree side: per-point first-order responsibilities.
-    let engine = InfluenceEngine::new(model, &p.train, InfluenceConfig::default());
-    let bi = BiasInfluence::new(&engine, FairnessMetric::StatisticalParity, &p.test);
+    let bi = BiasInfluence::new(session.engine(), FairnessMetric::StatisticalParity, &p.test);
     let influence: Vec<f64> = (0..p.train.n_rows())
         .map(|r| {
             bi.responsibility(
@@ -64,7 +58,8 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
         ]);
     }
     for node in &nodes {
-        let (gt, _) = gopher.ground_truth_responsibility(&node.rows);
+        let (gt, _) =
+            session.ground_truth_responsibility(FairnessMetric::StatisticalParity, &node.rows);
         table.row_owned(vec![
             "FO-tree".into(),
             node.pattern_text.clone(),
@@ -91,7 +86,14 @@ pub fn fotree(kind: DatasetKind, scale: Scale, seed: u64) -> String {
     let tree_u = mean_u(
         nodes
             .iter()
-            .map(|n| (gopher.ground_truth_responsibility(&n.rows).0, n.support))
+            .map(|n| {
+                (
+                    session
+                        .ground_truth_responsibility(FairnessMetric::StatisticalParity, &n.rows)
+                        .0,
+                    n.support,
+                )
+            })
             .collect(),
     );
     out.push_str(&format!(

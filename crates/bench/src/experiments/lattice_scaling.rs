@@ -2,7 +2,7 @@
 
 use crate::workloads::{prepare, train_lr, DatasetKind};
 use gopher_core::report::{fmt_duration, TextTable};
-use gopher_core::{Gopher, GopherConfig};
+use gopher_core::{ExplainRequest, SessionBuilder};
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{
     retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
@@ -165,8 +165,11 @@ pub fn ablations(n_rows: usize, seed: u64) -> String {
         "Search time",
         "Top-3 mean GT responsibility",
     ]);
+    // One session serves both ablation arms: only the lattice config (a
+    // per-request knob) differs between them.
+    let session = SessionBuilder::new().build(model.clone(), &p.train_raw, &p.test_raw);
     for prune in [true, false] {
-        let config = GopherConfig {
+        let request = ExplainRequest {
             lattice: LatticeConfig {
                 prune_by_responsibility: prune,
                 max_predicates: 3,
@@ -175,8 +178,7 @@ pub fn ablations(n_rows: usize, seed: u64) -> String {
             ground_truth_for_topk: true,
             ..Default::default()
         };
-        let gopher = Gopher::new(model.clone(), &p.train_raw, &p.test_raw, config);
-        let report = gopher.explain();
+        let report = session.explain(&request).report;
         let mean_gt = report
             .explanations
             .iter()

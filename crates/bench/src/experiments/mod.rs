@@ -13,7 +13,7 @@ pub use fotree::fotree;
 pub use lattice_scaling::{ablations, table7};
 pub use poisoning::poison;
 pub use runtime::{fig4, fig5};
-pub use tables::{table_explanations, table_updates, GopherAny};
+pub use tables::{table_explanations, table_updates, SessionAny};
 
 use std::time::{Duration, Instant};
 

@@ -3,7 +3,7 @@
 
 use crate::workloads::{prepare, DatasetKind, Prepared, Scale};
 use gopher_core::report::{fmt_duration, pct, TextTable};
-use gopher_core::{Gopher, GopherConfig, UpdateConfig};
+use gopher_core::{ExplainRequest, ExplainSession, SessionBuilder, UpdateConfig};
 use gopher_models::{LinearSvm, LogisticRegression, Mlp};
 use gopher_prng::Rng;
 
@@ -16,69 +16,68 @@ fn model_for(kind: DatasetKind) -> &'static str {
     }
 }
 
-fn gopher_for(kind: DatasetKind, p: &Prepared, seed: u64, config: GopherConfig) -> GopherAny {
+fn session_for(kind: DatasetKind, p: &Prepared, seed: u64) -> SessionAny {
     match kind {
-        DatasetKind::German | DatasetKind::Sqf => GopherAny::Lr(Gopher::fit(
+        DatasetKind::German | DatasetKind::Sqf => SessionAny::Lr(SessionBuilder::new().fit(
             |cols| LogisticRegression::new(cols, 1e-3),
             &p.train_raw,
             &p.test_raw,
-            config,
         )),
         DatasetKind::Adult => {
             let mut rng = Rng::new(seed ^ 0xAD);
-            GopherAny::Mlp(Gopher::fit(
+            SessionAny::Mlp(SessionBuilder::new().fit(
                 |cols| Mlp::new(cols, 10, 1e-3, &mut rng),
                 &p.train_raw,
                 &p.test_raw,
-                config,
             ))
         }
     }
 }
 
-/// Type-erased Gopher over the model families used by the tables.
+/// Type-erased explain session over the model families used by the tables.
 /// (Enum dispatch keeps the public API monomorphic while letting the
 /// harness pick the model per dataset, as the paper does.)
-pub enum GopherAny {
-    /// Logistic-regression-backed explainer.
-    Lr(Gopher<LogisticRegression>),
-    /// SVM-backed explainer.
-    Svm(Gopher<LinearSvm>),
-    /// MLP-backed explainer.
-    Mlp(Gopher<Mlp>),
+pub enum SessionAny {
+    /// Logistic-regression-backed session.
+    Lr(ExplainSession<LogisticRegression>),
+    /// SVM-backed session.
+    Svm(ExplainSession<LinearSvm>),
+    /// MLP-backed session.
+    Mlp(ExplainSession<Mlp>),
 }
 
-impl GopherAny {
-    /// Runs the removal-explanation pipeline.
-    pub fn explain(&self) -> gopher_core::ExplanationReport {
+impl SessionAny {
+    /// Runs the removal-explanation pipeline for one request.
+    pub fn explain(&self, request: &ExplainRequest) -> gopher_core::ExplanationReport {
         match self {
-            Self::Lr(g) => g.explain(),
-            Self::Svm(g) => g.explain(),
-            Self::Mlp(g) => g.explain(),
+            Self::Lr(s) => s.explain(request).report,
+            Self::Svm(s) => s.explain(request).report,
+            Self::Mlp(s) => s.explain(request).report,
         }
     }
 
     /// Runs the pipeline plus update-based explanations.
     pub fn explain_with_updates(
         &self,
+        request: &ExplainRequest,
         cfg: &UpdateConfig,
     ) -> (
         gopher_core::ExplanationReport,
         Vec<gopher_core::UpdateExplanation>,
     ) {
         match self {
-            Self::Lr(g) => g.explain_with_updates(cfg),
-            Self::Svm(g) => g.explain_with_updates(cfg),
-            Self::Mlp(g) => g.explain_with_updates(cfg),
+            Self::Lr(s) => s.explain_with_updates(request, cfg),
+            Self::Svm(s) => s.explain_with_updates(request, cfg),
+            Self::Mlp(s) => s.explain_with_updates(request, cfg),
         }
     }
 
     /// The raw training schema (for rendering).
     pub fn schema(&self) -> &gopher_data::Schema {
         match self {
-            Self::Lr(g) => g.train_raw().schema(),
-            Self::Svm(g) => g.train_raw().schema(),
-            Self::Mlp(g) => g.train_raw().schema(),
+            Self::Lr(s) => s.train_raw().schema(),
+            Self::Svm(s) => s.train_raw().schema(),
+            Self::Mlp(s) => s.train_raw().schema(),
         }
     }
 }
@@ -88,8 +87,8 @@ pub fn table_explanations(kind: DatasetKind, scale: Scale, seed: u64) -> String 
     let n = scale.rows(kind);
     let p = prepare(kind, n, seed);
     let t0 = std::time::Instant::now();
-    let gopher = gopher_for(kind, &p, seed, GopherConfig::default());
-    let report = gopher.explain();
+    let session = session_for(kind, &p, seed);
+    let report = session.explain(&ExplainRequest::default().with_ground_truth(true));
     let total = t0.elapsed();
 
     let mut table = TextTable::new(&["Pattern", "Support", "Δbias (ground truth)"]);
@@ -119,17 +118,10 @@ pub fn table_explanations(kind: DatasetKind, scale: Scale, seed: u64) -> String 
 pub fn table_updates(kind: DatasetKind, scale: Scale, seed: u64) -> String {
     let n = scale.rows(kind);
     let p = prepare(kind, n, seed);
-    let gopher = gopher_for(
-        kind,
-        &p,
-        seed,
-        GopherConfig {
-            ground_truth_for_topk: true,
-            ..Default::default()
-        },
-    );
+    let session = session_for(kind, &p, seed);
+    let request = ExplainRequest::default().with_ground_truth(true);
     let t0 = std::time::Instant::now();
-    let (report, updates) = gopher.explain_with_updates(&UpdateConfig::default());
+    let (report, updates) = session.explain_with_updates(&request, &UpdateConfig::default());
     let total = t0.elapsed();
 
     let mut table = TextTable::new(&[
@@ -140,7 +132,7 @@ pub fn table_updates(kind: DatasetKind, scale: Scale, seed: u64) -> String {
         "Update Δbias",
         "vs removal",
     ]);
-    let schema = gopher.schema();
+    let schema = session.schema();
     for (e, u) in report.explanations.iter().zip(&updates) {
         let removal = e.ground_truth_responsibility.unwrap_or(f64::NAN);
         let update = u.ground_truth_responsibility.unwrap_or(f64::NAN);
@@ -195,38 +187,28 @@ mod tests {
     #[test]
     fn svm_backed_explainer_works() {
         let p = prepare(DatasetKind::German, 400, 5);
-        let g = GopherAny::Svm(Gopher::fit(
+        let s = SessionAny::Svm(SessionBuilder::new().fit(
             |cols| LinearSvm::new(cols, 1e-3),
             &p.train_raw,
             &p.test_raw,
-            GopherConfig {
-                k: 2,
-                ground_truth_for_topk: false,
-                ..Default::default()
-            },
         ));
-        let report = g.explain();
+        let report = s.explain(&ExplainRequest::default().with_k(2).with_ground_truth(false));
         assert!(report.base_bias > 0.0);
-        assert!(!g.schema().features().is_empty());
+        assert!(!s.schema().features().is_empty());
     }
 
     #[test]
     fn update_table_renders_direction_arrows() {
         // Tiny run just to exercise the path end to end.
         let p = prepare(DatasetKind::German, 400, 4);
-        let gopher = gopher_for(
-            DatasetKind::German,
-            &p,
-            4,
-            GopherConfig {
-                k: 1,
+        let session = session_for(DatasetKind::German, &p, 4);
+        let (report, updates) = session.explain_with_updates(
+            &ExplainRequest::default().with_k(1).with_ground_truth(true),
+            &UpdateConfig {
+                max_iters: 20,
                 ..Default::default()
             },
         );
-        let (report, updates) = gopher.explain_with_updates(&UpdateConfig {
-            max_iters: 20,
-            ..Default::default()
-        });
         assert_eq!(report.explanations.len(), updates.len());
     }
 }

@@ -1,47 +1,61 @@
 //! `gopher` — fairness debugging from the shell.
 //!
-//! Wraps the workspace's explanation pipeline in three subcommands:
+//! Wraps the workspace's explanation pipeline in four subcommands:
 //!
-//! * `gopher explain` — train a model on a synthetic dataset, then run the
-//!   paper's top-k pattern search and print (or emit as JSON) the
-//!   explanations;
+//! * `gopher explain` — train a model on a synthetic dataset (or a CSV via
+//!   `--csv`), then run the paper's top-k pattern search and print (or emit
+//!   as JSON) the explanations;
 //! * `gopher audit` — train a model and print every fairness metric plus
 //!   per-group confusion counts;
 //! * `gopher report` — `audit` + `explain` combined into one JSON document
-//!   (implies `--json`).
+//!   (implies `--json`);
+//! * `gopher query` — build one explain session and answer a JSON array of
+//!   explanation requests against it (implies `--json`): the serving-style
+//!   entry point, where model training and influence precomputation are paid
+//!   once for the whole batch.
 //!
 //! Run `gopher --help` for the full flag reference.
 
-use gopher_cli::json::Json;
-use gopher_core::{Gopher, GopherConfig};
+use gopher_cli::json::{self, Json};
+use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
+use gopher_data::csv::{read_csv_infer, InferredPrivileged};
 use gopher_data::generators::{adult, german, sqf};
 use gopher_data::{Dataset, Encoder};
 use gopher_fairness::{
     bias, disparate_impact_ratio, equalized_odds_gap, group_confusion, smooth_bias,
     ConfusionCounts, FairnessMetric,
 };
-use gopher_influence::Estimator;
+use gopher_influence::{BiasEval, Estimator};
 use gopher_models::train::{accuracy, fit_default};
 use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
 use gopher_prng::Rng;
 use std::fmt::Write as _;
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
 
 const HELP: &str = "\
 gopher — interpretable data-based explanations for fairness debugging
 
 USAGE:
-    gopher <explain|audit|report> [OPTIONS]
+    gopher <explain|audit|report|query> [OPTIONS]
 
 SUBCOMMANDS:
     explain    top-k training-data patterns responsible for model bias
     audit      fairness metrics and per-group confusion for a trained model
     report     audit + explain as one JSON document (implies --json)
+    query      answer a JSON array of explain requests against one shared
+               session (implies --json); see --requests
 
 COMMON OPTIONS:
     --data <NAME>           dataset generator: german | adult | sqf [german]
-    --rows <N>              rows to generate [1000]
+    --csv <PATH>            explain a CSV file instead of a generator;
+                            requires --label and --protected, schema inferred
+                            (numeric column iff every field parses as a number)
+    --label <COLUMN>        CSV column holding the 0/1 favorable-outcome label
+    --protected <SPEC>      privileged-group rule for the CSV: `col=level`
+                            (categorical) or `col>=cutoff` (numeric),
+                            e.g. gender=F or age>=45
+    --rows <N>              rows to generate [1000] (ignored with --csv)
     --model <NAME>          model family: lr | svm | mlp [lr]
     --metric <NAME>         statistical-parity | equal-opportunity |
                             predictive-parity | average-odds [statistical-parity]
@@ -50,7 +64,7 @@ COMMON OPTIONS:
     --l2 <LAMBDA>           L2 regularization strength [1e-3]
     --json                  emit a JSON report on stdout instead of text
 
-EXPLAIN OPTIONS:
+EXPLAIN/QUERY OPTIONS:
     --k <N>                 number of explanations [3]
     --support <TAU>         minimum pattern support threshold [0.05]
     --max-predicates <D>    maximum predicates per pattern [3]
@@ -58,11 +72,20 @@ EXPLAIN OPTIONS:
                             one-step-gd [second-order]
     --learning-rate <ETA>   step size for one-step-gd [1.0]
     --ground-truth          retrain without each top pattern to verify it
+    --requests <PATH>       (query) JSON array of request objects; `-` reads
+                            stdin. Each object may set: metric, k, estimator,
+                            learning_rate, support, max_predicates,
+                            ground_truth, bias_eval (chain-rule |
+                            re-eval-smooth | re-eval-hard), containment.
+                            Omitted fields fall back to the flags above.
 
 EXAMPLES:
     gopher explain --data german --k 3 --json
+    gopher explain --csv loans.csv --label approved --protected gender=F
     gopher audit --data adult --model mlp --metric equal-opportunity
     gopher report --data sqf --k 5 --support 0.1
+    echo '[{\"metric\":\"statistical-parity\"},{\"metric\":\"equal-opportunity\"}]' \\
+        | gopher query --requests - --data german
 ";
 
 fn main() -> ExitCode {
@@ -93,6 +116,10 @@ fn bad(msg: impl Into<String>) -> UsageError {
 /// Everything the subcommands share, parsed from the flag list.
 struct Opts {
     data: String,
+    csv: Option<String>,
+    label: Option<String>,
+    protected: Option<String>,
+    requests: Option<String>,
     rows: usize,
     model: String,
     metric: FairnessMetric,
@@ -104,6 +131,7 @@ struct Opts {
     support: f64,
     max_predicates: usize,
     estimator: Estimator,
+    learning_rate: f64,
     ground_truth: bool,
 }
 
@@ -111,6 +139,10 @@ impl Default for Opts {
     fn default() -> Self {
         Self {
             data: "german".into(),
+            csv: None,
+            label: None,
+            protected: None,
+            requests: None,
             rows: 1000,
             model: "lr".into(),
             metric: FairnessMetric::StatisticalParity,
@@ -122,14 +154,43 @@ impl Default for Opts {
             support: 0.05,
             max_predicates: 3,
             estimator: Estimator::SecondOrder,
+            learning_rate: 1.0,
             ground_truth: false,
         }
     }
 }
 
+fn parse_metric(name: &str) -> Result<FairnessMetric, UsageError> {
+    match name {
+        "statistical-parity" | "spd" => Ok(FairnessMetric::StatisticalParity),
+        "equal-opportunity" | "eo" => Ok(FairnessMetric::EqualOpportunity),
+        "predictive-parity" | "pp" => Ok(FairnessMetric::PredictiveParity),
+        "average-odds" | "ao" => Ok(FairnessMetric::AverageOdds),
+        other => Err(bad(format!("unknown metric `{other}`"))),
+    }
+}
+
+fn parse_estimator(name: &str, learning_rate: f64) -> Result<Estimator, UsageError> {
+    match name {
+        "first-order" | "fo" => Ok(Estimator::FirstOrder),
+        "second-order" | "so" => Ok(Estimator::SecondOrder),
+        "newton" => Ok(Estimator::NewtonStep),
+        "one-step-gd" | "gd" => Ok(Estimator::OneStepGd { learning_rate }),
+        other => Err(bad(format!("unknown estimator `{other}`"))),
+    }
+}
+
+fn parse_bias_eval(name: &str) -> Result<BiasEval, UsageError> {
+    match name {
+        "chain-rule" => Ok(BiasEval::ChainRule),
+        "re-eval-smooth" => Ok(BiasEval::ReEvalSmooth),
+        "re-eval-hard" => Ok(BiasEval::ReEvalHard),
+        other => Err(bad(format!("unknown bias_eval `{other}`"))),
+    }
+}
+
 fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
     let mut opts = Opts::default();
-    let mut learning_rate = 1.0f64;
     let mut estimator_name = String::from("second-order");
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -142,6 +203,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
             "--json" => opts.json = true,
             "--ground-truth" => opts.ground_truth = true,
             "--data" => opts.data = value("--data")?.clone(),
+            "--csv" => opts.csv = Some(value("--csv")?.clone()),
+            "--label" => opts.label = Some(value("--label")?.clone()),
+            "--protected" => opts.protected = Some(value("--protected")?.clone()),
+            "--requests" => opts.requests = Some(value("--requests")?.clone()),
             "--model" => opts.model = value("--model")?.clone(),
             "--rows" => opts.rows = parse_num(value("--rows")?, "--rows")?,
             "--seed" => opts.seed = parse_num(value("--seed")?, "--seed")?,
@@ -155,32 +220,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
             }
             "--l2" => opts.l2 = parse_num(value("--l2")?, "--l2")?,
             "--learning-rate" => {
-                learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
+                opts.learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
             }
-            "--metric" => {
-                opts.metric = match value("--metric")?.as_str() {
-                    "statistical-parity" | "spd" => FairnessMetric::StatisticalParity,
-                    "equal-opportunity" | "eo" => FairnessMetric::EqualOpportunity,
-                    "predictive-parity" | "pp" => FairnessMetric::PredictiveParity,
-                    "average-odds" | "ao" => FairnessMetric::AverageOdds,
-                    other => return Err(bad(format!("unknown metric `{other}`"))),
-                }
-            }
+            "--metric" => opts.metric = parse_metric(value("--metric")?)?,
             "--estimator" => estimator_name = value("--estimator")?.clone(),
             other => return Err(bad(format!("unknown flag `{other}`"))),
         }
     }
-    opts.estimator = match estimator_name.as_str() {
-        "first-order" | "fo" => Estimator::FirstOrder,
-        "second-order" | "so" => Estimator::SecondOrder,
-        "newton" => Estimator::NewtonStep,
-        "one-step-gd" | "gd" => Estimator::OneStepGd { learning_rate },
-        other => return Err(bad(format!("unknown estimator `{other}`"))),
-    };
+    opts.estimator = parse_estimator(&estimator_name, opts.learning_rate)?;
     if !(0.0..1.0).contains(&opts.test_fraction) || opts.test_fraction == 0.0 {
         return Err(bad("--test-fraction must be in (0, 1)"));
     }
-    if opts.rows < 20 {
+    if opts.csv.is_none() && opts.rows < 20 {
         return Err(bad("--rows must be at least 20"));
     }
     // Reports record the seed as a JSON number; above 2^53 that round-trips
@@ -203,12 +254,13 @@ fn run(args: &[String]) -> Result<(), UsageError> {
     let Some(command) = args.first() else {
         return Err(UsageError::Help);
     };
-    let opts = parse_opts(&args[1..])?;
+    let mut opts = parse_opts(&args[1..])?;
     match command.as_str() {
         "--help" | "-h" | "help" => Err(UsageError::Help),
-        "explain" => dispatch(&opts, Action::Explain),
-        "audit" => dispatch(&opts, Action::Audit),
-        "report" => dispatch(&opts, Action::Report),
+        "explain" => dispatch(&mut opts, Action::Explain),
+        "audit" => dispatch(&mut opts, Action::Audit),
+        "report" => dispatch(&mut opts, Action::Report),
+        "query" => dispatch(&mut opts, Action::Query),
         other => Err(bad(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -217,24 +269,69 @@ enum Action {
     Explain,
     Audit,
     Report,
+    Query,
+}
+
+/// Loads the dataset: a synthetic generator, or a schema-inferred CSV when
+/// `--csv` is set.
+fn load_data(opts: &mut Opts) -> Result<Dataset, UsageError> {
+    let Some(path) = opts.csv.clone() else {
+        let generate = match opts.data.as_str() {
+            "german" => german,
+            "adult" => adult,
+            "sqf" => sqf,
+            other => return Err(bad(format!("unknown dataset `{other}`"))),
+        };
+        return Ok(generate(opts.rows, opts.seed));
+    };
+    let label = opts
+        .label
+        .as_deref()
+        .ok_or_else(|| bad("--csv requires --label <COLUMN>"))?;
+    let spec = opts
+        .protected
+        .as_deref()
+        .ok_or_else(|| bad("--csv requires --protected <SPEC>"))?;
+    let (column, rule) = parse_protected_spec(spec)?;
+    let file =
+        std::fs::File::open(&path).map_err(|e| bad(format!("cannot open --csv {path:?}: {e}")))?;
+    let data = read_csv_infer(std::io::BufReader::new(file), label, column, &rule)
+        .map_err(|e| bad(format!("--csv {path}: {e}")))?;
+    // Reports carry the data source; for CSV runs that's the file path.
+    opts.data = path;
+    opts.rows = data.n_rows();
+    Ok(data)
+}
+
+/// Parses `col=level` / `col>=cutoff` privileged-group rules.
+fn parse_protected_spec(spec: &str) -> Result<(&str, InferredPrivileged), UsageError> {
+    if let Some((column, cutoff)) = spec.split_once(">=") {
+        let cutoff: f64 = cutoff
+            .parse()
+            .map_err(|_| bad(format!("invalid cutoff in --protected `{spec}`")))?;
+        return Ok((column, InferredPrivileged::AtLeast(cutoff)));
+    }
+    if let Some((column, level)) = spec.split_once('=') {
+        if column.is_empty() || level.is_empty() {
+            return Err(bad(format!("invalid --protected `{spec}`")));
+        }
+        return Ok((column, InferredPrivileged::Equals(level.to_string())));
+    }
+    Err(bad(format!(
+        "--protected must be `col=level` or `col>=cutoff`, got `{spec}`"
+    )))
 }
 
 /// Monomorphizes the chosen model family into [`exec`].
-fn dispatch(opts: &Opts, action: Action) -> Result<(), UsageError> {
-    let generate = match opts.data.as_str() {
-        "german" => german,
-        "adult" => adult,
-        "sqf" => sqf,
-        other => return Err(bad(format!("unknown dataset `{other}`"))),
-    };
-    let data = generate(opts.rows, opts.seed);
+fn dispatch(opts: &mut Opts, action: Action) -> Result<(), UsageError> {
+    let data = load_data(opts)?;
     let mut rng = Rng::new(opts.seed);
     let (train, test) = data.train_test_split(opts.test_fraction, &mut rng);
     if test.n_rows() == 0 || train.n_rows() == 0 {
         return Err(bad(format!(
-            "--rows {} with --test-fraction {} leaves an empty split \
+            "{} rows with --test-fraction {} leaves an empty split \
              ({} train / {} test rows); increase one of them",
-            opts.rows,
+            data.n_rows(),
             opts.test_fraction,
             train.n_rows(),
             test.n_rows()
@@ -273,8 +370,9 @@ fn exec<M: Model>(
             }
         }
         Action::Explain => {
-            let gopher = fit_gopher(opts, train, test, make_model);
-            let report = explain_json(opts, &gopher);
+            let session = fit_session(train, test, make_model);
+            let response = session.explain(&base_request(opts));
+            let report = explain_json(opts, &response);
             if opts.json {
                 format!("{report}\n")
             } else {
@@ -282,10 +380,18 @@ fn exec<M: Model>(
             }
         }
         Action::Report => {
-            let gopher = fit_gopher(opts, train, test, make_model);
-            let audit = audit_model(opts, gopher.model(), gopher.encoder(), test);
-            let explain = explain_json(opts, &gopher);
+            let session = fit_session(train, test, make_model);
+            let audit = audit_model(opts, session.model(), session.encoder(), test);
+            let response = session.explain(&base_request(opts));
+            let explain = explain_json(opts, &response);
             format!("{}\n", Json::obj([("audit", audit), ("explain", explain)]))
+        }
+        Action::Query => {
+            let requests = read_requests(opts)?;
+            let session = fit_session(train, test, make_model);
+            let responses = session.explain_batch(&requests);
+            let array: Vec<Json> = responses.iter().map(|r| explain_json(opts, r)).collect();
+            format!("{}\n", Json::Arr(array))
         }
     };
     emit(&output);
@@ -306,31 +412,169 @@ fn emit(text: &str) {
     }
 }
 
-fn fit_gopher<M: Model>(
-    opts: &Opts,
+fn fit_session<M: Model>(
     train: &Dataset,
     test: &Dataset,
     make_model: impl FnOnce(usize) -> M,
-) -> Gopher<M> {
-    let config = GopherConfig {
-        metric: opts.metric,
-        k: opts.k,
-        estimator: opts.estimator,
-        ground_truth_for_topk: opts.ground_truth,
-        lattice: gopher_patterns::LatticeConfig {
-            support_threshold: opts.support,
-            max_predicates: opts.max_predicates,
-            ..Default::default()
-        },
-        ..Default::default()
+) -> ExplainSession<M> {
+    SessionBuilder::new().fit(make_model, train, test)
+}
+
+/// The request the CLI flags describe (also the fallback for every field a
+/// `query` request object leaves out).
+fn base_request(opts: &Opts) -> ExplainRequest {
+    let mut request = ExplainRequest::default()
+        .with_metric(opts.metric)
+        .with_k(opts.k)
+        .with_estimator(opts.estimator)
+        .with_support_threshold(opts.support)
+        .with_max_predicates(opts.max_predicates)
+        .with_ground_truth(opts.ground_truth);
+    request.bias_eval = BiasEval::ChainRule;
+    request
+}
+
+// ----------------------------------------------------------------- query
+
+/// Reads and parses the `--requests` JSON array (`-` = stdin).
+fn read_requests(opts: &Opts) -> Result<Vec<ExplainRequest>, UsageError> {
+    let path = opts
+        .requests
+        .as_deref()
+        .ok_or_else(|| bad("query requires --requests <PATH> (`-` for stdin)"))?;
+    let text = if path == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| bad(format!("cannot read requests from stdin: {e}")))?;
+        buf
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| bad(format!("cannot read --requests {path:?}: {e}")))?
     };
-    Gopher::fit(make_model, train, test, config)
+    let parsed =
+        json::parse(text.trim()).map_err(|e| bad(format!("--requests is not valid JSON: {e}")))?;
+    let Some(items) = parsed.as_arr() else {
+        return Err(bad("--requests must be a JSON array of request objects"));
+    };
+    if items.is_empty() {
+        return Err(bad("--requests array is empty"));
+    }
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            parse_request(item, opts).map_err(|e| match e {
+                UsageError::Bad(msg) => bad(format!("request #{}: {msg}", i + 1)),
+                help => help,
+            })
+        })
+        .collect()
+}
+
+/// The request-object fields `gopher query` understands.
+const REQUEST_FIELDS: [&str; 9] = [
+    "metric",
+    "k",
+    "estimator",
+    "learning_rate",
+    "support",
+    "max_predicates",
+    "containment",
+    "ground_truth",
+    "bias_eval",
+];
+
+/// Builds one [`ExplainRequest`] from a JSON object, falling back to the
+/// CLI flags for omitted fields. Unknown keys and mistyped values are hard
+/// errors — a serving endpoint must not silently answer with defaults when
+/// the caller's parameter was dropped.
+fn parse_request(item: &Json, opts: &Opts) -> Result<ExplainRequest, UsageError> {
+    let Json::Obj(fields) = item else {
+        return Err(bad("must be a JSON object"));
+    };
+    for key in fields.keys() {
+        if !REQUEST_FIELDS.contains(&key.as_str()) {
+            return Err(bad(format!(
+                "unknown field {key:?} (expected one of: {})",
+                REQUEST_FIELDS.join(", ")
+            )));
+        }
+    }
+    let mut request = base_request(opts);
+    let get_f = |key: &str| -> Result<Option<f64>, UsageError> {
+        match item.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_f64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("field {key:?} must be a number"))),
+        }
+    };
+    let get_s = |key: &str| -> Result<Option<&str>, UsageError> {
+        match item.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
+        }
+    };
+    if let Some(metric) = get_s("metric")? {
+        request.metric = parse_metric(metric)?;
+    }
+    if let Some(k) = get_f("k")? {
+        if k < 1.0 || k.fract() != 0.0 {
+            return Err(bad(format!("k must be a positive integer, got {k}")));
+        }
+        request.k = k as usize;
+    }
+    let learning_rate = get_f("learning_rate")?.unwrap_or(opts.learning_rate);
+    if let Some(estimator) = get_s("estimator")? {
+        request.estimator = parse_estimator(estimator, learning_rate)?;
+    } else if let Estimator::OneStepGd { .. } = request.estimator {
+        // `learning_rate` alone must still apply when the flags already
+        // selected the one-step-GD estimator.
+        request.estimator = Estimator::OneStepGd { learning_rate };
+    }
+    if let Some(support) = get_f("support")? {
+        if !(0.0..1.0).contains(&support) {
+            return Err(bad(format!("support must be in [0, 1), got {support}")));
+        }
+        request.lattice.support_threshold = support;
+    }
+    if let Some(depth) = get_f("max_predicates")? {
+        if depth < 1.0 || depth.fract() != 0.0 {
+            return Err(bad(format!(
+                "max_predicates must be a positive integer, got {depth}"
+            )));
+        }
+        request.lattice.max_predicates = depth as usize;
+    }
+    if let Some(containment) = get_f("containment")? {
+        if !(0.0..=1.0).contains(&containment) {
+            return Err(bad(format!(
+                "containment must be in [0, 1], got {containment}"
+            )));
+        }
+        request.containment_threshold = containment;
+    }
+    match item.get("ground_truth") {
+        None => {}
+        Some(Json::Bool(gt)) => request.ground_truth_for_topk = *gt,
+        Some(_) => return Err(bad("field \"ground_truth\" must be a boolean")),
+    }
+    if let Some(eval) = get_s("bias_eval")? {
+        request.bias_eval = parse_bias_eval(eval)?;
+    }
+    Ok(request)
 }
 
 // ---------------------------------------------------------------- explain
 
-fn explain_json<M: Model>(opts: &Opts, gopher: &Gopher<M>) -> Json {
-    let report = gopher.explain();
+fn explain_json(opts: &Opts, response: &ExplainResponse) -> Json {
+    let report = &response.report;
+    let request = &response.request;
     let explanations: Vec<Json> = report
         .explanations
         .iter()
@@ -358,11 +602,14 @@ fn explain_json<M: Model>(opts: &Opts, gopher: &Gopher<M>) -> Json {
         ("model", Json::str(&opts.model)),
         ("metric", Json::str(report.metric.name())),
         ("seed", Json::num(opts.seed as f64)),
-        ("estimator", Json::str(estimator_name(opts.estimator))),
+        ("estimator", Json::str(estimator_name(request.estimator))),
         ("base_bias", Json::num(report.base_bias)),
         ("accuracy", Json::num(report.accuracy)),
-        ("k", Json::num(opts.k as f64)),
-        ("support_threshold", Json::num(opts.support)),
+        ("k", Json::num(request.k as f64)),
+        (
+            "support_threshold",
+            Json::num(request.lattice.support_threshold),
+        ),
         (
             "candidates_scored",
             Json::num(report.stats.total_scored as f64),
@@ -370,6 +617,10 @@ fn explain_json<M: Model>(opts: &Opts, gopher: &Gopher<M>) -> Json {
         (
             "search_ms",
             Json::num(report.search_time.as_secs_f64() * 1e3),
+        ),
+        (
+            "query_ms",
+            Json::num(response.query_time.as_secs_f64() * 1e3),
         ),
         ("explanations", Json::Arr(explanations)),
     ])

@@ -103,15 +103,134 @@ fn explain_is_deterministic_for_a_fixed_seed() {
     ];
     let a = gopher(&args);
     let b = gopher(&args);
-    // search_ms is wall-clock and varies; compare everything else.
+    // search_ms / query_ms are wall-clock and vary; compare everything else.
     let strip = |bytes: &[u8]| {
         let mut v = json::parse(String::from_utf8_lossy(bytes).trim()).unwrap();
         if let Json::Obj(m) = &mut v {
             m.remove("search_ms");
+            m.remove("query_ms");
         }
         v
     };
     assert_eq!(strip(&a.stdout), strip(&b.stdout));
+}
+
+/// A batch of query requests against one session must answer every request
+/// with the flags as fallbacks, and the shared-metric requests must agree
+/// with a standalone `explain` run on everything but timing.
+#[test]
+fn query_answers_batched_requests_from_one_session() {
+    let dir = std::env::temp_dir().join(format!("gopher-query-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let requests = dir.join("requests.json");
+    std::fs::write(
+        &requests,
+        r#"[
+            {"metric": "statistical-parity", "k": 3},
+            {"metric": "equal-opportunity", "k": 2},
+            {"metric": "statistical-parity", "k": 1, "estimator": "first-order"}
+        ]"#,
+    )
+    .unwrap();
+    let out = run_json(&[
+        "query",
+        "--requests",
+        requests.to_str().unwrap(),
+        "--data",
+        "german",
+        "--rows",
+        "400",
+        "--seed",
+        "7",
+    ]);
+    let responses = out.as_arr().expect("query emits a JSON array");
+    assert_eq!(responses.len(), 3);
+    let metric = |r: &Json| r.get("metric").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(metric(&responses[0]), "statistical parity");
+    assert_eq!(metric(&responses[1]), "equal opportunity");
+    assert_eq!(
+        responses[2].get("estimator").and_then(Json::as_str),
+        Some("first-order")
+    );
+    assert!(
+        responses[2]
+            .get("explanations")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len()
+            <= 1
+    );
+    // Batched request #1 must match a cold standalone explain exactly
+    // (modulo wall-clock fields).
+    let solo = run_json(&[
+        "explain", "--data", "german", "--rows", "400", "--seed", "7", "--k", "3", "--json",
+    ]);
+    let strip = |v: &Json| {
+        let mut v = v.clone();
+        if let Json::Obj(m) = &mut v {
+            m.remove("search_ms");
+            m.remove("query_ms");
+        }
+        v
+    };
+    assert_eq!(strip(&responses[0]), strip(&solo));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn query_rejects_malformed_requests() {
+    let out = gopher(&["query", "--data", "german", "--rows", "300"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--requests"));
+}
+
+/// End-to-end CSV import: export a german sample, re-import it through the
+/// schema-inferring `--csv` path, and explain it.
+#[test]
+fn explain_reads_csv_datasets() {
+    let dir = std::env::temp_dir().join(format!("gopher-csv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("german.csv");
+    let data = gopher_data::generators::german(400, 11);
+    let mut buf = Vec::new();
+    gopher_data::csv::write_csv(&data, &mut buf).unwrap();
+    std::fs::write(&csv_path, &buf).unwrap();
+
+    let report = run_json(&[
+        "explain",
+        "--csv",
+        csv_path.to_str().unwrap(),
+        "--label",
+        "good_credit",
+        "--protected",
+        "age>=45",
+        "--seed",
+        "11",
+        "--json",
+    ]);
+    assert_eq!(
+        report.get("rows").and_then(Json::as_f64),
+        Some(400.0),
+        "--rows must reflect the CSV, not the flag default"
+    );
+    let dataset = report.get("dataset").and_then(Json::as_str).unwrap();
+    assert!(dataset.ends_with("german.csv"), "{dataset}");
+    let base_bias = report.get("base_bias").and_then(Json::as_f64).unwrap();
+    assert!(
+        base_bias > 0.0,
+        "planted age bias must survive the round trip"
+    );
+    assert!(!report
+        .get("explanations")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .is_empty());
+
+    // Missing --label / --protected are usage errors.
+    let out = gopher(&["explain", "--csv", csv_path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--label"));
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -1,18 +1,25 @@
-//! The Gopher façade: end-to-end top-k explanation generation.
+//! The legacy `Gopher` façade and the report types shared with the
+//! query-oriented [`session`](crate::session) API.
+//!
+//! [`Gopher`] predates [`ExplainSession`] and re-paid
+//! the full setup (encoding, training, Hessian factorization, predicate
+//! generation) on every construction while bundling per-query knobs into the
+//! per-model [`GopherConfig`]. It now delegates everything to an internal
+//! session, so it stays bit-compatible with old code, but new code should
+//! build a [`SessionBuilder`] and iterate with [`ExplainRequest`]s instead —
+//! see the README migration note.
 
+use crate::session::{ExplainRequest, ExplainSession, SessionBuilder};
 use gopher_data::{Dataset, Encoded, Encoder};
 use gopher_fairness::FairnessMetric;
-use gopher_influence::{
-    retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
-};
-use gopher_models::train::fit_default;
+use gopher_influence::{BiasEval, Estimator, InfluenceConfig, InfluenceEngine};
 use gopher_models::Model;
-use gopher_patterns::{
-    generate_predicates, lattice, topk, Candidate, LatticeConfig, PredicateTable, SearchStats,
-};
-use std::time::{Duration, Instant};
+use gopher_patterns::{Candidate, LatticeConfig, PredicateTable, SearchStats};
+use std::time::Duration;
 
-/// End-to-end configuration.
+/// End-to-end configuration for the legacy [`Gopher`] façade: the union of
+/// session-level options (`max_bins`, `influence`) and per-query options
+/// (everything else, mirrored by [`ExplainRequest`]).
 #[derive(Debug, Clone)]
 pub struct GopherConfig {
     /// Fairness metric to debug.
@@ -57,6 +64,31 @@ impl Default for GopherConfig {
     }
 }
 
+impl GopherConfig {
+    /// The per-query half of this config as an [`ExplainRequest`] (the
+    /// session-level half — `max_bins`, `influence` — belongs to
+    /// [`SessionBuilder`]).
+    pub fn to_request(&self) -> ExplainRequest {
+        ExplainRequest {
+            metric: self.metric,
+            k: self.k,
+            containment_threshold: self.containment_threshold,
+            lattice: self.lattice.clone(),
+            estimator: self.estimator,
+            bias_eval: self.bias_eval,
+            ground_truth_for_topk: self.ground_truth_for_topk,
+            rescore_top_with_so: self.rescore_top_with_so,
+        }
+    }
+
+    /// The session-level half of this config as a [`SessionBuilder`].
+    pub fn to_session_builder(&self) -> SessionBuilder {
+        SessionBuilder::new()
+            .max_bins(self.max_bins)
+            .influence(self.influence.clone())
+    }
+}
+
 /// One explanation in the final report.
 #[derive(Debug, Clone)]
 pub struct Explanation {
@@ -90,12 +122,14 @@ pub struct ExplanationReport {
     /// Lattice search statistics (per-level counts and timings).
     pub stats: SearchStats,
     /// Wall-clock time of candidate generation + selection (excludes
-    /// engine precomputation and ground-truth retraining).
+    /// engine precomputation and ground-truth retraining). For a warm
+    /// session reusing a cached sweep this reports the original sweep's
+    /// cost plus the (tiny) selection time.
     pub search_time: Duration,
 }
 
 /// Label/group composition of a pattern's coverage vs. the rest of the
-/// training data (see [`Gopher::pattern_profile`]).
+/// training data (see [`ExplainSession::pattern_profile`]).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PatternProfile {
     /// Covered training rows.
@@ -110,43 +144,33 @@ pub struct PatternProfile {
     pub rest_privileged_rate: f64,
 }
 
-/// The Gopher explainer, holding everything needed to answer explanation
-/// queries against one trained model: the raw training data (for patterns),
-/// its encoding, the influence engine, and the test set.
+/// The legacy one-shot explainer: an [`ExplainSession`] bundled with one
+/// fixed [`GopherConfig`].
+///
+/// Every call re-derives its answer through the session, so results are
+/// identical to the query API's; but the session is rebuilt per `Gopher`,
+/// which re-pays encoding, training, and Hessian precomputation that a
+/// shared [`ExplainSession`] amortizes across queries.
+#[deprecated(
+    since = "0.2.0",
+    note = "build an ExplainSession via SessionBuilder and pass ExplainRequests; \
+            see the README migration note"
+)]
 pub struct Gopher<M: Model> {
+    session: ExplainSession<M>,
     config: GopherConfig,
-    train_raw: Dataset,
-    encoder: Encoder,
-    train: Encoded,
-    test: Encoded,
-    engine: InfluenceEngine<M>,
-    table: PredicateTable,
 }
 
+#[allow(deprecated)]
 impl<M: Model> Gopher<M> {
     /// Builds an explainer around an **already trained** model. The model
     /// must have been trained on `Encoder::fit(train_raw)`-encoded data;
     /// influence functions assume its parameters are a stationary point.
     pub fn new(model: M, train_raw: &Dataset, test_raw: &Dataset, config: GopherConfig) -> Self {
-        let encoder = Encoder::fit(train_raw);
-        let train = encoder.transform(train_raw);
-        let test = encoder.transform(test_raw);
-        assert_eq!(
-            model.n_inputs(),
-            train.n_cols(),
-            "model input width must match the encoded data"
-        );
-        let engine = InfluenceEngine::new(model, &train, config.influence.clone());
-        let table = generate_predicates(train_raw, config.max_bins);
-        Self {
-            config,
-            train_raw: train_raw.clone(),
-            encoder,
-            train,
-            test,
-            engine,
-            table,
-        }
+        let session = config
+            .to_session_builder()
+            .build(model, train_raw, test_raw);
+        Self { session, config }
     }
 
     /// Convenience constructor that encodes the data, builds the model via
@@ -157,46 +181,50 @@ impl<M: Model> Gopher<M> {
         test_raw: &Dataset,
         config: GopherConfig,
     ) -> Self {
-        let encoder = Encoder::fit(train_raw);
-        let train = encoder.transform(train_raw);
-        let mut model = make_model(train.n_cols());
-        fit_default(&mut model, &train);
-        Self::new(model, train_raw, test_raw, config)
+        let session = config
+            .to_session_builder()
+            .fit(make_model, train_raw, test_raw);
+        Self { session, config }
+    }
+
+    /// The underlying session (the forward-looking API).
+    pub fn session(&self) -> &ExplainSession<M> {
+        &self.session
     }
 
     /// The trained model.
     pub fn model(&self) -> &M {
-        self.engine.model()
+        self.session.model()
     }
 
     /// The fitted encoder.
     pub fn encoder(&self) -> &Encoder {
-        &self.encoder
+        self.session.encoder()
     }
 
     /// The encoded training set.
     pub fn train(&self) -> &Encoded {
-        &self.train
+        self.session.train()
     }
 
     /// The encoded test set.
     pub fn test(&self) -> &Encoded {
-        &self.test
+        self.session.test()
     }
 
     /// The raw training dataset.
     pub fn train_raw(&self) -> &Dataset {
-        &self.train_raw
+        self.session.train_raw()
     }
 
     /// The influence engine (for advanced queries).
     pub fn engine(&self) -> &InfluenceEngine<M> {
-        &self.engine
+        self.session.engine()
     }
 
     /// The candidate predicate table.
     pub fn predicate_table(&self) -> &PredicateTable {
-        &self.table
+        self.session.predicate_table()
     }
 
     /// The explainer configuration.
@@ -207,143 +235,27 @@ impl<M: Model> Gopher<M> {
     /// Runs the full pipeline: lattice search (Algorithm 1), diverse top-k
     /// selection (Algorithm 2), and optional ground-truth verification.
     pub fn explain(&self) -> ExplanationReport {
-        let bi = BiasInfluence::new(&self.engine, self.config.metric, &self.test);
-        let base_bias = bi.base_bias();
-        let accuracy = gopher_models::train::accuracy(self.engine.model(), &self.test);
-
-        let t0 = Instant::now();
-        let (candidates, stats) = lattice::compute_candidates(
-            &self.table,
-            |coverage| {
-                let rows = coverage.to_indices();
-                bi.responsibility(
-                    &self.train,
-                    &rows,
-                    self.config.estimator,
-                    self.config.bias_eval,
-                )
-            },
-            &self.config.lattice,
-        );
-        let mut selected = topk::top_k(
-            &candidates,
-            self.config.k,
-            self.config.containment_threshold,
-        );
-        if self.config.rescore_top_with_so {
-            for cand in &mut selected {
-                let rows = cand.coverage.to_indices();
-                cand.responsibility = bi.responsibility(
-                    &self.train,
-                    &rows,
-                    Estimator::SecondOrder,
-                    self.config.bias_eval,
-                );
-                cand.interestingness = cand.responsibility / cand.support;
-            }
-            selected.sort_by(|a, b| {
-                b.interestingness
-                    .partial_cmp(&a.interestingness)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-        }
-        let search_time = t0.elapsed();
-
-        let explanations = selected
-            .into_iter()
-            .map(|candidate| self.finalize_explanation(candidate, base_bias))
-            .collect();
-
-        ExplanationReport {
-            metric: self.config.metric,
-            base_bias,
-            accuracy,
-            explanations,
-            stats,
-            search_time,
-        }
+        self.session.explain(&self.config.to_request()).report
     }
 
-    /// Descriptive statistics of a pattern's coverage, for reports: how the
-    /// covered rows differ from the rest of the training data in label and
-    /// group composition. This is the "why is this subset responsible"
-    /// context a reviewer needs next to the raw responsibility number.
+    /// See [`ExplainSession::pattern_profile`].
     pub fn pattern_profile(&self, candidate: &Candidate) -> PatternProfile {
-        let n = self.train.n_rows();
-        let mut in_pos = 0usize;
-        let mut in_priv = 0usize;
-        let mut in_count = 0usize;
-        let mut out_pos = 0usize;
-        let mut out_priv = 0usize;
-        for r in 0..n {
-            let covered = candidate.coverage.contains(r);
-            let pos = self.train.y[r] == 1.0;
-            let priv_ = self.train.privileged[r];
-            if covered {
-                in_count += 1;
-                in_pos += usize::from(pos);
-                in_priv += usize::from(priv_);
-            } else {
-                out_pos += usize::from(pos);
-                out_priv += usize::from(priv_);
-            }
-        }
-        let out_count = n - in_count;
-        let frac = |num: usize, den: usize| {
-            if den == 0 {
-                0.0
-            } else {
-                num as f64 / den as f64
-            }
-        };
-        PatternProfile {
-            rows: in_count,
-            positive_rate: frac(in_pos, in_count),
-            privileged_rate: frac(in_priv, in_count),
-            rest_positive_rate: frac(out_pos, out_count),
-            rest_privileged_rate: frac(out_priv, out_count),
-        }
+        self.session.pattern_profile(candidate)
     }
 
-    /// Ground-truth responsibility of an arbitrary row subset (retrains).
+    /// Ground-truth responsibility of an arbitrary row subset (retrains),
+    /// under the configured metric.
     pub fn ground_truth_responsibility(&self, rows: &[u32]) -> (f64, f64) {
-        let outcome = retrain_without(self.engine.model(), &self.train, rows);
-        let new_bias = gopher_fairness::bias(self.config.metric, &outcome.model, &self.test);
-        let base = gopher_fairness::bias(self.config.metric, self.engine.model(), &self.test);
-        let resp = if base.abs() < 1e-12 {
-            0.0
-        } else {
-            (base - new_bias) / base
-        };
-        (resp, new_bias)
-    }
-
-    fn finalize_explanation(&self, candidate: Candidate, base_bias: f64) -> Explanation {
-        let pattern_text = candidate
-            .pattern
-            .render(&self.table, self.train_raw.schema());
-        let (gt_resp, gt_new) = if self.config.ground_truth_for_topk {
-            let rows = candidate.coverage.to_indices();
-            let (resp, new_bias) = self.ground_truth_responsibility(&rows);
-            (Some(resp), Some(new_bias))
-        } else {
-            (None, None)
-        };
-        let _ = base_bias;
-        Explanation {
-            pattern_text,
-            support: candidate.support,
-            est_responsibility: candidate.responsibility,
-            ground_truth_responsibility: gt_resp,
-            ground_truth_new_bias: gt_new,
-            candidate,
-        }
+        self.session
+            .ground_truth_responsibility(self.config.metric, rows)
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the façade must keep matching the session bit for bit
 mod tests {
     use super::*;
+    use crate::session::SessionBuilder;
     use gopher_data::generators::german;
     use gopher_models::LogisticRegression;
     use gopher_prng::Rng;
@@ -421,7 +333,7 @@ mod tests {
         let c = gopher.config().containment_threshold;
         for (i, a) in report.explanations.iter().enumerate() {
             for b in &report.explanations[..i] {
-                let contain = topk::containment(&a.candidate, &b.candidate);
+                let contain = gopher_patterns::topk::containment(&a.candidate, &b.candidate);
                 assert!(contain < c, "containment {contain} >= threshold {c}");
             }
         }
@@ -458,5 +370,42 @@ mod tests {
         assert!(!report.stats.levels.is_empty());
         assert!(report.stats.total_scored > 0);
         assert!(report.search_time.as_nanos() > 0);
+    }
+
+    /// The façade and a hand-built session must agree exactly on the same
+    /// inputs — this is the compatibility contract of the deprecation.
+    #[test]
+    fn facade_matches_hand_built_session() {
+        let mut rng = Rng::new(77);
+        let (train, test) = german(700, 77).train_test_split(0.3, &mut rng);
+        let config = GopherConfig {
+            ground_truth_for_topk: false,
+            ..Default::default()
+        };
+        let gopher = Gopher::fit(
+            |cols| LogisticRegression::new(cols, 1e-3),
+            &train,
+            &test,
+            config.clone(),
+        );
+        let facade_report = gopher.explain();
+        let session =
+            SessionBuilder::new().fit(|cols| LogisticRegression::new(cols, 1e-3), &train, &test);
+        let session_report = session.explain(&config.to_request()).report;
+        assert_eq!(facade_report.base_bias, session_report.base_bias);
+        assert_eq!(facade_report.accuracy, session_report.accuracy);
+        assert_eq!(
+            facade_report.explanations.len(),
+            session_report.explanations.len()
+        );
+        for (a, b) in facade_report
+            .explanations
+            .iter()
+            .zip(&session_report.explanations)
+        {
+            assert_eq!(a.pattern_text, b.pattern_text);
+            assert_eq!(a.est_responsibility, b.est_responsibility);
+            assert_eq!(a.support, b.support);
+        }
     }
 }

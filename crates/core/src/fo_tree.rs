@@ -182,11 +182,7 @@ impl FoTree {
     pub fn top_nodes(&self, data: &Dataset, k: usize) -> Vec<FoTreeExplanation> {
         let n = data.n_rows() as f64;
         let mut ranked: Vec<&Node> = self.nodes.iter().filter(|n| n.depth > 0).collect();
-        ranked.sort_by(|a, b| {
-            b.total_influence
-                .partial_cmp(&a.total_influence)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        ranked.sort_by(|a, b| b.total_influence.total_cmp(&a.total_influence));
         ranked
             .into_iter()
             .take(k)

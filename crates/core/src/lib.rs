@@ -10,8 +10,13 @@
 //!
 //! # Quickstart
 //!
+//! The API is query-oriented: build one [`ExplainSession`] per trained model
+//! (this pays for encoding, training, Hessian precomputation, and predicate
+//! generation once), then answer as many [`ExplainRequest`]s as you like —
+//! singly or batched, across metrics, estimators, k, and thresholds.
+//!
 //! ```
-//! use gopher_core::{Gopher, GopherConfig};
+//! use gopher_core::{ExplainRequest, SessionBuilder};
 //! use gopher_data::generators::german;
 //! use gopher_fairness::FairnessMetric;
 //! use gopher_models::LogisticRegression;
@@ -19,24 +24,30 @@
 //!
 //! let mut rng = Rng::new(0);
 //! let (train, test) = german(600, 0).train_test_split(0.3, &mut rng);
-//! let config = GopherConfig { k: 3, ..Default::default() };
-//! let gopher = Gopher::fit(
-//!     |n_cols| LogisticRegression::new(n_cols, 1e-3),
-//!     &train,
-//!     &test,
-//!     config,
-//! );
-//! let report = gopher.explain();
-//! assert!(report.base_bias > 0.0);
-//! for exp in &report.explanations {
+//! let session = SessionBuilder::new()
+//!     .fit(|n_cols| LogisticRegression::new(n_cols, 1e-3), &train, &test);
+//!
+//! // One cheap query…
+//! let response = session.explain(&ExplainRequest::default().with_k(3));
+//! assert!(response.report.base_bias > 0.0);
+//! for exp in &response.report.explanations {
 //!     println!("{} (support {:.1}%)", exp.pattern_text, 100.0 * exp.support);
 //! }
+//! // …and a second metric against the same session costs only the sweep,
+//! // with every pattern coverage already cached.
+//! let eo = session.explain(
+//!     &ExplainRequest::default().with_metric(FairnessMetric::EqualOpportunity),
+//! );
+//! assert_eq!(eo.report.metric, FairnessMetric::EqualOpportunity);
 //! ```
 //!
 //! # Modules
 //!
-//! * [`explainer`] — the [`Gopher`] façade: end-to-end top-k explanations
-//!   (paper Algorithms 1–2) with optional ground-truth verification.
+//! * [`session`] — the query-oriented API: [`SessionBuilder`],
+//!   [`ExplainSession`], [`ExplainRequest`]/[`ExplainResponse`], and batched
+//!   multi-metric queries over one lattice sweep.
+//! * [`explainer`] — the report types plus the deprecated [`Gopher`] façade
+//!   (one session + one fixed config, kept for source compatibility).
 //! * [`update`] — update-based explanations (paper Section 5): homogeneous
 //!   perturbations found by projected gradient descent.
 //! * [`fo_tree`] — the FO-tree baseline the paper compares against (a CART
@@ -56,8 +67,12 @@ pub mod lof;
 pub mod mitigate;
 pub mod poison_detect;
 pub mod report;
+pub mod session;
 pub mod update;
 
-pub use explainer::{Explanation, ExplanationReport, Gopher, GopherConfig, PatternProfile};
+#[allow(deprecated)]
+pub use explainer::Gopher;
+pub use explainer::{Explanation, ExplanationReport, GopherConfig, PatternProfile};
 pub use mitigate::{mitigate, MitigationConfig, MitigationReport};
+pub use session::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
 pub use update::{FeatureChange, UpdateConfig, UpdateExplanation};

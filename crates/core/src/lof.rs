@@ -27,7 +27,7 @@ pub fn local_outlier_factor(x: &Matrix, k: usize) -> Vec<f64> {
                 dists.push((vecops::distance(x.row(i), x.row(j)), j));
             }
         }
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         // Include ties with the k-th distance, as the definition requires.
         let kth = dists[k - 1].0;
         let cutoff = dists.iter().take_while(|(d, _)| *d <= kth).count();

@@ -8,7 +8,7 @@
 //! repeat. Unlike blind reweighing, every removal is an *interpretable*
 //! pattern, so the data owner can review what is being dropped.
 
-use crate::explainer::{Gopher, GopherConfig};
+use crate::explainer::GopherConfig;
 use gopher_data::Dataset;
 use gopher_models::Model;
 
@@ -93,12 +93,18 @@ pub fn mitigate<M: Model>(
     let mut final_bias = f64::NAN;
     let mut final_accuracy = f64::NAN;
 
+    let mut request = gopher_config.to_request();
+    request.k = 1;
+    request.ground_truth_for_topk = false;
+
     for _ in 0..config.max_rounds {
-        let mut cfg = gopher_config.clone();
-        cfg.k = 1;
-        cfg.ground_truth_for_topk = false;
-        let gopher = Gopher::fit(&mut make_model, &current, test_raw, cfg);
-        let report = gopher.explain();
+        // The model retrains every round, so each round needs a fresh
+        // session; the per-query state (metric, thresholds) is the same
+        // request throughout.
+        let session = gopher_config
+            .to_session_builder()
+            .fit(&mut make_model, &current, test_raw);
+        let report = session.explain(&request).report;
         final_bias = report.base_bias;
         final_accuracy = report.accuracy;
 
@@ -122,22 +128,16 @@ pub fn mitigate<M: Model>(
             mask[r as usize] = true;
         }
         let next = current.remove_rows(&mask);
-        let next_gopher = Gopher::fit(
-            &mut make_model,
-            &next,
-            test_raw,
-            GopherConfig {
-                ground_truth_for_topk: false,
-                ..gopher_config.clone()
-            },
-        );
+        let next_session = gopher_config
+            .to_session_builder()
+            .fit(&mut make_model, &next, test_raw);
         let bias_after = gopher_fairness::bias(
             gopher_config.metric,
-            next_gopher.model(),
-            next_gopher.test(),
+            next_session.model(),
+            next_session.test(),
         );
         let accuracy_after =
-            gopher_models::train::accuracy(next_gopher.model(), next_gopher.test());
+            gopher_models::train::accuracy(next_session.model(), next_session.test());
         rounds.push(MitigationRound {
             pattern_text: top.pattern_text.clone(),
             removed_rows: would_remove,

@@ -186,11 +186,7 @@ pub fn detect_poison<M: Model>(
             c.responsibility
         }
     };
-    ranked.sort_by(|a, b| {
-        key(b)
-            .partial_cmp(&key(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    ranked.sort_by(|a, b| key(b).total_cmp(&key(a)));
 
     let flagged = &ranked[..config.top_clusters.min(ranked.len())];
     let caught: usize = flagged.iter().map(|c| c.n_poison).sum();
@@ -205,11 +201,7 @@ pub fn detect_poison<M: Model>(
     // LOF baseline: flag the n_poison highest-scoring points.
     let lof_scores = local_outlier_factor(&train.x, config.lof_k.min(train.n_rows() - 1));
     let mut by_score: Vec<usize> = (0..train.n_rows()).collect();
-    by_score.sort_by(|&a, &b| {
-        lof_scores[b]
-            .partial_cmp(&lof_scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    by_score.sort_by(|&a, &b| lof_scores[b].total_cmp(&lof_scores[a]));
     let lof_caught = by_score[..total_poison.min(by_score.len())]
         .iter()
         .filter(|&&r| is_poison[r])

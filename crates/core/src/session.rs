@@ -1,0 +1,751 @@
+//! The query-oriented explainer API: a long-lived [`ExplainSession`] serving
+//! many cheap [`ExplainRequest`]s.
+//!
+//! The paper's Gopher system is an *interactive* debugging tool: an analyst
+//! fixes one trained model and then iterates over fairness metrics, k,
+//! support thresholds, and estimators. The expensive state — encoding, model
+//! training, influence-engine precomputation (per-example gradients + the
+//! factored Hessian), predicate generation, and pattern coverage bitsets —
+//! depends only on the *model and data*, while every knob the analyst turns
+//! is *per-query*. This module makes that split explicit:
+//!
+//! * [`SessionBuilder`] → [`ExplainSession`] — pay the per-model setup once;
+//! * [`ExplainRequest`] → [`ExplainResponse`] — ask as many questions as you
+//!   like against the same session, including batched multi-metric queries
+//!   via [`ExplainSession::explain_batch`], which shares one lattice sweep
+//!   (structural enumeration + coverage intersection) across requests and
+//!   fans the scoring callbacks out per request.
+//!
+//! Results are **bit-identical** to cold [`Gopher`](crate::Gopher) runs with
+//! the equivalent [`GopherConfig`](crate::GopherConfig): the session only
+//! caches pure functions
+//! of the trained model (coverage bitsets, per-metric bias gradients,
+//! finished sweeps), never approximations.
+//!
+//! ```
+//! use gopher_core::{ExplainRequest, SessionBuilder};
+//! use gopher_data::generators::german;
+//! use gopher_fairness::FairnessMetric;
+//! use gopher_models::LogisticRegression;
+//! use gopher_prng::Rng;
+//!
+//! let mut rng = Rng::new(0);
+//! let (train, test) = german(600, 0).train_test_split(0.3, &mut rng);
+//! let session = SessionBuilder::new()
+//!     .fit(|n_cols| LogisticRegression::new(n_cols, 1e-3), &train, &test);
+//! // Two metrics, one batch, one lattice sweep.
+//! let responses = session.explain_batch(&[
+//!     ExplainRequest::default().with_k(3),
+//!     ExplainRequest::default()
+//!         .with_metric(FairnessMetric::EqualOpportunity)
+//!         .with_k(3),
+//! ]);
+//! assert_eq!(responses.len(), 2);
+//! assert!(responses[0].report.base_bias > 0.0);
+//! ```
+
+use crate::explainer::{Explanation, ExplanationReport, PatternProfile};
+use gopher_data::{Dataset, Encoded, Encoder};
+use gopher_fairness::FairnessMetric;
+use gopher_influence::{
+    retrain_without, BiasEval, BiasInfluence, BiasPrecomp, Estimator, InfluenceConfig,
+    InfluenceEngine,
+};
+use gopher_models::train::fit_default;
+use gopher_models::Model;
+use gopher_patterns::{
+    generate_predicates, lattice, topk, BitSet, Candidate, CoverageCache, LatticeConfig,
+    PredicateTable, ScoreFn, SearchStats,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Builds an [`ExplainSession`]: the per-model options that must be fixed
+/// before any query can run (everything else lives on [`ExplainRequest`]).
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    max_bins: usize,
+    influence: InfluenceConfig,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionBuilder {
+    /// Default session options (4 quantile bins per numeric feature,
+    /// default influence-engine parameters).
+    pub fn new() -> Self {
+        Self {
+            max_bins: 4,
+            influence: InfluenceConfig::default(),
+        }
+    }
+
+    /// Quantile bins per numeric feature for predicate generation.
+    #[must_use]
+    pub fn max_bins(mut self, max_bins: usize) -> Self {
+        self.max_bins = max_bins;
+        self
+    }
+
+    /// Influence-engine parameters (damping, CG budget, …).
+    #[must_use]
+    pub fn influence(mut self, influence: InfluenceConfig) -> Self {
+        self.influence = influence;
+        self
+    }
+
+    /// Builds a session around an **already trained** model. The model must
+    /// have been trained on `Encoder::fit(train_raw)`-encoded data;
+    /// influence functions assume its parameters are a stationary point.
+    ///
+    /// # Panics
+    /// If the model's input width does not match the encoded data.
+    pub fn build<M: Model>(
+        self,
+        model: M,
+        train_raw: &Dataset,
+        test_raw: &Dataset,
+    ) -> ExplainSession<M> {
+        let encoder = Encoder::fit(train_raw);
+        let train = encoder.transform(train_raw);
+        let test = encoder.transform(test_raw);
+        assert_eq!(
+            model.n_inputs(),
+            train.n_cols(),
+            "model input width must match the encoded data"
+        );
+        let engine = InfluenceEngine::new(model, &train, self.influence.clone());
+        let table = generate_predicates(train_raw, self.max_bins);
+        let accuracy = gopher_models::train::accuracy(engine.model(), &test);
+        ExplainSession {
+            train_raw: train_raw.clone(),
+            encoder,
+            train,
+            test,
+            engine,
+            table,
+            accuracy,
+            coverage: CoverageCache::new(),
+            bias_cache: Mutex::new(HashMap::new()),
+            sweep_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Convenience constructor that encodes the data, builds the model via
+    /// `make_model(n_encoded_cols)`, trains it to convergence, and wraps it.
+    pub fn fit<M: Model>(
+        self,
+        make_model: impl FnOnce(usize) -> M,
+        train_raw: &Dataset,
+        test_raw: &Dataset,
+    ) -> ExplainSession<M> {
+        let encoder = Encoder::fit(train_raw);
+        let train = encoder.transform(train_raw);
+        let mut model = make_model(train.n_cols());
+        fit_default(&mut model, &train);
+        self.build(model, train_raw, test_raw)
+    }
+}
+
+/// One explanation query against an [`ExplainSession`]: everything an
+/// analyst iterates over between questions, none of the per-model state.
+#[derive(Debug, Clone)]
+pub struct ExplainRequest {
+    /// Fairness metric to debug.
+    pub metric: FairnessMetric,
+    /// Number of explanations to return.
+    pub k: usize,
+    /// Containment threshold `c` for diversity (Definition 3.7).
+    pub containment_threshold: f64,
+    /// Lattice search parameters (support threshold τ, depth, pruning).
+    pub lattice: LatticeConfig,
+    /// Influence estimator used to score candidate patterns.
+    pub estimator: Estimator,
+    /// How estimated parameter changes become bias changes.
+    pub bias_eval: BiasEval,
+    /// Retrain without each top-k subset to report ground-truth Δbias
+    /// (the paper reports this for every table; costs k retrainings).
+    pub ground_truth_for_topk: bool,
+    /// Re-score the top candidates with the second-order estimator before
+    /// the final ranking (cheap: only the survivors of the containment
+    /// filter are re-scored). Off by default to match the paper.
+    pub rescore_top_with_so: bool,
+}
+
+impl Default for ExplainRequest {
+    fn default() -> Self {
+        Self {
+            metric: FairnessMetric::StatisticalParity,
+            k: 3,
+            containment_threshold: 0.75,
+            lattice: LatticeConfig::default(),
+            estimator: Estimator::SecondOrder,
+            bias_eval: BiasEval::ChainRule,
+            ground_truth_for_topk: true,
+            rescore_top_with_so: false,
+        }
+    }
+}
+
+impl ExplainRequest {
+    /// Sets the fairness metric.
+    #[must_use]
+    pub fn with_metric(mut self, metric: FairnessMetric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Sets the number of explanations to return.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the influence estimator.
+    #[must_use]
+    pub fn with_estimator(mut self, estimator: Estimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Sets the minimum pattern support threshold τ.
+    #[must_use]
+    pub fn with_support_threshold(mut self, tau: f64) -> Self {
+        self.lattice.support_threshold = tau;
+        self
+    }
+
+    /// Sets the maximum number of predicates per pattern.
+    #[must_use]
+    pub fn with_max_predicates(mut self, depth: usize) -> Self {
+        self.lattice.max_predicates = depth;
+        self
+    }
+
+    /// Enables or disables ground-truth verification of the top-k patterns.
+    #[must_use]
+    pub fn with_ground_truth(mut self, on: bool) -> Self {
+        self.ground_truth_for_topk = on;
+        self
+    }
+}
+
+/// The answer to one [`ExplainRequest`].
+#[derive(Debug, Clone)]
+pub struct ExplainResponse {
+    /// The request this response answers (echoed for batch bookkeeping).
+    pub request: ExplainRequest,
+    /// The explanation report, identical in content to what a cold
+    /// [`Gopher`](crate::Gopher) run with the equivalent config produces.
+    pub report: ExplanationReport,
+    /// Wall-clock time this request cost the session, including the lattice
+    /// sweep when this request was the first in its batch to need it. A
+    /// repeat of a cached request (or a batch peer sharing a sweep) reports
+    /// only its own selection and ground-truth time — near zero with ground
+    /// truth off.
+    pub query_time: Duration,
+}
+
+/// Hashable identity of a lattice sweep: its structural parameters plus the
+/// scoring function (metric × estimator × bias-eval). Two requests with the
+/// same `SweepKey` share one `compute_candidates` result exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SweepKey {
+    support_bits: u64,
+    max_predicates: usize,
+    prune_by_responsibility: bool,
+    max_level_candidates: Option<usize>,
+    metric: FairnessMetric,
+    estimator: (u8, u64),
+    bias_eval: BiasEval,
+}
+
+impl SweepKey {
+    fn of(req: &ExplainRequest) -> Self {
+        Self {
+            support_bits: req.lattice.support_threshold.to_bits(),
+            max_predicates: req.lattice.max_predicates,
+            prune_by_responsibility: req.lattice.prune_by_responsibility,
+            max_level_candidates: req.lattice.max_level_candidates,
+            metric: req.metric,
+            estimator: estimator_key(req.estimator),
+            bias_eval: req.bias_eval,
+        }
+    }
+
+    /// The structural (scoring-independent) part, for grouping requests that
+    /// can share one multi-scorer sweep.
+    fn structural(&self) -> (u64, usize, bool, Option<usize>) {
+        (
+            self.support_bits,
+            self.max_predicates,
+            self.prune_by_responsibility,
+            self.max_level_candidates,
+        )
+    }
+}
+
+fn estimator_key(e: Estimator) -> (u8, u64) {
+    match e {
+        Estimator::FirstOrder => (0, 0),
+        Estimator::SecondOrder => (1, 0),
+        Estimator::NewtonStep => (2, 0),
+        Estimator::OneStepGd { learning_rate } => (3, learning_rate.to_bits()),
+    }
+}
+
+/// Cap on retained sweep results. A sweep's candidate vector is the largest
+/// thing a session caches, so — like the coverage cache — retention is
+/// bounded: past the cap, fresh sweeps are still served but not stored.
+const SWEEP_CACHE_CAP: usize = 256;
+
+/// A finished lattice sweep, cached per [`SweepKey`] for the session's
+/// lifetime (candidates are pure functions of the trained model).
+struct SweepResult {
+    candidates: Vec<Candidate>,
+    stats: SearchStats,
+    /// Wall-clock cost of the sweep when it actually ran (reported as the
+    /// search time of every request that reuses it).
+    duration: Duration,
+}
+
+/// A long-lived explainer bound to one trained model.
+///
+/// Owns everything expensive — the raw and encoded data, the influence
+/// engine (per-example gradients + factored Hessian), the predicate table, a
+/// [`CoverageCache`] of materialized pattern bitsets, per-metric bias
+/// precomputations, and finished sweeps — and answers [`ExplainRequest`]s
+/// against that state. All caches sit behind mutexes, so a session is `Sync`
+/// and can serve concurrent `&self` queries.
+pub struct ExplainSession<M: Model> {
+    train_raw: Dataset,
+    encoder: Encoder,
+    train: Encoded,
+    test: Encoded,
+    engine: InfluenceEngine<M>,
+    table: PredicateTable,
+    accuracy: f64,
+    coverage: CoverageCache,
+    bias_cache: Mutex<HashMap<FairnessMetric, BiasPrecomp>>,
+    sweep_cache: Mutex<HashMap<SweepKey, Arc<SweepResult>>>,
+}
+
+impl<M: Model> ExplainSession<M> {
+    /// The trained model.
+    pub fn model(&self) -> &M {
+        self.engine.model()
+    }
+
+    /// The fitted encoder.
+    pub fn encoder(&self) -> &Encoder {
+        &self.encoder
+    }
+
+    /// The encoded training set.
+    pub fn train(&self) -> &Encoded {
+        &self.train
+    }
+
+    /// The encoded test set.
+    pub fn test(&self) -> &Encoded {
+        &self.test
+    }
+
+    /// The raw training dataset.
+    pub fn train_raw(&self) -> &Dataset {
+        &self.train_raw
+    }
+
+    /// The influence engine (for advanced queries).
+    pub fn engine(&self) -> &InfluenceEngine<M> {
+        &self.engine
+    }
+
+    /// The candidate predicate table.
+    pub fn predicate_table(&self) -> &PredicateTable {
+        &self.table
+    }
+
+    /// Test accuracy of the model (computed once at session build).
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// Hard bias of the model under `metric` on the test set (cached).
+    pub fn base_bias(&self, metric: FairnessMetric) -> f64 {
+        self.bias_precomp(metric).base_hard
+    }
+
+    /// Number of materialized pattern coverages the session has cached.
+    pub fn cached_coverages(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Answers one request. Equivalent to `explain_batch` with a singleton
+    /// slice; the response content matches a cold
+    /// [`Gopher`](crate::Gopher) run with the equivalent config bit for bit.
+    pub fn explain(&self, request: &ExplainRequest) -> ExplainResponse {
+        self.explain_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one request in, one response out")
+    }
+
+    /// Answers a batch of requests, sharing work wherever the requests
+    /// allow:
+    ///
+    /// * requests with identical structural lattice parameters share **one
+    ///   sweep** — the structural enumeration and every coverage
+    ///   intersection run once, with the per-request scoring callbacks
+    ///   (metric × estimator × bias-eval) fanned out over it;
+    /// * requests with identical scoring too (differing only in k,
+    ///   containment, or ground-truth flags) share the sweep *result*;
+    /// * all sweeps consult the session's coverage cache, so later batches
+    ///   and queries skip intersections any earlier query materialized.
+    ///
+    /// Responses come back in request order, each with content identical to
+    /// a cold run of that request alone.
+    pub fn explain_batch(&self, requests: &[ExplainRequest]) -> Vec<ExplainResponse> {
+        let keys: Vec<SweepKey> = requests.iter().map(SweepKey::of).collect();
+
+        // Find sweeps not yet cached, grouped by structural lattice config
+        // (first-seen order keeps runs deterministic).
+        let mut missing: Vec<(SweepKey, &ExplainRequest)> = Vec::new();
+        {
+            let cache = self.sweep_cache.lock().expect("sweep cache poisoned");
+            for (key, req) in keys.iter().zip(requests) {
+                if !cache.contains_key(key) && !missing.iter().any(|(k, _)| k == key) {
+                    missing.push((key.clone(), req));
+                }
+            }
+        }
+        // Freshly-swept keys: their sweep cost is charged to the first
+        // request in the batch that needed them (see `query_time`).
+        let mut fresh: HashSet<SweepKey> = missing.iter().map(|(k, _)| k.clone()).collect();
+
+        struct Group<'r> {
+            structural: (u64, usize, bool, Option<usize>),
+            lattice: LatticeConfig,
+            members: Vec<(SweepKey, &'r ExplainRequest)>,
+        }
+        let mut structural_groups: Vec<Group<'_>> = Vec::new();
+        for (key, req) in missing {
+            let structural = key.structural();
+            match structural_groups
+                .iter_mut()
+                .find(|g| g.structural == structural)
+            {
+                Some(group) => group.members.push((key, req)),
+                None => structural_groups.push(Group {
+                    structural,
+                    lattice: req.lattice.clone(),
+                    members: vec![(key, req)],
+                }),
+            }
+        }
+
+        // Fresh sweeps are handed back directly (and cached subject to the
+        // cap) so over-cap batches still answer without recomputation.
+        let mut batch_sweeps: HashMap<SweepKey, Arc<SweepResult>> = HashMap::new();
+        for group in structural_groups {
+            for (key, sweep) in self.run_sweeps(&group.lattice, &group.members) {
+                batch_sweeps.insert(key, sweep);
+            }
+        }
+
+        keys.iter()
+            .zip(requests)
+            .map(|(key, req)| {
+                let sweep = match batch_sweeps.get(key) {
+                    Some(sweep) => Arc::clone(sweep),
+                    None => Arc::clone(
+                        self.sweep_cache
+                            .lock()
+                            .expect("sweep cache poisoned")
+                            .get(key)
+                            .expect("sweep cached before this batch"),
+                    ),
+                };
+                self.answer(&sweep, req, fresh.remove(key))
+            })
+            .collect()
+    }
+
+    /// Runs one multi-scorer sweep for all `members` (same structural
+    /// lattice config, distinct scoring), caches the per-scorer results
+    /// subject to [`SWEEP_CACHE_CAP`], and returns them for this batch.
+    fn run_sweeps(
+        &self,
+        lattice_cfg: &LatticeConfig,
+        members: &[(SweepKey, &ExplainRequest)],
+    ) -> Vec<(SweepKey, Arc<SweepResult>)> {
+        let bis: Vec<BiasInfluence<'_, M>> = members
+            .iter()
+            .map(|(_, req)| {
+                BiasInfluence::from_precomp(
+                    &self.engine,
+                    req.metric,
+                    &self.test,
+                    self.bias_precomp(req.metric),
+                )
+            })
+            .collect();
+        let mut scorers: Vec<ScoreFn<'_>> = members
+            .iter()
+            .zip(&bis)
+            .map(|((_, req), bi)| {
+                let estimator = req.estimator;
+                let bias_eval = req.bias_eval;
+                let train = &self.train;
+                Box::new(move |cov: &BitSet| {
+                    let rows = cov.to_indices();
+                    bi.responsibility(train, &rows, estimator, bias_eval)
+                }) as ScoreFn<'_>
+            })
+            .collect();
+        let results = lattice::compute_candidates_multi(
+            &self.table,
+            &mut scorers,
+            lattice_cfg,
+            &self.coverage,
+        );
+        let mut fresh_sweeps = Vec::with_capacity(members.len());
+        let mut cache = self.sweep_cache.lock().expect("sweep cache poisoned");
+        for ((key, _), (candidates, stats)) in members.iter().zip(results) {
+            let duration = stats.levels.iter().map(|l| l.duration).sum();
+            let sweep = Arc::new(SweepResult {
+                candidates,
+                stats,
+                duration,
+            });
+            // Bound retention: past the cap, the sweep still answers this
+            // batch but is recomputed if the same request ever returns.
+            if cache.len() < SWEEP_CACHE_CAP || cache.contains_key(key) {
+                cache.insert(key.clone(), Arc::clone(&sweep));
+            }
+            fresh_sweeps.push((key.clone(), sweep));
+        }
+        fresh_sweeps
+    }
+
+    /// Builds the response for one request from its sweep. `charge_sweep` is
+    /// set for the first request of the batch that needed a fresh sweep, so
+    /// its `query_time` carries the sweep's cost.
+    fn answer(
+        &self,
+        sweep: &SweepResult,
+        req: &ExplainRequest,
+        charge_sweep: bool,
+    ) -> ExplainResponse {
+        let t_query = Instant::now();
+        let precomp = self.bias_precomp(req.metric);
+        let t_select = Instant::now();
+        let mut selected = topk::top_k(&sweep.candidates, req.k, req.containment_threshold);
+        if req.rescore_top_with_so {
+            let bi =
+                BiasInfluence::from_precomp(&self.engine, req.metric, &self.test, precomp.clone());
+            for cand in &mut selected {
+                let rows = cand.coverage.to_indices();
+                cand.responsibility =
+                    bi.responsibility(&self.train, &rows, Estimator::SecondOrder, req.bias_eval);
+                cand.interestingness = cand.responsibility / cand.support;
+            }
+            selected.sort_by(|a, b| b.interestingness.total_cmp(&a.interestingness));
+        }
+        let search_time = sweep.duration + t_select.elapsed();
+
+        let explanations = selected
+            .into_iter()
+            .map(|candidate| self.finalize_explanation(candidate, req))
+            .collect();
+
+        let report = ExplanationReport {
+            metric: req.metric,
+            base_bias: precomp.base_hard,
+            accuracy: self.accuracy,
+            explanations,
+            stats: sweep.stats.clone(),
+            search_time,
+        };
+        let mut query_time = t_query.elapsed();
+        if charge_sweep {
+            query_time += sweep.duration;
+        }
+        ExplainResponse {
+            request: req.clone(),
+            report,
+            query_time,
+        }
+    }
+
+    fn finalize_explanation(&self, candidate: Candidate, req: &ExplainRequest) -> Explanation {
+        let pattern_text = candidate
+            .pattern
+            .render(&self.table, self.train_raw.schema());
+        let (gt_resp, gt_new) = if req.ground_truth_for_topk {
+            let rows = candidate.coverage.to_indices();
+            let (resp, new_bias) = self.ground_truth_responsibility(req.metric, &rows);
+            (Some(resp), Some(new_bias))
+        } else {
+            (None, None)
+        };
+        Explanation {
+            pattern_text,
+            support: candidate.support,
+            est_responsibility: candidate.responsibility,
+            ground_truth_responsibility: gt_resp,
+            ground_truth_new_bias: gt_new,
+            candidate,
+        }
+    }
+
+    /// Descriptive statistics of a pattern's coverage, for reports: how the
+    /// covered rows differ from the rest of the training data in label and
+    /// group composition. This is the "why is this subset responsible"
+    /// context a reviewer needs next to the raw responsibility number.
+    pub fn pattern_profile(&self, candidate: &Candidate) -> PatternProfile {
+        let n = self.train.n_rows();
+        let mut in_pos = 0usize;
+        let mut in_priv = 0usize;
+        let mut in_count = 0usize;
+        let mut out_pos = 0usize;
+        let mut out_priv = 0usize;
+        for r in 0..n {
+            let covered = candidate.coverage.contains(r);
+            let pos = self.train.y[r] == 1.0;
+            let priv_ = self.train.privileged[r];
+            if covered {
+                in_count += 1;
+                in_pos += usize::from(pos);
+                in_priv += usize::from(priv_);
+            } else {
+                out_pos += usize::from(pos);
+                out_priv += usize::from(priv_);
+            }
+        }
+        let out_count = n - in_count;
+        let frac = |num: usize, den: usize| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        PatternProfile {
+            rows: in_count,
+            positive_rate: frac(in_pos, in_count),
+            privileged_rate: frac(in_priv, in_count),
+            rest_positive_rate: frac(out_pos, out_count),
+            rest_privileged_rate: frac(out_priv, out_count),
+        }
+    }
+
+    /// Ground-truth responsibility of an arbitrary row subset under
+    /// `metric` (retrains without the subset).
+    pub fn ground_truth_responsibility(&self, metric: FairnessMetric, rows: &[u32]) -> (f64, f64) {
+        let outcome = retrain_without(self.engine.model(), &self.train, rows);
+        let new_bias = gopher_fairness::bias(metric, &outcome.model, &self.test);
+        let base = gopher_fairness::bias(metric, self.engine.model(), &self.test);
+        let resp = if base.abs() < 1e-12 {
+            0.0
+        } else {
+            (base - new_bias) / base
+        };
+        (resp, new_bias)
+    }
+
+    /// The per-metric bias precomputation (gradient + baselines), cached.
+    fn bias_precomp(&self, metric: FairnessMetric) -> BiasPrecomp {
+        let mut cache = self.bias_cache.lock().expect("bias cache poisoned");
+        cache
+            .entry(metric)
+            .or_insert_with(|| BiasPrecomp::compute(metric, self.engine.model(), &self.test))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gopher_data::generators::german;
+    use gopher_models::LogisticRegression;
+    use gopher_prng::Rng;
+
+    fn session(n: usize, seed: u64) -> ExplainSession<LogisticRegression> {
+        let mut rng = Rng::new(seed);
+        let (train, test) = german(n, seed).train_test_split(0.3, &mut rng);
+        SessionBuilder::new().fit(|cols| LogisticRegression::new(cols, 1e-3), &train, &test)
+    }
+
+    fn assert_reports_equal(a: &ExplanationReport, b: &ExplanationReport) {
+        assert_eq!(a.metric, b.metric);
+        assert_eq!(a.base_bias, b.base_bias);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.stats.total_scored, b.stats.total_scored);
+        assert_eq!(a.explanations.len(), b.explanations.len());
+        for (x, y) in a.explanations.iter().zip(&b.explanations) {
+            assert_eq!(x.pattern_text, y.pattern_text);
+            assert_eq!(x.support, y.support);
+            assert_eq!(x.est_responsibility, y.est_responsibility);
+            assert_eq!(x.ground_truth_responsibility, y.ground_truth_responsibility);
+        }
+    }
+
+    #[test]
+    fn batch_equals_sequential_singles() {
+        let s = session(700, 42);
+        let reqs = [
+            ExplainRequest::default().with_ground_truth(false),
+            ExplainRequest::default()
+                .with_metric(FairnessMetric::EqualOpportunity)
+                .with_ground_truth(false),
+        ];
+        let batch = s.explain_batch(&reqs);
+        // A fresh session answering the same requests one at a time.
+        let s2 = session(700, 42);
+        for (req, resp) in reqs.iter().zip(&batch) {
+            let solo = s2.explain(req);
+            assert_reports_equal(&solo.report, &resp.report);
+        }
+    }
+
+    #[test]
+    fn repeat_query_hits_the_sweep_cache() {
+        let s = session(500, 43);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let first = s.explain(&req);
+        let scored_once = first.report.stats.total_scored;
+        let again = s.explain(&req.clone().with_k(1));
+        // Same sweep: identical scoring counts, k only trims the selection.
+        assert_eq!(again.report.stats.total_scored, scored_once);
+        assert!(again.report.explanations.len() <= 1);
+        assert!(s.cached_coverages() > 0);
+    }
+
+    #[test]
+    fn distinct_metrics_share_the_coverage_cache() {
+        let s = session(500, 44);
+        let _ = s.explain(&ExplainRequest::default().with_ground_truth(false));
+        let after_first = s.cached_coverages();
+        assert!(after_first > 0);
+        let _ = s.explain(
+            &ExplainRequest::default()
+                .with_metric(FairnessMetric::EqualOpportunity)
+                .with_ground_truth(false),
+        );
+        // The second metric walks (a subset of) the same lattice; coverage
+        // entries are keyed by pattern, so overlap is reused, not recloned.
+        assert!(s.cached_coverages() >= after_first);
+    }
+
+    #[test]
+    fn session_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<ExplainSession<LogisticRegression>>();
+    }
+}

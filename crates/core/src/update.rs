@@ -13,9 +13,10 @@
 //! coordinates stay within `[−1, 1]` during optimization and are snapped to
 //! the nearest valid one-hot when the final updated dataset is materialized.
 
-use crate::explainer::{Explanation, ExplanationReport, Gopher};
+use crate::explainer::{Explanation, ExplanationReport};
+use crate::session::{ExplainRequest, ExplainSession};
 use gopher_data::{Encoded, EncodedGroup, Value};
-use gopher_fairness::bias_gradient;
+use gopher_fairness::{bias_gradient, FairnessMetric};
 use gopher_influence::retrain_updated;
 use gopher_linalg::vecops;
 use gopher_models::Model;
@@ -127,11 +128,13 @@ pub struct UpdateExplanation {
     pub ground_truth_responsibility: Option<f64>,
 }
 
-impl<M: Model> Gopher<M> {
-    /// Computes the best homogeneous update for one candidate pattern.
+impl<M: Model> ExplainSession<M> {
+    /// Computes the best homogeneous update for one candidate pattern,
+    /// optimizing the given metric's one-step-GD bias surrogate.
     pub fn update_explanation(
         &self,
         candidate: &Candidate,
+        metric: FairnessMetric,
         cfg: &UpdateConfig,
     ) -> UpdateExplanation {
         let rows = candidate.coverage.to_indices();
@@ -139,7 +142,7 @@ impl<M: Model> Gopher<M> {
         let train = self.train();
         let model = self.model();
         let d = train.n_cols();
-        let grad_f = bias_gradient(self.config().metric, model, self.test());
+        let grad_f = bias_gradient(metric, model, self.test());
 
         // Box constraints keeping every updated point inside the training
         // domain: per encoded column, δ ∈ [lo − max_i x, hi − min_i x].
@@ -216,7 +219,7 @@ impl<M: Model> Gopher<M> {
                     let value = score(&only, &mut grad_buf, &mut x_buf);
                     impacts.push((g_idx, baseline - value));
                 }
-                impacts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                impacts.sort_by(|a, b| b.1.total_cmp(&a.1));
                 let mut mask = vec![false; d];
                 for &(g_idx, impact) in impacts.iter().take(max_features) {
                     if impact > 0.0 {
@@ -260,8 +263,8 @@ impl<M: Model> Gopher<M> {
 
         let ground_truth_responsibility = if cfg.ground_truth {
             let outcome = retrain_updated(model, &updated);
-            let new_bias = gopher_fairness::bias(self.config().metric, &outcome.model, self.test());
-            let base = gopher_fairness::bias(self.config().metric, model, self.test());
+            let new_bias = gopher_fairness::bias(metric, &outcome.model, self.test());
+            let base = gopher_fairness::bias(metric, model, self.test());
             Some(if base.abs() < 1e-12 {
                 0.0
             } else {
@@ -284,17 +287,18 @@ impl<M: Model> Gopher<M> {
         }
     }
 
-    /// Runs [`Gopher::explain`] and derives an update-based explanation for
-    /// each returned pattern (paper Tables 4–6).
+    /// Runs [`ExplainSession::explain`] and derives an update-based
+    /// explanation for each returned pattern (paper Tables 4–6).
     pub fn explain_with_updates(
         &self,
+        request: &ExplainRequest,
         cfg: &UpdateConfig,
     ) -> (ExplanationReport, Vec<UpdateExplanation>) {
-        let report = self.explain();
+        let report = self.explain(request).report;
         let updates = report
             .explanations
             .iter()
-            .map(|e: &Explanation| self.update_explanation(&e.candidate, cfg))
+            .map(|e: &Explanation| self.update_explanation(&e.candidate, request.metric, cfg))
             .collect();
         (report, updates)
     }
@@ -402,6 +406,32 @@ impl<M: Model> Gopher<M> {
     }
 }
 
+#[allow(deprecated)]
+impl<M: Model> crate::explainer::Gopher<M> {
+    /// Computes the best homogeneous update for one candidate pattern
+    /// (façade for [`ExplainSession::update_explanation`] under the
+    /// configured metric).
+    pub fn update_explanation(
+        &self,
+        candidate: &Candidate,
+        cfg: &UpdateConfig,
+    ) -> UpdateExplanation {
+        self.session()
+            .update_explanation(candidate, self.config().metric, cfg)
+    }
+
+    /// Runs `explain` and derives an update-based explanation for each
+    /// returned pattern (façade for
+    /// [`ExplainSession::explain_with_updates`]).
+    pub fn explain_with_updates(
+        &self,
+        cfg: &UpdateConfig,
+    ) -> (ExplanationReport, Vec<UpdateExplanation>) {
+        self.session()
+            .explain_with_updates(&self.config().to_request(), cfg)
+    }
+}
+
 /// Copies the coordinates of one encoded feature group from `src` to `dst`.
 fn copy_group(group: &EncodedGroup, src: &[f64], dst: &mut [f64]) {
     match group {
@@ -436,31 +466,29 @@ fn copy_group_mask(group: &EncodedGroup, mask: &mut [bool]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::explainer::GopherConfig;
+    use crate::session::SessionBuilder;
     use gopher_data::generators::german;
     use gopher_models::LogisticRegression;
     use gopher_prng::Rng;
 
-    fn build() -> Gopher<LogisticRegression> {
+    const METRIC: FairnessMetric = FairnessMetric::StatisticalParity;
+
+    fn build() -> ExplainSession<LogisticRegression> {
         let mut rng = Rng::new(81);
         let (train, test) = german(800, 81).train_test_split(0.3, &mut rng);
-        Gopher::fit(
-            |cols| LogisticRegression::new(cols, 1e-3),
-            &train,
-            &test,
-            GopherConfig {
-                ground_truth_for_topk: false,
-                ..Default::default()
-            },
-        )
+        SessionBuilder::new().fit(|cols| LogisticRegression::new(cols, 1e-3), &train, &test)
+    }
+
+    fn request() -> ExplainRequest {
+        ExplainRequest::default().with_ground_truth(false)
     }
 
     #[test]
     fn update_reduces_bias_for_top_pattern() {
         let gopher = build();
-        let report = gopher.explain();
+        let report = gopher.explain(&request()).report;
         let top = &report.explanations[0];
-        let update = gopher.update_explanation(&top.candidate, &UpdateConfig::default());
+        let update = gopher.update_explanation(&top.candidate, METRIC, &UpdateConfig::default());
         assert_eq!(update.n_rows, top.candidate.coverage.count());
         // The optimizer minimizes the bias-change surrogate; it must at
         // least not be positive (an update of δ=0 achieves exactly 0).
@@ -479,9 +507,9 @@ mod tests {
     #[test]
     fn delta_respects_domain_bounds() {
         let gopher = build();
-        let report = gopher.explain();
+        let report = gopher.explain(&request()).report;
         let top = &report.explanations[0];
-        let update = gopher.update_explanation(&top.candidate, &UpdateConfig::default());
+        let update = gopher.update_explanation(&top.candidate, METRIC, &UpdateConfig::default());
         // Applying the update and projecting must keep every point equal to
         // its own projection (idempotence ⇒ in-domain).
         let rows = top.candidate.coverage.to_indices();

@@ -1,12 +1,14 @@
 //! Minimal CSV export/import for datasets.
 //!
-//! Exports render categorical levels by name; imports validate against a
-//! provided schema (this is a debugging/inspection facility, not a general
-//! CSV parser — fields must not contain commas, quotes or newlines, which
-//! holds for every schema in this workspace).
+//! Exports render categorical levels by name; imports either validate
+//! against a provided schema ([`read_csv`]) or *infer* one from the data
+//! ([`read_csv_infer`], the path the CLI's `--csv` flag uses for foreign
+//! datasets). This is a debugging/inspection facility, not a general CSV
+//! parser — fields must not contain commas, quotes or newlines, which holds
+//! for every schema in this workspace.
 
 use crate::dataset::{Column, Dataset, Value};
-use crate::schema::{FeatureKind, ProtectedSpec, Schema};
+use crate::schema::{Feature, FeatureKind, PrivilegedIf, ProtectedSpec, Schema};
 use std::io::{BufRead, BufWriter, Write};
 
 /// Errors from CSV parsing.
@@ -150,6 +152,207 @@ pub fn read_csv<R: BufRead>(
     Ok(Dataset::new(schema.clone(), columns, labels, protected))
 }
 
+/// Who counts as privileged when importing a foreign CSV with
+/// [`read_csv_infer`] (the raw-string analogue of
+/// [`PrivilegedIf`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferredPrivileged {
+    /// Privileged iff the (categorical) protected column equals this value,
+    /// e.g. `gender=F`.
+    Equals(String),
+    /// Privileged iff the (numeric) protected column is `>= cutoff`,
+    /// e.g. `age>=45`.
+    AtLeast(f64),
+}
+
+/// Reads an arbitrary CSV into a [`Dataset`], inferring the schema:
+///
+/// * a column whose every field parses as a finite `f64` becomes numeric;
+/// * every other column becomes categorical, levels in first-appearance
+///   order;
+/// * `label_column` (by header name) must hold `0`/`1` and becomes the
+///   label;
+/// * `protected_column` + `privileged` become the [`ProtectedSpec`]: an
+///   [`InferredPrivileged::Equals`] rule requires a categorical column with
+///   that level present, an [`InferredPrivileged::AtLeast`] rule a numeric
+///   one.
+///
+/// Rows must all have the header's field count; blank lines are skipped.
+/// Quoted fields are **not** supported (this parser splits on every comma);
+/// files using RFC-4180 quoting are rejected with a clear error rather than
+/// silently mis-aligned.
+pub fn read_csv_infer<R: BufRead>(
+    reader: R,
+    label_column: &str,
+    protected_column: &str,
+    privileged: &InferredPrivileged,
+) -> Result<Dataset, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or(CsvError::Parse {
+        line: 1,
+        message: "missing header".into(),
+    })??;
+    let parse_err = |line: usize, message: String| CsvError::Parse { line, message };
+    let reject_quotes = |line_no: usize, line: &str| {
+        if line.contains('"') {
+            Err(parse_err(
+                line_no,
+                "quoted fields are not supported; values must not contain \
+                 commas, quotes, or newlines"
+                    .into(),
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    reject_quotes(1, &header)?;
+    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let n_cols = names.len();
+    let label_idx = names
+        .iter()
+        .position(|n| n == label_column)
+        .ok_or_else(|| parse_err(1, format!("label column {label_column:?} not in header")))?;
+    let protected_idx = names
+        .iter()
+        .position(|n| n == protected_column)
+        .ok_or_else(|| {
+            parse_err(
+                1,
+                format!("protected column {protected_column:?} not in header"),
+            )
+        })?;
+    if protected_idx == label_idx {
+        return Err(parse_err(
+            1,
+            "protected column cannot be the label column".into(),
+        ));
+    }
+
+    // Pass 1: collect all fields (the inference needs a full column view),
+    // remembering each row's source line for error reporting.
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row_lines: Vec<usize> = Vec::new();
+    for (idx, line) in lines.enumerate() {
+        let line_no = idx + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        reject_quotes(line_no, &line)?;
+        let fields: Vec<String> = line.split(',').map(str::to_string).collect();
+        if fields.len() != n_cols {
+            return Err(parse_err(
+                line_no,
+                format!("expected {n_cols} fields, found {}", fields.len()),
+            ));
+        }
+        rows.push(fields);
+        row_lines.push(line_no);
+    }
+    if rows.is_empty() {
+        return Err(parse_err(2, "no data rows".into()));
+    }
+
+    // Pass 2: infer per-column kinds and materialize typed columns.
+    let mut features: Vec<Feature> = Vec::new();
+    let mut columns: Vec<Column> = Vec::new();
+    // Maps CSV column index → feature index (the label column is skipped).
+    let mut feature_of_col: Vec<Option<usize>> = vec![None; n_cols];
+    for c in 0..n_cols {
+        if c == label_idx {
+            continue;
+        }
+        let numeric: Option<Vec<f64>> = rows
+            .iter()
+            .map(|r| r[c].parse::<f64>().ok().filter(|v| v.is_finite()))
+            .collect();
+        feature_of_col[c] = Some(features.len());
+        match numeric {
+            Some(values) => {
+                features.push(Feature::numeric(names[c].clone()));
+                columns.push(Column::Numeric(values));
+            }
+            None => {
+                // Intern levels through a map so high-cardinality columns
+                // stay O(rows), while `levels` keeps first-appearance order.
+                let mut levels: Vec<String> = Vec::new();
+                let mut level_of: std::collections::HashMap<&str, u32> =
+                    std::collections::HashMap::new();
+                let mut values: Vec<u32> = Vec::with_capacity(rows.len());
+                for r in rows.iter() {
+                    let idx = match level_of.get(r[c].as_str()) {
+                        Some(&i) => i,
+                        None => {
+                            let i = levels.len() as u32;
+                            levels.push(r[c].clone());
+                            level_of.insert(r[c].as_str(), i);
+                            i
+                        }
+                    };
+                    values.push(idx);
+                }
+                features.push(Feature::categorical(names[c].clone(), levels));
+                columns.push(Column::Categorical(values));
+            }
+        }
+    }
+
+    let mut labels: Vec<u8> = Vec::with_capacity(rows.len());
+    for (i, r) in rows.iter().enumerate() {
+        let y: u8 = r[label_idx]
+            .parse()
+            .ok()
+            .filter(|&y| y <= 1)
+            .ok_or_else(|| {
+                parse_err(
+                    row_lines[i],
+                    format!("label {:?} must be 0 or 1", r[label_idx]),
+                )
+            })?;
+        labels.push(y);
+    }
+
+    let protected_feature = feature_of_col[protected_idx].expect("not the label column");
+    let privileged_rule = match (privileged, &features[protected_feature].kind) {
+        (InferredPrivileged::Equals(level), FeatureKind::Categorical { levels }) => {
+            let idx = levels.iter().position(|l| l == level).ok_or_else(|| {
+                parse_err(
+                    1,
+                    format!(
+                        "privileged level {level:?} never occurs in column {protected_column:?}"
+                    ),
+                )
+            })?;
+            PrivilegedIf::Level(idx as u32)
+        }
+        (InferredPrivileged::AtLeast(cutoff), FeatureKind::Numeric) => {
+            PrivilegedIf::AtLeast(*cutoff)
+        }
+        (InferredPrivileged::Equals(_), FeatureKind::Numeric) => {
+            return Err(parse_err(
+                1,
+                format!("column {protected_column:?} is numeric; use `>=cutoff` syntax"),
+            ));
+        }
+        (InferredPrivileged::AtLeast(_), FeatureKind::Categorical { .. }) => {
+            return Err(parse_err(
+                1,
+                format!("column {protected_column:?} is categorical; use `=level` syntax"),
+            ));
+        }
+    };
+
+    Ok(Dataset::new(
+        Schema::new(features, names[label_idx].clone()),
+        columns,
+        labels,
+        ProtectedSpec {
+            feature: protected_feature,
+            privileged: privileged_rule,
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +416,118 @@ mod tests {
             CsvError::Parse { line: 2, message } => assert!(message.contains("BOGUS")),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    const FOREIGN: &str = "\
+age,gender,income,approved
+25,F,31000,0
+52,M,54000,1
+33,M,47000,1
+61,F,29000,0
+";
+
+    #[test]
+    fn infer_detects_kinds_and_protected_level() {
+        let d = read_csv_infer(
+            Cursor::new(FOREIGN.as_bytes()),
+            "approved",
+            "gender",
+            &InferredPrivileged::Equals("M".into()),
+        )
+        .unwrap();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.schema().label_name, "approved");
+        assert!(matches!(d.schema().feature(0).kind, FeatureKind::Numeric));
+        assert!(matches!(
+            d.schema().feature(1).kind,
+            FeatureKind::Categorical { .. }
+        ));
+        assert_eq!(d.labels(), &[0, 1, 1, 0]);
+        // F appears first, M second → privileged level index 1.
+        assert_eq!(d.privileged_mask(), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn infer_supports_numeric_threshold_rule() {
+        let d = read_csv_infer(
+            Cursor::new(FOREIGN.as_bytes()),
+            "approved",
+            "age",
+            &InferredPrivileged::AtLeast(45.0),
+        )
+        .unwrap();
+        assert_eq!(d.privileged_mask(), vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn infer_round_trips_generated_exports() {
+        // A german export re-imported with inference must keep every cell
+        // (schemas differ in level order but values must agree).
+        let original = german(40, 9);
+        let mut buf = Vec::new();
+        write_csv(&original, &mut buf).unwrap();
+        let inferred = read_csv_infer(
+            Cursor::new(&buf),
+            "good_credit",
+            "age",
+            &InferredPrivileged::AtLeast(45.0),
+        )
+        .unwrap();
+        assert_eq!(inferred.n_rows(), original.n_rows());
+        assert_eq!(inferred.labels(), original.labels());
+        assert_eq!(inferred.privileged_mask(), original.privileged_mask());
+        for r in 0..original.n_rows() {
+            assert_eq!(original.describe_row(r), inferred.describe_row(r));
+        }
+    }
+
+    #[test]
+    fn infer_rejects_bad_inputs() {
+        let kind = |r: Result<Dataset, CsvError>| match r.unwrap_err() {
+            CsvError::Parse { message, .. } => message,
+            other => panic!("unexpected {other:?}"),
+        };
+        // Unknown label column.
+        let msg = kind(read_csv_infer(
+            Cursor::new(FOREIGN.as_bytes()),
+            "nope",
+            "gender",
+            &InferredPrivileged::Equals("M".into()),
+        ));
+        assert!(msg.contains("label column"), "{msg}");
+        // Mismatched rule kind.
+        let msg = kind(read_csv_infer(
+            Cursor::new(FOREIGN.as_bytes()),
+            "approved",
+            "age",
+            &InferredPrivileged::Equals("45".into()),
+        ));
+        assert!(msg.contains("numeric"), "{msg}");
+        // Non-binary label.
+        let msg = kind(read_csv_infer(
+            Cursor::new(b"a,y\n1,2\n" as &[u8]),
+            "y",
+            "a",
+            &InferredPrivileged::AtLeast(0.0),
+        ));
+        assert!(msg.contains("must be 0 or 1"), "{msg}");
+        // Empty file.
+        let msg = kind(read_csv_infer(
+            Cursor::new(b"a,y\n" as &[u8]),
+            "y",
+            "a",
+            &InferredPrivileged::AtLeast(0.0),
+        ));
+        assert!(msg.contains("no data rows"), "{msg}");
+        // RFC-4180 quoting is rejected, not silently mis-split.
+        let msg = kind(read_csv_infer(
+            Cursor::new(b"name,y\n\"Smith, John\",1\n" as &[u8]),
+            "y",
+            "name",
+            &InferredPrivileged::Equals("x".into()),
+        ));
+        assert!(msg.contains("quoted fields"), "{msg}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use gopher_linalg::vecops;
 use gopher_models::Model;
 
 /// How to turn an estimated parameter change into an estimated bias change.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BiasEval {
     /// Linearize: `ΔF = ∇θF(θ*)ᵀ Δθ` (paper Eq. 11).
     ChainRule,
@@ -15,6 +15,35 @@ pub enum BiasEval {
     ReEvalSmooth,
     /// Re-evaluate the hard (thresholded) metric at `θ* + Δθ`.
     ReEvalHard,
+}
+
+/// The metric-specific state [`BiasInfluence`] precomputes: the smooth bias
+/// gradient and the baseline biases.
+///
+/// Computing this is the only per-metric cost of building a query object, so
+/// a session serving many queries against one engine caches one
+/// `BiasPrecomp` per metric and rebuilds [`BiasInfluence`] handles for free
+/// via [`BiasInfluence::from_precomp`].
+#[derive(Debug, Clone)]
+pub struct BiasPrecomp {
+    /// `∇θ F(θ*, D_test)` of the smooth metric.
+    pub grad_f: Vec<f64>,
+    /// Baseline hard bias `F(θ*, D_test)`.
+    pub base_hard: f64,
+    /// Baseline smooth bias.
+    pub base_smooth: f64,
+}
+
+impl BiasPrecomp {
+    /// Computes the gradient and baselines for one metric/model/test-set
+    /// triple.
+    pub fn compute<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) -> Self {
+        Self {
+            grad_f: gopher_fairness::bias_gradient(metric, model, test),
+            base_hard: gopher_fairness::bias(metric, model, test),
+            base_smooth: gopher_fairness::smooth_bias(metric, model, test),
+        }
+    }
 }
 
 /// Influence queries specialized to one fairness metric and test set.
@@ -32,18 +61,29 @@ pub struct BiasInfluence<'a, M: Model> {
 }
 
 impl<'a, M: Model> BiasInfluence<'a, M> {
-    /// Builds the query object.
+    /// Builds the query object, computing the precomputation inline.
     pub fn new(engine: &'a InfluenceEngine<M>, metric: FairnessMetric, test: &'a Encoded) -> Self {
-        let grad_f = gopher_fairness::bias_gradient(metric, engine.model(), test);
-        let base_hard = gopher_fairness::bias(metric, engine.model(), test);
-        let base_smooth = gopher_fairness::smooth_bias(metric, engine.model(), test);
+        let precomp = BiasPrecomp::compute(metric, engine.model(), test);
+        Self::from_precomp(engine, metric, test, precomp)
+    }
+
+    /// Builds the query object around an already-computed [`BiasPrecomp`],
+    /// reusing one engine handle across many `BiasInfluence` instances
+    /// without re-deriving the metric gradient. The caller is responsible
+    /// for the precomp matching `(metric, engine.model(), test)`.
+    pub fn from_precomp(
+        engine: &'a InfluenceEngine<M>,
+        metric: FairnessMetric,
+        test: &'a Encoded,
+        precomp: BiasPrecomp,
+    ) -> Self {
         Self {
             engine,
             metric,
             test,
-            grad_f,
-            base_hard,
-            base_smooth,
+            grad_f: precomp.grad_f,
+            base_hard: precomp.base_hard,
+            base_smooth: precomp.base_smooth,
         }
     }
 

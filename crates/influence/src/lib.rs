@@ -39,6 +39,6 @@ mod bias;
 mod engine;
 mod retrain;
 
-pub use bias::{BiasEval, BiasInfluence};
+pub use bias::{BiasEval, BiasInfluence, BiasPrecomp};
 pub use engine::{Estimator, InfluenceConfig, InfluenceEngine};
 pub use retrain::{retrain_updated, retrain_without, RetrainOutcome};

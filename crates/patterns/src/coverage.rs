@@ -1,0 +1,114 @@
+//! Shared cache of materialized pattern coverage bitsets.
+//!
+//! The lattice search intersects predicate coverages constantly, and an
+//! interactive session asks for the *same* intersections again on every
+//! query (the pattern structure depends only on the data, not on the metric
+//! or estimator being debugged). [`CoverageCache`] memoizes each pattern's
+//! coverage by its sorted predicate-id key so a warm session — or a batch of
+//! queries fanned out over one sweep — pays for every `AND` exactly once.
+
+use crate::bitset::BitSet;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Default cap on cached entries: beyond this the cache stops inserting
+/// (lookups still work), bounding memory on adversarial workloads.
+pub const DEFAULT_COVERAGE_CACHE_CAP: usize = 1 << 18;
+
+/// A concurrent map from sorted predicate-id keys to shared coverage
+/// bitsets. Coverage is a pure function of the predicate table, so entries
+/// never invalidate for the lifetime of the table the keys refer to.
+#[derive(Debug)]
+pub struct CoverageCache {
+    entries: Mutex<HashMap<Box<[u16]>, Arc<BitSet>>>,
+    cap: usize,
+}
+
+impl Default for CoverageCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageCache {
+    /// An empty cache with the default entry cap.
+    pub fn new() -> Self {
+        Self::with_capacity_cap(DEFAULT_COVERAGE_CACHE_CAP)
+    }
+
+    /// An empty cache that stops inserting once `cap` entries are stored.
+    pub fn with_capacity_cap(cap: usize) -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            cap,
+        }
+    }
+
+    /// Number of cached coverages.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("coverage cache poisoned").len()
+    }
+
+    /// True if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached coverage for `ids` (sorted predicate ids), or
+    /// computes it with `compute`, caches it (subject to the cap), and
+    /// returns it.
+    pub fn get_or_insert_with(&self, ids: &[u16], compute: impl FnOnce() -> BitSet) -> Arc<BitSet> {
+        {
+            let entries = self.entries.lock().expect("coverage cache poisoned");
+            if let Some(hit) = entries.get(ids) {
+                return Arc::clone(hit);
+            }
+        }
+        // Compute outside the lock: intersections are the expensive part and
+        // concurrent queries must not serialize on them.
+        let fresh = Arc::new(compute());
+        let mut entries = self.entries.lock().expect("coverage cache poisoned");
+        if let Some(hit) = entries.get(ids) {
+            return Arc::clone(hit); // another query raced us; keep one copy
+        }
+        if entries.len() < self.cap {
+            entries.insert(ids.to_vec().into_boxed_slice(), Arc::clone(&fresh));
+        }
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_and_returns_same_allocation() {
+        let cache = CoverageCache::new();
+        let a = cache.get_or_insert_with(&[1, 2], || BitSet::from_indices(10, &[0, 1]));
+        let b = cache.get_or_insert_with(&[1, 2], || panic!("must hit the cache"));
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let cache = CoverageCache::new();
+        let a = cache.get_or_insert_with(&[1], || BitSet::from_indices(10, &[0]));
+        let b = cache.get_or_insert_with(&[2], || BitSet::from_indices(10, &[1]));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cap_stops_insertion_but_not_computation() {
+        let cache = CoverageCache::with_capacity_cap(1);
+        let _ = cache.get_or_insert_with(&[1], || BitSet::from_indices(4, &[0]));
+        let b = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
+        assert_eq!(cache.len(), 1, "cap must hold");
+        assert_eq!(b.to_indices(), vec![1], "value still computed and returned");
+        // The uncached key recomputes on the next ask.
+        let b2 = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
+        assert_eq!(b2.to_indices(), vec![1]);
+    }
+}

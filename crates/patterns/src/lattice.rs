@@ -3,12 +3,14 @@
 
 use crate::bitset::BitSet;
 use crate::candidates::PredicateTable;
+use crate::coverage::CoverageCache;
 use crate::pattern::Pattern;
 use std::collections::HashSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Search configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatticeConfig {
     /// Minimum support τ (fraction of training rows a pattern must cover).
     pub support_threshold: f64,
@@ -34,13 +36,19 @@ impl Default for LatticeConfig {
     }
 }
 
+/// A boxed scoring callback: coverage bitset in, estimated responsibility
+/// out. [`compute_candidates_multi`] fans one of these out per request.
+pub type ScoreFn<'a> = Box<dyn FnMut(&BitSet) -> f64 + 'a>;
+
 /// A scored candidate explanation.
 #[derive(Debug, Clone)]
 pub struct Candidate {
     /// The pattern (predicate ids into the table used for the search).
     pub pattern: Pattern,
-    /// Rows covered by the pattern.
-    pub coverage: BitSet,
+    /// Rows covered by the pattern. Shared (`Arc`) so cloning candidates
+    /// between lattice levels, the top-k selection, and a session's coverage
+    /// cache is a refcount bump instead of an `O(n_rows)` copy.
+    pub coverage: Arc<BitSet>,
     /// `Sup(φ)` — fraction of training rows covered.
     pub support: f64,
     /// Estimated causal responsibility `R_F(D(φ))` (Definition 3.2).
@@ -97,6 +105,33 @@ pub fn compute_candidates<F>(
 where
     F: FnMut(&BitSet) -> f64,
 {
+    let cache = CoverageCache::new();
+    let mut scorer: ScoreFn<'_> = Box::new(&mut score);
+    compute_candidates_multi(table, std::slice::from_mut(&mut scorer), config, &cache)
+        .pop()
+        .expect("one scorer in, one result out")
+}
+
+/// The multi-query variant of [`compute_candidates`]: one lattice sweep with
+/// the scoring callback fanned out per request.
+///
+/// All scorers share the structural work — predicate enumeration, coverage
+/// intersection (each pattern's bitset is materialized once, via `cache`),
+/// support counting, and conflict checks — while each scorer keeps its own
+/// frontier, pruning decisions, and [`SearchStats`]. The result for scorer
+/// `i` is **identical** to what `compute_candidates(table, scorers[i],
+/// config)` would return on its own: the per-scorer frontiers evolve exactly
+/// as in a solo run, so responsibility pruning never leaks across requests.
+///
+/// The cache outlives the call on purpose: an interactive session passes a
+/// long-lived cache so later queries (different metric, estimator, or k)
+/// skip every intersection this sweep already materialized.
+pub fn compute_candidates_multi(
+    table: &PredicateTable,
+    scorers: &mut [ScoreFn<'_>],
+    config: &LatticeConfig,
+    cache: &CoverageCache,
+) -> Vec<(Vec<Candidate>, SearchStats)> {
     assert!(
         (0.0..1.0).contains(&config.support_threshold),
         "support threshold must be in [0, 1)"
@@ -107,120 +142,161 @@ where
     );
     let n = table.n_rows();
     let min_count = (config.support_threshold * n as f64).ceil().max(1.0) as usize;
+    let n_scorers = scorers.len();
 
-    let mut stats = SearchStats::default();
-    let mut all: Vec<Candidate> = Vec::new();
+    let mut stats = vec![SearchStats::default(); n_scorers];
+    let mut all: Vec<Vec<Candidate>> = vec![Vec::new(); n_scorers];
 
-    // Level 1: single-predicate patterns, filtered by support only.
-    let t0 = Instant::now();
-    let mut frontier: Vec<Candidate> = Vec::new();
-    let mut generated = 0usize;
+    // Level 1: single-predicate patterns, filtered by support only. The
+    // structural pass (coverage + support) is shared; scores fan out.
+    struct Level1 {
+        id: u16,
+        coverage: Arc<BitSet>,
+        support: f64,
+    }
+    let t_structural = Instant::now();
+    let mut singles: Vec<Level1> = Vec::new();
     for (id, _) in table.iter() {
-        let coverage = table.coverage(id).clone();
+        let coverage = cache.get_or_insert_with(&[id], || table.coverage(id).clone());
         let count = coverage.count();
         if count < min_count {
             continue;
         }
-        generated += 1;
-        let support = count as f64 / n as f64;
-        let responsibility = score(&coverage);
-        stats.total_scored += 1;
-        frontier.push(Candidate {
-            pattern: Pattern::singleton(id),
+        singles.push(Level1 {
+            id,
             coverage,
-            support,
-            responsibility,
-            interestingness: responsibility / support,
+            support: count as f64 / n as f64,
         });
     }
-    truncate_level(&mut frontier, config.max_level_candidates);
-    stats.levels.push(LevelStats {
-        level: 1,
-        generated,
-        kept: frontier.len(),
-        duration: t0.elapsed(),
-    });
-    all.extend(frontier.iter().cloned());
+    // A solo run pays the structural pass itself, so every scorer's level-1
+    // duration includes it — keeping reported search times comparable with
+    // single-query runs.
+    let structural_cost = t_structural.elapsed();
 
-    // Levels 2..=max: merge pairs sharing all but one predicate.
+    struct ScorerState {
+        frontier: Vec<Candidate>,
+        done: bool,
+    }
+    let mut states: Vec<ScorerState> = Vec::with_capacity(n_scorers);
+    for (s_idx, score) in scorers.iter_mut().enumerate() {
+        let t0 = Instant::now();
+        let mut frontier: Vec<Candidate> = Vec::with_capacity(singles.len());
+        for single in &singles {
+            let responsibility = score(&single.coverage);
+            stats[s_idx].total_scored += 1;
+            frontier.push(Candidate {
+                pattern: Pattern::singleton(single.id),
+                coverage: Arc::clone(&single.coverage),
+                support: single.support,
+                responsibility,
+                interestingness: responsibility / single.support,
+            });
+        }
+        truncate_level(&mut frontier, config.max_level_candidates);
+        stats[s_idx].levels.push(LevelStats {
+            level: 1,
+            generated: singles.len(),
+            kept: frontier.len(),
+            duration: structural_cost + t0.elapsed(),
+        });
+        all[s_idx].extend(frontier.iter().cloned());
+        states.push(ScorerState {
+            frontier,
+            done: false,
+        });
+    }
+
+    // Levels 2..=max: merge pairs sharing all but one predicate. Each scorer
+    // walks its own frontier (pruning is score-dependent), but every
+    // coverage intersection goes through the shared cache, so a pattern
+    // reached by several scorers is materialized exactly once.
     for level in 2..=config.max_predicates {
-        if frontier.len() < 2 {
+        if states.iter().all(|s| s.done) {
             break;
         }
-        let t0 = Instant::now();
-        let mut next: Vec<Candidate> = Vec::new();
-        let mut seen: HashSet<Vec<u16>> = HashSet::new();
-        let mut generated = 0usize;
-        for i in 0..frontier.len() {
-            for j in (i + 1)..frontier.len() {
-                let (a, b) = (&frontier[i], &frontier[j]);
-                let Some(merged) = a.pattern.merge(&b.pattern) else {
-                    continue;
-                };
-                if !seen.insert(merged.ids().to_vec()) {
-                    continue;
+        for (s_idx, state) in states.iter_mut().enumerate() {
+            if state.done {
+                continue;
+            }
+            if state.frontier.len() < 2 {
+                state.done = true;
+                continue;
+            }
+            let t0 = Instant::now();
+            let score = &mut scorers[s_idx];
+            let mut next: Vec<Candidate> = Vec::new();
+            let mut seen: HashSet<Vec<u16>> = HashSet::new();
+            let mut generated = 0usize;
+            for i in 0..state.frontier.len() {
+                for j in (i + 1)..state.frontier.len() {
+                    let (a, b) = (&state.frontier[i], &state.frontier[j]);
+                    let Some(merged) = a.pattern.merge(&b.pattern) else {
+                        continue;
+                    };
+                    if !seen.insert(merged.ids().to_vec()) {
+                        continue;
+                    }
+                    // Conflict check between the two differing predicates
+                    // (the shared ones were already checked in the parents).
+                    let da = a.pattern.difference(&b.pattern);
+                    let db = b.pattern.difference(&a.pattern);
+                    debug_assert_eq!(da.len(), 1);
+                    debug_assert_eq!(db.len(), 1);
+                    if table
+                        .predicate(da[0])
+                        .conflicts_with(table.predicate(db[0]))
+                    {
+                        continue;
+                    }
+                    let coverage =
+                        cache.get_or_insert_with(merged.ids(), || a.coverage.and(&b.coverage));
+                    let count = coverage.count();
+                    if count < min_count {
+                        continue;
+                    }
+                    generated += 1;
+                    let responsibility = score(&coverage);
+                    stats[s_idx].total_scored += 1;
+                    if config.prune_by_responsibility
+                        && (responsibility <= a.responsibility
+                            || responsibility <= b.responsibility)
+                    {
+                        continue;
+                    }
+                    let support = count as f64 / n as f64;
+                    next.push(Candidate {
+                        pattern: merged,
+                        coverage,
+                        support,
+                        responsibility,
+                        interestingness: responsibility / support,
+                    });
                 }
-                // Conflict check between the two differing predicates (the
-                // shared ones were already checked in the parents).
-                let da = a.pattern.difference(&b.pattern);
-                let db = b.pattern.difference(&a.pattern);
-                debug_assert_eq!(da.len(), 1);
-                debug_assert_eq!(db.len(), 1);
-                if table
-                    .predicate(da[0])
-                    .conflicts_with(table.predicate(db[0]))
-                {
-                    continue;
-                }
-                let coverage = a.coverage.and(&b.coverage);
-                let count = coverage.count();
-                if count < min_count {
-                    continue;
-                }
-                generated += 1;
-                let responsibility = score(&coverage);
-                stats.total_scored += 1;
-                if config.prune_by_responsibility
-                    && (responsibility <= a.responsibility || responsibility <= b.responsibility)
-                {
-                    continue;
-                }
-                let support = count as f64 / n as f64;
-                next.push(Candidate {
-                    pattern: merged,
-                    coverage,
-                    support,
-                    responsibility,
-                    interestingness: responsibility / support,
-                });
+            }
+            truncate_level(&mut next, config.max_level_candidates);
+            stats[s_idx].levels.push(LevelStats {
+                level,
+                generated,
+                kept: next.len(),
+                duration: t0.elapsed(),
+            });
+            if next.is_empty() {
+                state.done = true;
+            } else {
+                all[s_idx].extend(next.iter().cloned());
+                state.frontier = next;
             }
         }
-        truncate_level(&mut next, config.max_level_candidates);
-        stats.levels.push(LevelStats {
-            level,
-            generated,
-            kept: next.len(),
-            duration: t0.elapsed(),
-        });
-        if next.is_empty() {
-            break;
-        }
-        all.extend(next.iter().cloned());
-        frontier = next;
     }
 
-    (all, stats)
+    all.into_iter().zip(stats).collect()
 }
 
 /// Keeps at most `cap` candidates (the best by responsibility).
 fn truncate_level(level: &mut Vec<Candidate>, cap: Option<usize>) {
     if let Some(cap) = cap {
         if level.len() > cap {
-            level.sort_by(|a, b| {
-                b.responsibility
-                    .partial_cmp(&a.responsibility)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
+            level.sort_by(|a, b| b.responsibility.total_cmp(&a.responsibility));
             level.truncate(cap);
         }
     }
@@ -435,7 +511,59 @@ mod tests {
                     Some(e) => e.and(cov),
                 });
             }
-            assert_eq!(&c.coverage, &expected.unwrap());
+            assert_eq!(c.coverage.as_ref(), &expected.unwrap());
         }
+    }
+
+    /// The multi-scorer sweep must reproduce each scorer's solo run bit for
+    /// bit: same candidates, same order, same stats counts.
+    #[test]
+    fn multi_sweep_matches_solo_runs() {
+        let d = german(400, 69);
+        let table = generate_predicates(&d, 4);
+        let config = LatticeConfig {
+            support_threshold: 0.04,
+            ..Default::default()
+        };
+        // Two deliberately different scores (positive rate / privileged
+        // rate) so the frontiers diverge and pruning decisions differ.
+        let labels = d.labels().to_vec();
+        let privileged = d.privileged_mask();
+        let (solo_a, stats_a) = compute_candidates(&table, toy_score(&labels), &config);
+        let priv_score = |cov: &BitSet| {
+            let total = cov.count().max(1);
+            let p: usize = cov.iter().map(|r| privileged[r as usize] as usize).sum();
+            p as f64 / total as f64
+        };
+        let (solo_b, stats_b) = compute_candidates(&table, priv_score, &config);
+
+        let cache = CoverageCache::new();
+        let mut sa = toy_score(&labels);
+        let mut sb = priv_score;
+        let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut sa), Box::new(&mut sb)];
+        let mut multi = compute_candidates_multi(&table, &mut scorers, &config, &cache);
+        let (multi_b, mstats_b) = multi.pop().unwrap();
+        let (multi_a, mstats_a) = multi.pop().unwrap();
+
+        for ((solo, stats), (multi, mstats)) in [
+            ((&solo_a, &stats_a), (&multi_a, &mstats_a)),
+            ((&solo_b, &stats_b), (&multi_b, &mstats_b)),
+        ] {
+            assert_eq!(solo.len(), multi.len());
+            for (s, m) in solo.iter().zip(multi) {
+                assert_eq!(s.pattern.ids(), m.pattern.ids());
+                assert_eq!(s.responsibility, m.responsibility);
+                assert_eq!(s.support, m.support);
+            }
+            assert_eq!(stats.total_scored, mstats.total_scored);
+            assert_eq!(stats.levels.len(), mstats.levels.len());
+            for (s, m) in stats.levels.iter().zip(&mstats.levels) {
+                assert_eq!(
+                    (s.level, s.generated, s.kept),
+                    (m.level, m.generated, m.kept)
+                );
+            }
+        }
+        assert!(!cache.is_empty(), "sweep must populate the shared cache");
     }
 }

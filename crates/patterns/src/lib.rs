@@ -21,6 +21,7 @@
 
 mod bitset;
 mod candidates;
+pub mod coverage;
 pub mod lattice;
 mod pattern;
 mod predicate;
@@ -28,6 +29,7 @@ pub mod topk;
 
 pub use bitset::BitSet;
 pub use candidates::{generate_predicates, PredicateTable};
-pub use lattice::{Candidate, LatticeConfig, LevelStats, SearchStats};
+pub use coverage::CoverageCache;
+pub use lattice::{Candidate, LatticeConfig, LevelStats, ScoreFn, SearchStats};
 pub use pattern::Pattern;
 pub use predicate::{Op, PredValue, Predicate};

@@ -27,8 +27,7 @@ pub fn top_k(candidates: &[Candidate], k: usize, containment_threshold: f64) -> 
     let mut order: Vec<&Candidate> = candidates.iter().collect();
     order.sort_by(|a, b| {
         b.interestingness
-            .partial_cmp(&a.interestingness)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.interestingness)
             .then_with(|| a.pattern.len().cmp(&b.pattern.len()))
             .then_with(|| a.pattern.ids().cmp(b.pattern.ids()))
     });
@@ -58,7 +57,7 @@ mod tests {
         let support = coverage.count() as f64 / universe as f64;
         Candidate {
             pattern: Pattern::singleton(id),
-            coverage,
+            coverage: std::sync::Arc::new(coverage),
             support,
             responsibility: interestingness * support,
             interestingness,

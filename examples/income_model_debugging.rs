@@ -21,14 +21,13 @@ fn main() {
     // faithful here than for convex models — Gopher still finds patterns
     // that genuinely reduce bias.
     let mut init_rng = Rng::new(24);
-    let gopher = Gopher::fit(
+    let session = SessionBuilder::new().fit(
         |n_cols| Mlp::new(n_cols, 10, 1e-3, &mut init_rng),
         &train,
         &test,
-        GopherConfig::default(),
     );
 
-    let report = gopher.explain();
+    let report = session.explain(&ExplainRequest::default()).report;
     println!(
         "=== income model (MLP): statistical parity bias {:.3}, accuracy {:.3} ===\n",
         report.base_bias, report.accuracy
@@ -46,25 +45,27 @@ fn main() {
     }
 
     // FO-tree baseline: regress per-point first-order influences on the raw
-    // features and read patterns off the most influential nodes.
+    // features and read patterns off the most influential nodes. The
+    // session's engine handle serves this advanced query too.
     let bi = BiasInfluence::new(
-        gopher.engine(),
+        session.engine(),
         FairnessMetric::StatisticalParity,
-        gopher.test(),
+        session.test(),
     );
-    let influence: Vec<f64> = (0..gopher.train().n_rows())
+    let influence: Vec<f64> = (0..session.train().n_rows())
         .map(|r| {
             bi.responsibility(
-                gopher.train(),
+                session.train(),
                 &[r as u32],
                 Estimator::FirstOrder,
                 BiasEval::ChainRule,
             )
         })
         .collect();
-    let tree = FoTree::fit(gopher.train_raw(), &influence, &FoTreeConfig::default());
-    for node in tree.top_nodes(gopher.train_raw(), 3) {
-        let (gt, _) = gopher.ground_truth_responsibility(&node.rows);
+    let tree = FoTree::fit(session.train_raw(), &influence, &FoTreeConfig::default());
+    for node in tree.top_nodes(session.train_raw(), 3) {
+        let (gt, _) =
+            session.ground_truth_responsibility(FairnessMetric::StatisticalParity, &node.rows);
         table.row_owned(vec![
             "FO-tree".into(),
             node.pattern_text,

@@ -15,14 +15,13 @@ use gopher_repro::prelude::*;
 fn main() {
     let mut rng = Rng::new(11);
     let (train, test) = german(1_000, 11).train_test_split(0.3, &mut rng);
-    let gopher = Gopher::fit(
+    let session = SessionBuilder::new().fit(
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig::default(),
     );
-    let model = gopher.model();
-    let test_enc = gopher.test();
+    let model = session.model();
+    let test_enc = session.test();
 
     // --- 1. The audit surface -------------------------------------------
     println!("=== fairness audit: credit-risk model (privileged = age >= 45) ===\n");
@@ -62,9 +61,10 @@ fn main() {
     println!("{}", groups.render());
 
     // --- 2. Root causes + repairs ----------------------------------------
-    let (report, updates) = gopher.explain_with_updates(&UpdateConfig::default());
+    let (report, updates) =
+        session.explain_with_updates(&ExplainRequest::default(), &UpdateConfig::default());
     println!("=== root causes of the statistical-parity gap ===\n");
-    let schema = gopher.train_raw().schema();
+    let schema = session.train_raw().schema();
     for (e, u) in report.explanations.iter().zip(&updates) {
         println!("pattern: {}", e.pattern_text);
         println!("  support             : {}", pct(e.support));

@@ -5,6 +5,11 @@
 //! privileged group is `race = White`, so a positive bias value reads
 //! "whites are spared frisks more often".
 //!
+//! All three metrics are answered by **one session** as a single batched
+//! query: the model trains once, the influence engine factors once, and the
+//! lattice sweep's coverage enumeration is shared — only the per-metric
+//! scoring differs.
+//!
 //! ```sh
 //! cargo run --release --example policing_audit
 //! ```
@@ -15,20 +20,25 @@ fn main() {
     let mut rng = Rng::new(31);
     let (train, test) = sqf(6_000, 31).train_test_split(0.3, &mut rng);
 
-    for metric in FairnessMetric::ALL {
-        // Audit with logistic regression (the paper's Table 3 model).
-        let gopher = Gopher::fit(
-            |n_cols| LogisticRegression::new(n_cols, 1e-3),
-            &train,
-            &test,
-            GopherConfig {
-                metric,
-                k: 2,
-                ..Default::default()
-            },
+    // Audit with logistic regression (the paper's Table 3 model): one
+    // session, one batch, three metrics.
+    let session = SessionBuilder::new().fit(
+        |n_cols| LogisticRegression::new(n_cols, 1e-3),
+        &train,
+        &test,
+    );
+    let requests: Vec<ExplainRequest> = FairnessMetric::ALL
+        .into_iter()
+        .map(|metric| ExplainRequest::default().with_metric(metric).with_k(2))
+        .collect();
+    for response in session.explain_batch(&requests) {
+        let report = &response.report;
+        println!(
+            "=== {} (bias {:+.3}, answered in {:.0} ms) ===",
+            report.metric,
+            report.base_bias,
+            response.query_time.as_secs_f64() * 1e3,
         );
-        let report = gopher.explain();
-        println!("=== {} (bias {:+.3}) ===", metric, report.base_bias);
         for e in &report.explanations {
             println!(
                 "  {}  [support {:.1}%, Δbias {:.1}%]",
@@ -42,17 +52,13 @@ fn main() {
 
     // Cross-check the headline metric with an SVM: the explanations should
     // point at the same discriminatory practice even under a different
-    // model family.
-    let svm_gopher = Gopher::fit(
-        |n_cols| LinearSvm::new(n_cols, 1e-3),
-        &train,
-        &test,
-        GopherConfig {
-            k: 2,
-            ..Default::default()
-        },
-    );
-    let report = svm_gopher.explain();
+    // model family. (A different model means a different session — the
+    // per-model state is exactly what a session owns.)
+    let svm_session =
+        SessionBuilder::new().fit(|n_cols| LinearSvm::new(n_cols, 1e-3), &train, &test);
+    let report = svm_session
+        .explain(&ExplainRequest::default().with_k(2))
+        .report;
     println!(
         "=== cross-check with SVM (statistical parity {:+.3}) ===",
         report.base_bias

@@ -1,5 +1,6 @@
 //! Quickstart: train a classifier on biased data and ask Gopher *why* it is
-//! biased.
+//! biased — then ask a follow-up question against the same session for
+//! (almost) free.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -12,18 +13,19 @@ fn main() {
     let mut rng = Rng::new(7);
     let (train, test) = german(1_000, 7).train_test_split(0.3, &mut rng);
 
-    // 2. Train a logistic regression and wrap it in the explainer.
-    //    `Gopher::fit` encodes the data (one-hot + z-score), trains the
-    //    model to a stationary point, and precomputes the influence state.
-    let gopher = Gopher::fit(
+    // 2. Train a logistic regression and wrap it in an explain session.
+    //    `SessionBuilder::fit` encodes the data (one-hot + z-score), trains
+    //    the model to a stationary point, and precomputes the influence
+    //    state — the expensive part, paid once per model.
+    let session = SessionBuilder::new().fit(
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig::default(),
     );
 
     // 3. Explain the statistical-parity bias.
-    let report = gopher.explain();
+    let response = session.explain(&ExplainRequest::default());
+    let report = &response.report;
     println!(
         "statistical parity bias = {:.3} (test accuracy {:.3})\n",
         report.base_bias, report.accuracy
@@ -41,4 +43,17 @@ fn main() {
             100.0 * e.ground_truth_responsibility.unwrap_or(f64::NAN),
         );
     }
+
+    // 4. A second question — different metric, same session — reuses the
+    //    trained model, Hessian, predicates, and every cached coverage.
+    let eo = session.explain(
+        &ExplainRequest::default()
+            .with_metric(FairnessMetric::EqualOpportunity)
+            .with_ground_truth(false),
+    );
+    println!(
+        "\nequal opportunity bias = {:.3}, answered in {:.0} ms (warm session)",
+        eo.report.base_bias,
+        eo.query_time.as_secs_f64() * 1e3,
+    );
 }

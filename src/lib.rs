@@ -6,7 +6,8 @@
 //!
 //! The actual functionality lives in the member crates:
 //!
-//! * [`gopher_core`] — the explainer (start at [`gopher_core::Gopher`]);
+//! * [`gopher_core`] — the explainer (start at
+//!   [`gopher_core::SessionBuilder`]);
 //! * [`gopher_data`] — datasets, encoding, generators, poisoning;
 //! * [`gopher_models`] — logistic regression / SVM / MLP + trainers;
 //! * [`gopher_fairness`] — fairness metrics and their gradients;
@@ -25,7 +26,11 @@ pub use gopher_prng;
 
 /// The names almost every consumer needs.
 pub mod prelude {
-    pub use gopher_core::{Gopher, GopherConfig, UpdateConfig};
+    #[allow(deprecated)]
+    pub use gopher_core::Gopher;
+    pub use gopher_core::{
+        ExplainRequest, ExplainResponse, ExplainSession, GopherConfig, SessionBuilder, UpdateConfig,
+    };
     pub use gopher_data::generators::{adult, german, sqf};
     pub use gopher_data::{Dataset, Encoded, Encoder};
     pub use gopher_fairness::FairnessMetric;

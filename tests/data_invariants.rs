@@ -5,7 +5,7 @@ use gopher_data::generators::german;
 use gopher_fairness::{bias, bias_gradient, smooth_bias, FairnessMetric};
 use gopher_models::{LogisticRegression, Model};
 use gopher_prng::Rng;
-use gopher_repro::prelude::{Encoder, Gopher, GopherConfig};
+use gopher_repro::prelude::{Encoder, SessionBuilder};
 use proptest::prelude::*;
 
 proptest! {
@@ -87,8 +87,7 @@ fn explainer_rejects_mismatched_model_width() {
     let mut rng = Rng::new(44);
     let (train, test) = data.train_test_split(0.3, &mut rng);
     let wrong = LogisticRegression::new(3, 1e-3); // far too narrow
-    let result =
-        std::panic::catch_unwind(|| Gopher::new(wrong, &train, &test, GopherConfig::default()));
+    let result = std::panic::catch_unwind(|| SessionBuilder::new().build(wrong, &train, &test));
     assert!(result.is_err(), "mismatched widths must be rejected");
 }
 

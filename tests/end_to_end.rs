@@ -6,16 +6,14 @@ use gopher_repro::prelude::*;
 fn run_pipeline(data: Dataset, seed: u64, k: usize) -> gopher_core::ExplanationReport {
     let mut rng = Rng::new(seed);
     let (train, test) = data.train_test_split(0.3, &mut rng);
-    let gopher = Gopher::fit(
+    let session = SessionBuilder::new().fit(
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig {
-            k,
-            ..Default::default()
-        },
     );
-    gopher.explain()
+    session
+        .explain(&ExplainRequest::default().with_k(k).with_ground_truth(true))
+        .report
 }
 
 #[test]
@@ -65,16 +63,10 @@ fn sqf_pipeline_reduces_bias() {
 fn svm_pipeline_works_end_to_end() {
     let mut rng = Rng::new(204);
     let (train, test) = german(700, 204).train_test_split(0.3, &mut rng);
-    let gopher = Gopher::fit(
-        |n_cols| LinearSvm::new(n_cols, 1e-3),
-        &train,
-        &test,
-        GopherConfig {
-            k: 2,
-            ..Default::default()
-        },
-    );
-    let report = gopher.explain();
+    let session = SessionBuilder::new().fit(|n_cols| LinearSvm::new(n_cols, 1e-3), &train, &test);
+    let report = session
+        .explain(&ExplainRequest::default().with_k(2).with_ground_truth(true))
+        .report;
     assert!(report.base_bias > 0.0);
     assert!(!report.explanations.is_empty());
     assert!(report.explanations[0].ground_truth_responsibility.unwrap() > 0.0);
@@ -84,19 +76,26 @@ fn svm_pipeline_works_end_to_end() {
 fn every_metric_yields_explanations_on_german() {
     let mut rng = Rng::new(205);
     let (train, test) = german(800, 205).train_test_split(0.3, &mut rng);
-    for metric in FairnessMetric::ALL {
-        let gopher = Gopher::fit(
-            |n_cols| LogisticRegression::new(n_cols, 1e-3),
-            &train,
-            &test,
-            GopherConfig {
-                metric,
-                k: 2,
-                ground_truth_for_topk: false,
-                ..Default::default()
-            },
-        );
-        let report = gopher.explain();
+    // One session serves all metrics — this is the batched query path.
+    let session = SessionBuilder::new().fit(
+        |n_cols| LogisticRegression::new(n_cols, 1e-3),
+        &train,
+        &test,
+    );
+    let requests: Vec<ExplainRequest> = FairnessMetric::ALL
+        .into_iter()
+        .map(|metric| {
+            ExplainRequest::default()
+                .with_metric(metric)
+                .with_k(2)
+                .with_ground_truth(false)
+        })
+        .collect();
+    for (metric, response) in FairnessMetric::ALL
+        .into_iter()
+        .zip(session.explain_batch(&requests))
+    {
+        let report = response.report;
         assert!(
             report.base_bias > 0.0,
             "{metric}: bias {}",
@@ -133,21 +132,19 @@ fn mlp_pipeline_works_on_small_data() {
     let mut rng = Rng::new(207);
     let (train, test) = german(350, 207).train_test_split(0.3, &mut rng);
     let mut init_rng = Rng::new(208);
-    let gopher = Gopher::fit(
+    let session = SessionBuilder::new().fit(
         |n_cols| Mlp::new(n_cols, 3, 1e-2, &mut init_rng),
         &train,
         &test,
-        GopherConfig {
-            k: 2,
-            ground_truth_for_topk: false,
-            lattice: LatticeConfig {
-                max_predicates: 2,
-                ..Default::default()
-            },
-            ..Default::default()
-        },
     );
-    let report = gopher.explain();
+    let report = session
+        .explain(
+            &ExplainRequest::default()
+                .with_k(2)
+                .with_ground_truth(false)
+                .with_max_predicates(2),
+        )
+        .report;
     assert!(report.base_bias.abs() > 0.0);
     assert!(!report.explanations.is_empty());
 }

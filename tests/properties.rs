@@ -174,7 +174,7 @@ proptest! {
                 let responsibility = rng.uniform_in(-0.2, 0.8);
                 Candidate {
                     pattern: Pattern::singleton(id),
-                    coverage,
+                    coverage: std::sync::Arc::new(coverage),
                     support,
                     responsibility,
                     interestingness: responsibility / support,

@@ -2,24 +2,26 @@
 
 use gopher_repro::prelude::*;
 
-fn build(seed: u64) -> Gopher<LogisticRegression> {
+const METRIC: FairnessMetric = FairnessMetric::StatisticalParity;
+
+fn build(seed: u64) -> ExplainSession<LogisticRegression> {
     let mut rng = Rng::new(seed);
     let (train, test) = german(800, seed).train_test_split(0.3, &mut rng);
-    Gopher::fit(
+    SessionBuilder::new().fit(
         |n_cols| LogisticRegression::new(n_cols, 1e-3),
         &train,
         &test,
-        GopherConfig {
-            ground_truth_for_topk: true,
-            ..Default::default()
-        },
     )
+}
+
+fn request() -> ExplainRequest {
+    ExplainRequest::default().with_ground_truth(true)
 }
 
 #[test]
 fn updates_are_produced_for_every_top_pattern() {
     let gopher = build(401);
-    let (report, updates) = gopher.explain_with_updates(&UpdateConfig::default());
+    let (report, updates) = gopher.explain_with_updates(&request(), &UpdateConfig::default());
     assert_eq!(report.explanations.len(), updates.len());
     for (e, u) in report.explanations.iter().zip(&updates) {
         assert_eq!(e.pattern_text, u.pattern_text);
@@ -35,7 +37,7 @@ fn update_estimate_never_worse_than_doing_nothing() {
     // and the optimizer starts there — so the returned estimate must not be
     // meaningfully positive.
     let gopher = build(402);
-    let (_, updates) = gopher.explain_with_updates(&UpdateConfig::default());
+    let (_, updates) = gopher.explain_with_updates(&request(), &UpdateConfig::default());
     for u in &updates {
         assert!(
             u.est_bias_change <= 1e-6,
@@ -49,7 +51,7 @@ fn update_estimate_never_worse_than_doing_nothing() {
 #[test]
 fn at_least_one_update_genuinely_reduces_bias() {
     let gopher = build(403);
-    let (_, updates) = gopher.explain_with_updates(&UpdateConfig::default());
+    let (_, updates) = gopher.explain_with_updates(&request(), &UpdateConfig::default());
     let best = updates
         .iter()
         .filter_map(|u| u.ground_truth_responsibility)
@@ -63,9 +65,9 @@ fn at_least_one_update_genuinely_reduces_bias() {
 #[test]
 fn updated_points_stay_in_domain() {
     let gopher = build(404);
-    let report = gopher.explain();
+    let report = gopher.explain(&request()).report;
     let top = &report.explanations[0];
-    let update = gopher.update_explanation(&top.candidate, &UpdateConfig::default());
+    let update = gopher.update_explanation(&top.candidate, METRIC, &UpdateConfig::default());
     let rows = top.candidate.coverage.to_indices();
     let updated = gopher.apply_update(&rows, &update.delta_encoded);
     // Projection is idempotent exactly when the point is already valid.
@@ -89,9 +91,9 @@ fn update_labels_are_preserved() {
     // Updates perturb features, never labels (the paper's updates repair
     // attributes; label repair is DUTI's problem, explicitly out of scope).
     let gopher = build(405);
-    let report = gopher.explain();
+    let report = gopher.explain(&request()).report;
     let top = &report.explanations[0];
-    let update = gopher.update_explanation(&top.candidate, &UpdateConfig::default());
+    let update = gopher.update_explanation(&top.candidate, METRIC, &UpdateConfig::default());
     let rows = top.candidate.coverage.to_indices();
     let updated = gopher.apply_update(&rows, &update.delta_encoded);
     assert_eq!(updated.y, gopher.train().y);
@@ -101,10 +103,11 @@ fn update_labels_are_preserved() {
 #[test]
 fn fewer_iterations_is_weaker_or_equal() {
     let gopher = build(406);
-    let report = gopher.explain();
+    let report = gopher.explain(&request()).report;
     let top = &report.explanations[0];
     let weak = gopher.update_explanation(
         &top.candidate,
+        METRIC,
         &UpdateConfig {
             max_iters: 2,
             ground_truth: false,
@@ -113,6 +116,7 @@ fn fewer_iterations_is_weaker_or_equal() {
     );
     let strong = gopher.update_explanation(
         &top.candidate,
+        METRIC,
         &UpdateConfig {
             max_iters: 150,
             ground_truth: false,

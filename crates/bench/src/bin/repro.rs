@@ -17,6 +17,7 @@
 //!   fotree   FO-tree baseline comparison (§6.4)
 //!   poison   data-poisoning detection (§6.7)
 //!   ablation design-choice ablations (DESIGN.md §6)
+//!   calibration  estimator fidelity vs ground truth across n (ROADMAP)
 //!   all      everything above (default)
 //! ```
 //!
@@ -56,7 +57,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("invalid seed: {e}"))?;
             }
             "--help" | "-h" => {
-                println!("see the module docs at the top of repro.rs; experiments: fig3 fig4 fig5 table1..table7 fotree poison ablation all");
+                println!("see the module docs at the top of repro.rs; experiments: fig3 fig4 fig5 table1..table7 fotree poison ablation calibration all");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}")),
@@ -145,6 +146,7 @@ fn main() {
     run("ablation", &mut || {
         experiments::ablations(if paper { 1_000 } else { 600 }, seed)
     });
+    run("calibration", &mut || experiments::calibration(seed));
 
     if !ran_any {
         eprintln!(

@@ -1,6 +1,7 @@
 //! One function per paper table/figure. Each returns the rendered report so
 //! the `repro` binary can print it and integration tests can assert on it.
 
+mod calibration;
 mod fig3;
 mod fotree;
 mod lattice_scaling;
@@ -8,6 +9,7 @@ mod poisoning;
 mod runtime;
 mod tables;
 
+pub use calibration::calibration;
 pub use fig3::fig3;
 pub use fotree::fotree;
 pub use lattice_scaling::{ablations, table7};

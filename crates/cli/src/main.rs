@@ -62,6 +62,11 @@ COMMON OPTIONS:
     --seed <N>              RNG seed for generation, split and training [42]
     --test-fraction <F>     held-out fraction for the audit set [0.3]
     --l2 <LAMBDA>           L2 regularization strength [1e-3]
+    --threads <N>           worker threads for explain/report/query batches
+                            (scorer fan-out, sweep groups, ground-truth
+                            retrains); 0 = auto: $GOPHER_THREADS if set, else
+                            all available cores [0]. Results are identical
+                            at every thread count.
     --json                  emit a JSON report on stdout instead of text
 
 EXPLAIN/QUERY OPTIONS:
@@ -126,6 +131,7 @@ struct Opts {
     seed: u64,
     test_fraction: f64,
     l2: f64,
+    threads: usize,
     json: bool,
     k: usize,
     support: f64,
@@ -149,6 +155,7 @@ impl Default for Opts {
             seed: 42,
             test_fraction: 0.3,
             l2: 1e-3,
+            threads: 0,
             json: false,
             k: 3,
             support: 0.05,
@@ -219,6 +226,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
                 opts.test_fraction = parse_num(value("--test-fraction")?, "--test-fraction")?
             }
             "--l2" => opts.l2 = parse_num(value("--l2")?, "--l2")?,
+            "--threads" => opts.threads = parse_num(value("--threads")?, "--threads")?,
             "--learning-rate" => {
                 opts.learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
             }
@@ -370,7 +378,7 @@ fn exec<M: Model>(
             }
         }
         Action::Explain => {
-            let session = fit_session(train, test, make_model);
+            let session = fit_session(opts, train, test, make_model);
             let response = session.explain(&base_request(opts));
             let report = explain_json(opts, &response);
             if opts.json {
@@ -380,7 +388,7 @@ fn exec<M: Model>(
             }
         }
         Action::Report => {
-            let session = fit_session(train, test, make_model);
+            let session = fit_session(opts, train, test, make_model);
             let audit = audit_model(opts, session.model(), session.encoder(), test);
             let response = session.explain(&base_request(opts));
             let explain = explain_json(opts, &response);
@@ -388,7 +396,7 @@ fn exec<M: Model>(
         }
         Action::Query => {
             let requests = read_requests(opts)?;
-            let session = fit_session(train, test, make_model);
+            let session = fit_session(opts, train, test, make_model);
             let responses = session.explain_batch(&requests);
             let array: Vec<Json> = responses.iter().map(|r| explain_json(opts, r)).collect();
             format!("{}\n", Json::Arr(array))
@@ -413,11 +421,14 @@ fn emit(text: &str) {
 }
 
 fn fit_session<M: Model>(
+    opts: &Opts,
     train: &Dataset,
     test: &Dataset,
     make_model: impl FnOnce(usize) -> M,
 ) -> ExplainSession<M> {
-    SessionBuilder::new().fit(make_model, train, test)
+    SessionBuilder::new()
+        .threads(opts.threads)
+        .fit(make_model, train, test)
 }
 
 /// The request the CLI flags describe (also the fallback for every field a

@@ -262,3 +262,85 @@ fn help_prints_usage_and_succeeds() {
         assert!(text.contains(needle), "help must mention {needle}");
     }
 }
+
+#[test]
+fn threads_flag_does_not_change_results() {
+    // The parallel query engine must be invisible in the output: the same
+    // query at --threads 1 and --threads 4 answers with identical
+    // explanations (only the timing fields may differ).
+    let args = |threads: &'static str| {
+        vec![
+            "query",
+            "--requests",
+            "-",
+            "--data",
+            "german",
+            "--rows",
+            "400",
+            "--threads",
+            threads,
+        ]
+    };
+    let requests = r#"[{"metric":"statistical-parity","k":3},
+        {"metric":"equal-opportunity","k":3},
+        {"metric":"predictive-parity","estimator":"first-order","k":2}]"#;
+    let run = |threads: &'static str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_gopher"))
+            .args(args(threads))
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .and_then(|mut child| {
+                use std::io::Write as _;
+                child
+                    .stdin
+                    .take()
+                    .expect("stdin piped")
+                    .write_all(requests.as_bytes())?;
+                child.wait_with_output()
+            })
+            .expect("failed to run gopher query");
+        assert!(
+            out.status.success(),
+            "gopher query --threads {threads} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8(out.stdout).expect("stdout must be UTF-8");
+        json::parse(stdout.trim()).unwrap_or_else(|e| panic!("invalid JSON ({e}): {stdout}"))
+    };
+    let single = run("1");
+    let multi = run("4");
+    let single_arr = single.as_arr().expect("array of responses");
+    let multi_arr = multi.as_arr().expect("array of responses");
+    assert_eq!(single_arr.len(), 3);
+    assert_eq!(single_arr.len(), multi_arr.len());
+    for (s, m) in single_arr.iter().zip(multi_arr) {
+        assert_eq!(
+            s.get("base_bias").and_then(Json::as_f64),
+            m.get("base_bias").and_then(Json::as_f64)
+        );
+        assert_eq!(
+            s.get("candidates_scored").and_then(Json::as_f64),
+            m.get("candidates_scored").and_then(Json::as_f64)
+        );
+        let se = s.get("explanations").and_then(Json::as_arr).unwrap();
+        let me = m.get("explanations").and_then(Json::as_arr).unwrap();
+        assert!(!se.is_empty(), "every metric should surface a pattern here");
+        assert_eq!(se.len(), me.len());
+        for (a, b) in se.iter().zip(me) {
+            assert_eq!(
+                a.get("pattern").and_then(Json::as_str),
+                b.get("pattern").and_then(Json::as_str)
+            );
+            assert_eq!(
+                a.get("est_responsibility").and_then(Json::as_f64),
+                b.get("est_responsibility").and_then(Json::as_f64)
+            );
+            assert_eq!(
+                a.get("support").and_then(Json::as_f64),
+                b.get("support").and_then(Json::as_f64)
+            );
+        }
+    }
+}

@@ -74,5 +74,7 @@ pub mod update;
 pub use explainer::Gopher;
 pub use explainer::{Explanation, ExplanationReport, GopherConfig, PatternProfile};
 pub use mitigate::{mitigate, MitigationConfig, MitigationReport};
-pub use session::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
+pub use session::{
+    ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, SessionStats, THREADS_ENV,
+};
 pub use update::{FeatureChange, UpdateConfig, UpdateExplanation};

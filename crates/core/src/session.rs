@@ -48,8 +48,8 @@ use crate::explainer::{Explanation, ExplanationReport, PatternProfile};
 use gopher_data::{Dataset, Encoded, Encoder};
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{
-    retrain_without, BiasEval, BiasInfluence, BiasPrecomp, Estimator, InfluenceConfig,
-    InfluenceEngine,
+    retrain_without, retrain_without_many, BiasEval, BiasInfluence, BiasPrecomp, Estimator,
+    InfluenceConfig, InfluenceEngine,
 };
 use gopher_models::train::fit_default;
 use gopher_models::Model;
@@ -58,8 +58,52 @@ use gopher_patterns::{
     PredicateTable, ScoreFn, SearchStats,
 };
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
+
+/// Locks a session cache, recovering the guard if a panicking query thread
+/// poisoned it. Every session cache only ever stores fully-built values that
+/// are pure functions of the trained model (inserts happen after the value
+/// is complete), so the data behind a poisoned lock is always valid — a
+/// caught panic in one query must not brick the session for the next.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Ground-truth responsibility `(F_old − F_new)/F_old` (Definition 3.2),
+/// shared by the solo and fanned-out retraining paths so they can never
+/// diverge. Zero when the baseline is (numerically) zero — an unbiased
+/// model has no root causes to attribute.
+fn gt_responsibility(base: f64, new_bias: f64) -> f64 {
+    if base.abs() < 1e-12 {
+        0.0
+    } else {
+        (base - new_bias) / base
+    }
+}
+
+/// Environment variable consulted when [`SessionBuilder::threads`] is left
+/// on auto: `GOPHER_THREADS=<n>` pins the worker count (used by CI to run
+/// the whole test suite single- and multi-threaded).
+pub const THREADS_ENV: &str = "GOPHER_THREADS";
+
+/// Resolves the builder's thread knob: an explicit positive value wins, then
+/// [`THREADS_ENV`], then the host's available parallelism.
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    gopher_par::available_parallelism()
+}
 
 /// Builds an [`ExplainSession`]: the per-model options that must be fixed
 /// before any query can run (everything else lives on [`ExplainRequest`]).
@@ -67,6 +111,8 @@ use std::time::{Duration, Instant};
 pub struct SessionBuilder {
     max_bins: usize,
     influence: InfluenceConfig,
+    threads: usize,
+    sweep_cache_cap: usize,
 }
 
 impl Default for SessionBuilder {
@@ -77,11 +123,14 @@ impl Default for SessionBuilder {
 
 impl SessionBuilder {
     /// Default session options (4 quantile bins per numeric feature,
-    /// default influence-engine parameters).
+    /// default influence-engine parameters, automatic thread count,
+    /// 256-entry sweep cache).
     pub fn new() -> Self {
         Self {
             max_bins: 4,
             influence: InfluenceConfig::default(),
+            threads: 0,
+            sweep_cache_cap: SWEEP_CACHE_CAP,
         }
     }
 
@@ -96,6 +145,26 @@ impl SessionBuilder {
     #[must_use]
     pub fn influence(mut self, influence: InfluenceConfig) -> Self {
         self.influence = influence;
+        self
+    }
+
+    /// Worker threads for batched queries: scorer passes, structural sweep
+    /// groups, and ground-truth retrains all fan out across this many
+    /// threads. `0` (the default) resolves to the `GOPHER_THREADS`
+    /// environment variable if set, else the host's available parallelism.
+    /// Results are bit-identical at every thread count.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Retention bound of the sweep cache (finished lattice sweeps), in
+    /// entries. Past the cap the least-recently-used sweep is evicted; `0`
+    /// disables retention entirely (every query recomputes its sweep).
+    #[must_use]
+    pub fn sweep_cache_cap(mut self, cap: usize) -> Self {
+        self.sweep_cache_cap = cap;
         self
     }
 
@@ -130,9 +199,10 @@ impl SessionBuilder {
             engine,
             table,
             accuracy,
+            threads: resolve_threads(self.threads),
             coverage: CoverageCache::new(),
             bias_cache: Mutex::new(HashMap::new()),
-            sweep_cache: Mutex::new(HashMap::new()),
+            sweep_cache: Mutex::new(SweepCache::new(self.sweep_cache_cap)),
         }
     }
 
@@ -300,9 +370,10 @@ fn estimator_key(e: Estimator) -> (u8, u64) {
     }
 }
 
-/// Cap on retained sweep results. A sweep's candidate vector is the largest
-/// thing a session caches, so — like the coverage cache — retention is
-/// bounded: past the cap, fresh sweeps are still served but not stored.
+/// Default cap on retained sweep results. A sweep's candidate vector is the
+/// largest thing a session caches, so — like the coverage cache — retention
+/// is bounded: past the cap, the least-recently-used sweep is evicted
+/// (tunable via [`SessionBuilder::sweep_cache_cap`]).
 const SWEEP_CACHE_CAP: usize = 256;
 
 /// A finished lattice sweep, cached per [`SweepKey`] for the session's
@@ -313,6 +384,112 @@ struct SweepResult {
     /// Wall-clock cost of the sweep when it actually ran (reported as the
     /// search time of every request that reuses it).
     duration: Duration,
+}
+
+/// LRU-bounded map of finished sweeps with hit/miss/eviction counters (the
+/// serving deployment's observability surface — see
+/// [`ExplainSession::stats`]).
+struct SweepCache {
+    entries: HashMap<SweepKey, SweepSlot>,
+    /// Logical clock bumped on every access; slots carry the tick of their
+    /// last use, and eviction removes the minimum.
+    tick: u64,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+struct SweepSlot {
+    sweep: Arc<SweepResult>,
+    last_used: u64,
+}
+
+impl SweepCache {
+    fn new(cap: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            tick: 0,
+            cap,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, counting a hit or miss and refreshing recency.
+    fn lookup(&mut self, key: &SweepKey) -> Option<Arc<SweepResult>> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&slot.sweep))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Like [`Self::lookup`] but without touching the hit/miss counters:
+    /// used when re-reading a key the same batch already counted.
+    fn get_quiet(&mut self, key: &SweepKey) -> Option<Arc<SweepResult>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|slot| {
+            slot.last_used = tick;
+            Arc::clone(&slot.sweep)
+        })
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// if the cache is at capacity. With `cap == 0` nothing is retained.
+    fn insert(&mut self, key: SweepKey, sweep: Arc<SweepResult>) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.cap {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            SweepSlot {
+                sweep,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// Counters a serving deployment watches: sweep-cache effectiveness and the
+/// session's parallelism. Snapshot via [`ExplainSession::stats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Worker threads the session fans batched queries across.
+    pub threads: usize,
+    /// Finished sweeps currently retained.
+    pub sweep_entries: usize,
+    /// Capacity bound on retained sweeps (LRU past this).
+    pub sweep_cache_cap: usize,
+    /// Requests answered from a cached sweep.
+    pub sweep_hits: u64,
+    /// Requests that had to run (or re-run) their sweep.
+    pub sweep_misses: u64,
+    /// Sweeps evicted to respect the cap.
+    pub sweep_evictions: u64,
+    /// Materialized pattern coverages shared across sweeps.
+    pub cached_coverages: usize,
 }
 
 /// A long-lived explainer bound to one trained model.
@@ -331,9 +508,10 @@ pub struct ExplainSession<M: Model> {
     engine: InfluenceEngine<M>,
     table: PredicateTable,
     accuracy: f64,
+    threads: usize,
     coverage: CoverageCache,
     bias_cache: Mutex<HashMap<FairnessMetric, BiasPrecomp>>,
-    sweep_cache: Mutex<HashMap<SweepKey, Arc<SweepResult>>>,
+    sweep_cache: Mutex<SweepCache>,
 }
 
 impl<M: Model> ExplainSession<M> {
@@ -377,6 +555,27 @@ impl<M: Model> ExplainSession<M> {
         self.accuracy
     }
 
+    /// Worker threads batched queries fan out across (resolved at build
+    /// from [`SessionBuilder::threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the session's serving counters: sweep-cache hits, misses,
+    /// evictions, retained entries, and the thread count.
+    pub fn stats(&self) -> SessionStats {
+        let cache = lock_recover(&self.sweep_cache);
+        SessionStats {
+            threads: self.threads,
+            sweep_entries: cache.entries.len(),
+            sweep_cache_cap: cache.cap,
+            sweep_hits: cache.hits,
+            sweep_misses: cache.misses,
+            sweep_evictions: cache.evictions,
+            cached_coverages: self.coverage.len(),
+        }
+    }
+
     /// Hard bias of the model under `metric` on the test set (cached).
     pub fn base_bias(&self, metric: FairnessMetric) -> f64 {
         self.bias_precomp(metric).base_hard
@@ -396,30 +595,35 @@ impl<M: Model> ExplainSession<M> {
             .expect("one request in, one response out")
     }
 
-    /// Answers a batch of requests, sharing work wherever the requests
-    /// allow:
+    /// Answers a batch of requests, sharing and fanning out work wherever
+    /// the requests allow:
     ///
     /// * requests with identical structural lattice parameters share **one
     ///   sweep** — the structural enumeration and every coverage
     ///   intersection run once, with the per-request scoring callbacks
-    ///   (metric × estimator × bias-eval) fanned out over it;
+    ///   (metric × estimator × bias-eval) fanned out across the session's
+    ///   worker threads;
+    /// * distinct structural groups run **concurrently**, each on its own
+    ///   worker;
     /// * requests with identical scoring too (differing only in k,
     ///   containment, or ground-truth flags) share the sweep *result*;
     /// * all sweeps consult the session's coverage cache, so later batches
-    ///   and queries skip intersections any earlier query materialized.
+    ///   and queries skip intersections any earlier query materialized;
+    /// * ground-truth retrains for each answer's top-k fan out per pattern.
     ///
     /// Responses come back in request order, each with content identical to
-    /// a cold run of that request alone.
+    /// a cold run of that request alone — at any thread count.
     pub fn explain_batch(&self, requests: &[ExplainRequest]) -> Vec<ExplainResponse> {
         let keys: Vec<SweepKey> = requests.iter().map(SweepKey::of).collect();
 
         // Find sweeps not yet cached, grouped by structural lattice config
-        // (first-seen order keeps runs deterministic).
+        // (first-seen order keeps runs deterministic). This is also where
+        // the hit/miss counters are charged — once per request.
         let mut missing: Vec<(SweepKey, &ExplainRequest)> = Vec::new();
         {
-            let cache = self.sweep_cache.lock().expect("sweep cache poisoned");
+            let mut cache = lock_recover(&self.sweep_cache);
             for (key, req) in keys.iter().zip(requests) {
-                if !cache.contains_key(key) && !missing.iter().any(|(k, _)| k == key) {
+                if cache.lookup(key).is_none() && !missing.iter().any(|(k, _)| k == key) {
                     missing.push((key.clone(), req));
                 }
             }
@@ -449,40 +653,74 @@ impl<M: Model> ExplainSession<M> {
             }
         }
 
-        // Fresh sweeps are handed back directly (and cached subject to the
-        // cap) so over-cap batches still answer without recomputation.
+        // Distinct structural groups are independent sweeps: fan them out,
+        // splitting the thread budget between the group level and each
+        // group's scorer fan-out so nesting can't oversubscribe to
+        // ~threads² live workers. Fresh sweeps are handed back directly
+        // (and cached subject to the LRU bound) so over-cap batches still
+        // answer without recomputation.
+        let outer = self.threads.min(structural_groups.len()).max(1);
+        let inner = (self.threads / outer).max(1);
+        let group_results = gopher_par::par_map(outer, &structural_groups, |_, group| {
+            self.run_sweeps_with(&group.lattice, &group.members, inner)
+        });
         let mut batch_sweeps: HashMap<SweepKey, Arc<SweepResult>> = HashMap::new();
-        for group in structural_groups {
-            for (key, sweep) in self.run_sweeps(&group.lattice, &group.members) {
-                batch_sweeps.insert(key, sweep);
-            }
+        for (key, sweep) in group_results.into_iter().flatten() {
+            batch_sweeps.insert(key, sweep);
         }
 
         keys.iter()
             .zip(requests)
             .map(|(key, req)| {
-                let sweep = match batch_sweeps.get(key) {
-                    Some(sweep) => Arc::clone(sweep),
-                    None => Arc::clone(
-                        self.sweep_cache
-                            .lock()
-                            .expect("sweep cache poisoned")
-                            .get(key)
-                            .expect("sweep cached before this batch"),
-                    ),
+                // The `let` matters: it drops the cache guard before the
+                // recompute path below re-enters `run_sweeps` (which takes
+                // the same lock to store its result).
+                let cached = match batch_sweeps.get(key) {
+                    Some(sweep) => Some(Arc::clone(sweep)),
+                    None => lock_recover(&self.sweep_cache).get_quiet(key),
+                };
+                let sweep = match cached {
+                    Some(sweep) => sweep,
+                    // The key was cached when the batch started, but this is
+                    // a second lock acquisition: a concurrent batch (or this
+                    // batch's own inserts) may have LRU-evicted it since.
+                    // Recompute instead of panicking.
+                    None => {
+                        let recomputed = self
+                            .run_sweeps(&req.lattice, &[(key.clone(), req)])
+                            .pop()
+                            .expect("one member in, one sweep out")
+                            .1;
+                        // The rerun is this request's own cost.
+                        fresh.insert(key.clone());
+                        recomputed
+                    }
                 };
                 self.answer(&sweep, req, fresh.remove(key))
             })
             .collect()
     }
 
-    /// Runs one multi-scorer sweep for all `members` (same structural
-    /// lattice config, distinct scoring), caches the per-scorer results
-    /// subject to [`SWEEP_CACHE_CAP`], and returns them for this batch.
+    /// [`Self::run_sweeps_with`] using the session's full thread budget
+    /// (the path for single-group work, e.g. the eviction fallback).
     fn run_sweeps(
         &self,
         lattice_cfg: &LatticeConfig,
         members: &[(SweepKey, &ExplainRequest)],
+    ) -> Vec<(SweepKey, Arc<SweepResult>)> {
+        self.run_sweeps_with(lattice_cfg, members, self.threads)
+    }
+
+    /// Runs one multi-scorer sweep for all `members` (same structural
+    /// lattice config, distinct scoring), fanning the per-member scorer
+    /// passes across up to `threads` workers (the batched path splits the
+    /// session budget between concurrent groups and this fan-out). Results
+    /// are cached subject to the LRU bound and returned for this batch.
+    fn run_sweeps_with(
+        &self,
+        lattice_cfg: &LatticeConfig,
+        members: &[(SweepKey, &ExplainRequest)],
+        threads: usize,
     ) -> Vec<(SweepKey, Arc<SweepResult>)> {
         let bis: Vec<BiasInfluence<'_, M>> = members
             .iter()
@@ -513,9 +751,10 @@ impl<M: Model> ExplainSession<M> {
             &mut scorers,
             lattice_cfg,
             &self.coverage,
+            threads,
         );
         let mut fresh_sweeps = Vec::with_capacity(members.len());
-        let mut cache = self.sweep_cache.lock().expect("sweep cache poisoned");
+        let mut cache = lock_recover(&self.sweep_cache);
         for ((key, _), (candidates, stats)) in members.iter().zip(results) {
             let duration = stats.levels.iter().map(|l| l.duration).sum();
             let sweep = Arc::new(SweepResult {
@@ -523,11 +762,7 @@ impl<M: Model> ExplainSession<M> {
                 stats,
                 duration,
             });
-            // Bound retention: past the cap, the sweep still answers this
-            // batch but is recomputed if the same request ever returns.
-            if cache.len() < SWEEP_CACHE_CAP || cache.contains_key(key) {
-                cache.insert(key.clone(), Arc::clone(&sweep));
-            }
+            cache.insert(key.clone(), Arc::clone(&sweep));
             fresh_sweeps.push((key.clone(), sweep));
         }
         fresh_sweeps
@@ -559,10 +794,46 @@ impl<M: Model> ExplainSession<M> {
         }
         let search_time = sweep.duration + t_select.elapsed();
 
-        let explanations = selected
-            .into_iter()
-            .map(|candidate| self.finalize_explanation(candidate, req))
-            .collect();
+        // Ground truth is the per-answer hot path (one full retrain per
+        // pattern), so the k retrains fan out across the worker threads;
+        // everything else about finalization is cheap and stays inline.
+        let explanations: Vec<Explanation> = if req.ground_truth_for_topk {
+            let subsets: Vec<Vec<u32>> = selected
+                .iter()
+                .map(|candidate| candidate.coverage.to_indices())
+                .collect();
+            let outcomes = retrain_without_many(
+                self.engine.model(),
+                &self.train,
+                &subsets,
+                self.threads.min(subsets.len()),
+            );
+            // The baseline bias never changes within an answer.
+            let base = gopher_fairness::bias(req.metric, self.engine.model(), &self.test);
+            selected
+                .into_iter()
+                .zip(outcomes)
+                .map(|(candidate, outcome)| {
+                    let new_bias = gopher_fairness::bias(req.metric, &outcome.model, &self.test);
+                    let resp = gt_responsibility(base, new_bias);
+                    Explanation {
+                        pattern_text: candidate
+                            .pattern
+                            .render(&self.table, self.train_raw.schema()),
+                        support: candidate.support,
+                        est_responsibility: candidate.responsibility,
+                        ground_truth_responsibility: Some(resp),
+                        ground_truth_new_bias: Some(new_bias),
+                        candidate,
+                    }
+                })
+                .collect()
+        } else {
+            selected
+                .into_iter()
+                .map(|candidate| self.finalize_explanation(candidate, req))
+                .collect()
+        };
 
         let report = ExplanationReport {
             metric: req.metric,
@@ -651,17 +922,15 @@ impl<M: Model> ExplainSession<M> {
         let outcome = retrain_without(self.engine.model(), &self.train, rows);
         let new_bias = gopher_fairness::bias(metric, &outcome.model, &self.test);
         let base = gopher_fairness::bias(metric, self.engine.model(), &self.test);
-        let resp = if base.abs() < 1e-12 {
-            0.0
-        } else {
-            (base - new_bias) / base
-        };
-        (resp, new_bias)
+        (gt_responsibility(base, new_bias), new_bias)
     }
 
     /// The per-metric bias precomputation (gradient + baselines), cached.
+    /// Uses [`lock_recover`]: the compute runs under the lock, so a model
+    /// that panics mid-computation poisons the mutex — but the entry is only
+    /// inserted once fully built, so recovery is always safe.
     fn bias_precomp(&self, metric: FairnessMetric) -> BiasPrecomp {
-        let mut cache = self.bias_cache.lock().expect("bias cache poisoned");
+        let mut cache = lock_recover(&self.bias_cache);
         cache
             .entry(metric)
             .or_insert_with(|| BiasPrecomp::compute(metric, self.engine.model(), &self.test))
@@ -747,5 +1016,202 @@ mod tests {
     fn session_is_sync() {
         fn assert_sync<T: Sync>() {}
         assert_sync::<ExplainSession<LogisticRegression>>();
+    }
+
+    /// A logistic regression that panics on demand inside `predict_proba` —
+    /// the hook used to poison a session cache mutex mid-computation.
+    #[derive(Clone)]
+    struct PanickyModel {
+        inner: LogisticRegression,
+        armed: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Model for PanickyModel {
+        fn n_params(&self) -> usize {
+            self.inner.n_params()
+        }
+        fn n_inputs(&self) -> usize {
+            self.inner.n_inputs()
+        }
+        fn params(&self) -> &[f64] {
+            self.inner.params()
+        }
+        fn params_mut(&mut self) -> &mut [f64] {
+            self.inner.params_mut()
+        }
+        fn l2(&self) -> f64 {
+            self.inner.l2()
+        }
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            assert!(
+                !self.armed.load(std::sync::atomic::Ordering::Relaxed),
+                "injected query panic"
+            );
+            self.inner.predict_proba(x)
+        }
+        fn loss(&self, x: &[f64], y: f64) -> f64 {
+            self.inner.loss(x, y)
+        }
+        fn accumulate_grad(&self, x: &[f64], y: f64, out: &mut [f64]) {
+            self.inner.accumulate_grad(x, y, out);
+        }
+        fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]) {
+            self.inner.accumulate_grad_proba(x, out);
+        }
+        fn has_analytic_hessian(&self) -> bool {
+            self.inner.has_analytic_hessian()
+        }
+        fn accumulate_hessian_vec(&self, x: &[f64], y: f64, v: &[f64], out: &mut [f64]) {
+            self.inner.accumulate_hessian_vec(x, y, v, out);
+        }
+        fn accumulate_hessian(&self, x: &[f64], y: f64, out: &mut gopher_linalg::Matrix) {
+            self.inner.accumulate_hessian(x, y, out);
+        }
+    }
+
+    /// Satellite regression: a query that panics while a cache lock is held
+    /// (here: `bias_precomp` computing under the `bias_cache` mutex) must
+    /// not brick the session — the next query recovers the poisoned guard
+    /// and answers normally.
+    #[test]
+    fn panicking_query_does_not_poison_the_session() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let mut rng = Rng::new(45);
+        let (train, test) = german(500, 45).train_test_split(0.3, &mut rng);
+        let encoder = gopher_data::Encoder::fit(&train);
+        let encoded = encoder.transform(&train);
+        let mut inner = LogisticRegression::new(encoded.n_cols(), 1e-3);
+        gopher_models::train::fit_default(&mut inner, &encoded);
+        let armed = std::sync::Arc::new(AtomicBool::new(false));
+        let model = PanickyModel {
+            inner,
+            armed: std::sync::Arc::clone(&armed),
+        };
+        let session = SessionBuilder::new().threads(1).build(model, &train, &test);
+
+        let req = ExplainRequest::default().with_ground_truth(false);
+        armed.store(true, Ordering::Relaxed);
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.explain(&req)));
+        assert!(panicked.is_err(), "armed model must panic the first query");
+        armed.store(false, Ordering::Relaxed);
+
+        // The session must still answer — and agree with a clean session.
+        let after = session.explain(&req);
+        assert!(after.report.base_bias > 0.0);
+        assert!(!after.report.explanations.is_empty());
+        let clean = session_with(500, 45, SessionBuilder::new().threads(1));
+        let reference = clean.explain(&req);
+        assert_reports_equal(&after.report, &reference.report);
+    }
+
+    fn session_with(
+        n: usize,
+        seed: u64,
+        builder: SessionBuilder,
+    ) -> ExplainSession<LogisticRegression> {
+        let mut rng = Rng::new(seed);
+        let (train, test) = german(n, seed).train_test_split(0.3, &mut rng);
+        builder.fit(|cols| LogisticRegression::new(cols, 1e-3), &train, &test)
+    }
+
+    /// Satellite regression: a sweep that was cached when the batch started
+    /// can be LRU-evicted before the batch re-reads it (here forced with a
+    /// cap of 1). The old code panicked on `expect("sweep cached before
+    /// this batch")`; it must now recompute and answer bit-identically.
+    #[test]
+    fn eviction_mid_batch_recomputes_instead_of_panicking() {
+        let req_a = ExplainRequest::default().with_ground_truth(false);
+        let req_b = ExplainRequest::default()
+            .with_support_threshold(0.08)
+            .with_ground_truth(false);
+
+        let s = session_with(500, 46, SessionBuilder::new().sweep_cache_cap(1));
+        let solo_a = s.explain(&req_a); // caches sweep A (the only slot)
+                                        // Batch: B misses and sweeps fresh → inserting B evicts A; the
+                                        // second lock window then finds A gone and must fall back.
+        let batch = s.explain_batch(&[req_b.clone(), req_a.clone()]);
+        assert_eq!(batch.len(), 2);
+        assert_reports_equal(&batch[1].report, &solo_a.report);
+        let reference_b = session_with(500, 46, SessionBuilder::new()).explain(&req_b);
+        assert_reports_equal(&batch[0].report, &reference_b.report);
+        let stats = s.stats();
+        assert!(
+            stats.sweep_evictions >= 1,
+            "cap-1 cache must have evicted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_cache_evicts_least_recently_used() {
+        let s = session_with(400, 47, SessionBuilder::new().sweep_cache_cap(2));
+        let req_a = ExplainRequest::default().with_ground_truth(false);
+        let req_b = req_a.clone().with_support_threshold(0.07);
+        let req_c = req_a.clone().with_support_threshold(0.09);
+        let _ = s.explain(&req_a);
+        let _ = s.explain(&req_b);
+        let _ = s.explain(&req_a); // refresh A: B is now least recent
+        let _ = s.explain(&req_c); // evicts B
+        let before = s.stats();
+        let _ = s.explain(&req_a); // must still hit
+        let _ = s.explain(&req_c); // must still hit
+        let mid = s.stats();
+        assert_eq!(mid.sweep_hits, before.sweep_hits + 2);
+        assert_eq!(mid.sweep_misses, before.sweep_misses);
+        let _ = s.explain(&req_b); // B was evicted: a fresh miss
+        let after = s.stats();
+        assert_eq!(after.sweep_misses, mid.sweep_misses + 1);
+        assert_eq!(after.sweep_evictions, mid.sweep_evictions + 1);
+        assert_eq!(after.sweep_entries, 2);
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_threads() {
+        let s = session_with(400, 48, SessionBuilder::new().threads(3));
+        assert_eq!(s.threads(), 3);
+        let initial = s.stats();
+        assert_eq!(initial.threads, 3);
+        assert_eq!(initial.sweep_cache_cap, SWEEP_CACHE_CAP);
+        assert_eq!((initial.sweep_hits, initial.sweep_misses), (0, 0));
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let _ = s.explain(&req);
+        let cold = s.stats();
+        assert_eq!(cold.sweep_misses, 1);
+        assert_eq!(cold.sweep_entries, 1);
+        assert!(cold.cached_coverages > 0);
+        let _ = s.explain(&req);
+        let warm = s.stats();
+        assert_eq!(warm.sweep_hits, cold.sweep_hits + 1);
+        assert_eq!(warm.sweep_misses, cold.sweep_misses);
+    }
+
+    /// The builder's `threads` knob and `GOPHER_THREADS` must not change
+    /// results: a 4-thread session answers a mixed batch bit-identically to
+    /// a single-threaded one (the full property-based check lives in
+    /// `tests/parallel_identity.rs`).
+    #[test]
+    fn multithreaded_batch_matches_single_threaded() {
+        let reqs = [
+            ExplainRequest::default().with_ground_truth(false),
+            ExplainRequest::default()
+                .with_metric(FairnessMetric::EqualOpportunity)
+                .with_ground_truth(false),
+            ExplainRequest::default()
+                .with_metric(FairnessMetric::PredictiveParity)
+                .with_estimator(Estimator::FirstOrder)
+                .with_ground_truth(false),
+            ExplainRequest::default()
+                .with_support_threshold(0.08)
+                .with_ground_truth(true)
+                .with_k(2),
+        ];
+        let s1 = session_with(500, 49, SessionBuilder::new().threads(1));
+        let s4 = session_with(500, 49, SessionBuilder::new().threads(4));
+        let r1 = s1.explain_batch(&reqs);
+        let r4 = s4.explain_batch(&reqs);
+        assert_eq!(r1.len(), r4.len());
+        for (a, b) in r1.iter().zip(&r4) {
+            assert_reports_equal(&a.report, &b.report);
+        }
     }
 }

@@ -288,18 +288,21 @@ impl<M: Model> ExplainSession<M> {
     }
 
     /// Runs [`ExplainSession::explain`] and derives an update-based
-    /// explanation for each returned pattern (paper Tables 4–6).
+    /// explanation for each returned pattern (paper Tables 4–6). The per
+    /// pattern update searches are independent (projected gradient descent
+    /// plus an optional retrain each), so they fan out across the session's
+    /// worker threads; results are bit-identical at any thread count.
     pub fn explain_with_updates(
         &self,
         request: &ExplainRequest,
         cfg: &UpdateConfig,
     ) -> (ExplanationReport, Vec<UpdateExplanation>) {
         let report = self.explain(request).report;
-        let updates = report
-            .explanations
-            .iter()
-            .map(|e: &Explanation| self.update_explanation(&e.candidate, request.metric, cfg))
-            .collect();
+        let updates = gopher_par::par_map(
+            self.threads().min(report.explanations.len()),
+            &report.explanations,
+            |_, e: &Explanation| self.update_explanation(&e.candidate, request.metric, cfg),
+        );
         (report, updates)
     }
 

@@ -3,12 +3,15 @@
 //! Exports render categorical levels by name; imports either validate
 //! against a provided schema ([`read_csv`]) or *infer* one from the data
 //! ([`read_csv_infer`], the path the CLI's `--csv` flag uses for foreign
-//! datasets). This is a debugging/inspection facility, not a general CSV
-//! parser — fields must not contain commas, quotes or newlines, which holds
-//! for every schema in this workspace.
+//! datasets). Both directions speak RFC-4180 quoting: a field wrapped in
+//! double quotes may contain commas and escaped (doubled) quotes, and
+//! exports quote exactly the fields that need it. Embedded newlines inside
+//! quoted fields remain unsupported (rejected with a clear error) — no
+//! schema in this workspace produces them.
 
 use crate::dataset::{Column, Dataset, Value};
 use crate::schema::{Feature, FeatureKind, PrivilegedIf, ProtectedSpec, Schema};
+use std::borrow::Cow;
 use std::io::{BufRead, BufWriter, Write};
 
 /// Errors from CSV parsing.
@@ -42,22 +45,101 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+/// Quotes `field` per RFC 4180 when it contains a separator or a quote
+/// (doubling embedded quotes); plain fields pass through unchanged.
+fn escape_field(field: &str) -> Cow<'_, str> {
+    if field.contains(',') || field.contains('"') {
+        Cow::Owned(format!("\"{}\"", field.replace('"', "\"\"")))
+    } else {
+        Cow::Borrowed(field)
+    }
+}
+
+/// Splits one CSV record into fields, honoring RFC-4180 quoting: a field
+/// wrapped in double quotes may contain commas, and a doubled quote inside
+/// a quoted field is a literal `"`. Genuinely malformed rows — an
+/// unterminated quote (which includes quoted embedded newlines, since this
+/// reader is line-based), a bare quote inside an unquoted field, or junk
+/// after a closing quote — stay hard errors with the offending line number.
+fn split_record(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
+    let err = |message: String| CsvError::Parse {
+        line: line_no,
+        message,
+    };
+    let mut fields = Vec::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        let mut field = String::new();
+        if chars.peek() == Some(&'"') {
+            chars.next();
+            loop {
+                match chars.next() {
+                    Some('"') if chars.peek() == Some(&'"') => {
+                        chars.next();
+                        field.push('"');
+                    }
+                    Some('"') => break,
+                    Some(c) => field.push(c),
+                    None => {
+                        return Err(err(
+                            "unterminated quoted field (note: newlines inside quoted \
+                             fields are not supported)"
+                                .into(),
+                        ))
+                    }
+                }
+            }
+            fields.push(field);
+            match chars.next() {
+                None => return Ok(fields),
+                Some(',') => continue,
+                Some(c) => {
+                    return Err(err(format!(
+                        "unexpected {c:?} after closing quote; a quoted field must be \
+                         followed by a separator or the end of the record"
+                    )))
+                }
+            }
+        }
+        loop {
+            match chars.next() {
+                Some(',') => break,
+                Some('"') => {
+                    return Err(err(
+                        "bare '\"' inside an unquoted field; quote the whole field and \
+                         double embedded quotes"
+                            .into(),
+                    ))
+                }
+                Some(c) => field.push(c),
+                None => {
+                    fields.push(field);
+                    return Ok(fields);
+                }
+            }
+        }
+        fields.push(field);
+    }
+}
+
 /// Writes the dataset as CSV: a header row of feature names plus the label
-/// column, then one row per example.
+/// column, then one row per example. Fields containing separators or quotes
+/// are RFC-4180-quoted, so [`read_csv`] / [`read_csv_infer`] round-trip any
+/// level name without newlines.
 pub fn write_csv<W: Write>(data: &Dataset, writer: W) -> Result<(), CsvError> {
     let mut out = BufWriter::new(writer);
     let schema = data.schema();
-    let header: Vec<&str> = schema
+    let header: Vec<Cow<'_, str>> = schema
         .features()
         .iter()
-        .map(|f| f.name.as_str())
-        .chain(std::iter::once(schema.label_name.as_str()))
+        .map(|f| escape_field(&f.name))
+        .chain(std::iter::once(escape_field(&schema.label_name)))
         .collect();
     writeln!(out, "{}", header.join(","))?;
     for r in 0..data.n_rows() {
         for f in 0..data.n_features() {
             match data.value(r, f) {
-                Value::Level(l) => write!(out, "{}", schema.level_name(f, l))?,
+                Value::Level(l) => write!(out, "{}", escape_field(schema.level_name(f, l)))?,
                 Value::Number(x) => write!(out, "{x}")?,
             }
             out.write_all(b",")?;
@@ -80,7 +162,7 @@ pub fn read_csv<R: BufRead>(
         line: 1,
         message: "missing header".into(),
     })??;
-    let names: Vec<&str> = header.split(',').collect();
+    let names: Vec<String> = split_record(&header, 1)?;
     let expected = schema.n_features() + 1;
     if names.len() != expected {
         return Err(CsvError::Parse {
@@ -113,7 +195,7 @@ pub fn read_csv<R: BufRead>(
         if line.is_empty() {
             continue;
         }
-        let fields: Vec<&str> = line.split(',').collect();
+        let fields: Vec<String> = split_record(&line, line_no)?;
         if fields.len() != expected {
             return Err(CsvError::Parse {
                 line: line_no,
@@ -178,9 +260,10 @@ pub enum InferredPrivileged {
 ///   one.
 ///
 /// Rows must all have the header's field count; blank lines are skipped.
-/// Quoted fields are **not** supported (this parser splits on every comma);
-/// files using RFC-4180 quoting are rejected with a clear error rather than
-/// silently mis-aligned.
+/// RFC-4180 quoting is supported: a quoted field may contain separators,
+/// and doubled quotes escape a literal quote. Malformed quoting (an
+/// unterminated or misplaced quote) is rejected with the offending line
+/// number rather than silently mis-aligned.
 pub fn read_csv_infer<R: BufRead>(
     reader: R,
     label_column: &str,
@@ -193,20 +276,7 @@ pub fn read_csv_infer<R: BufRead>(
         message: "missing header".into(),
     })??;
     let parse_err = |line: usize, message: String| CsvError::Parse { line, message };
-    let reject_quotes = |line_no: usize, line: &str| {
-        if line.contains('"') {
-            Err(parse_err(
-                line_no,
-                "quoted fields are not supported; values must not contain \
-                 commas, quotes, or newlines"
-                    .into(),
-            ))
-        } else {
-            Ok(())
-        }
-    };
-    reject_quotes(1, &header)?;
-    let names: Vec<String> = header.split(',').map(str::to_string).collect();
+    let names: Vec<String> = split_record(&header, 1)?;
     let n_cols = names.len();
     let label_idx = names
         .iter()
@@ -238,8 +308,7 @@ pub fn read_csv_infer<R: BufRead>(
         if line.is_empty() {
             continue;
         }
-        reject_quotes(line_no, &line)?;
-        let fields: Vec<String> = line.split(',').map(str::to_string).collect();
+        let fields: Vec<String> = split_record(&line, line_no)?;
         if fields.len() != n_cols {
             return Err(parse_err(
                 line_no,
@@ -520,14 +589,101 @@ age,gender,income,approved
             &InferredPrivileged::AtLeast(0.0),
         ));
         assert!(msg.contains("no data rows"), "{msg}");
-        // RFC-4180 quoting is rejected, not silently mis-split.
+        // Malformed quoting is a hard error, not a silent mis-split.
         let msg = kind(read_csv_infer(
-            Cursor::new(b"name,y\n\"Smith, John\",1\n" as &[u8]),
+            Cursor::new(b"name,y\n\"Smith, John,1\n" as &[u8]),
+            "y",
+            "name",
+            &InferredPrivileged::Equals("Smith, John".into()),
+        ));
+        assert!(msg.contains("unterminated"), "{msg}");
+        let msg = kind(read_csv_infer(
+            Cursor::new(b"name,y\nSm\"ith,1\n" as &[u8]),
             "y",
             "name",
             &InferredPrivileged::Equals("x".into()),
         ));
-        assert!(msg.contains("quoted fields"), "{msg}");
+        assert!(msg.contains("unquoted field"), "{msg}");
+        let msg = kind(read_csv_infer(
+            Cursor::new(b"name,y\n\"Smith\"x,1\n" as &[u8]),
+            "y",
+            "name",
+            &InferredPrivileged::Equals("x".into()),
+        ));
+        assert!(msg.contains("after closing quote"), "{msg}");
+    }
+
+    #[test]
+    fn quoted_separators_and_doubled_quotes_parse() {
+        let text = "name,y\n\"Smith, John\",1\n\"says \"\"hi\"\"\",0\nplain,1\n";
+        let d = read_csv_infer(
+            Cursor::new(text.as_bytes()),
+            "y",
+            "name",
+            &InferredPrivileged::Equals("Smith, John".into()),
+        )
+        .unwrap();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.labels(), &[1, 0, 1]);
+        match d.schema().feature(0).kind {
+            FeatureKind::Categorical { ref levels } => {
+                assert_eq!(levels, &["Smith, John", "says \"hi\"", "plain"]);
+            }
+            _ => panic!("name must infer as categorical"),
+        }
+        assert_eq!(d.privileged_mask(), vec![true, false, false]);
+    }
+
+    #[test]
+    fn quoting_round_trips_through_export_and_both_importers() {
+        // Level names exercising every quoting rule: separators, embedded
+        // quotes, and a plain level that must stay unquoted.
+        let schema = Schema::new(
+            vec![
+                Feature::categorical("employer, name", ["Acme, Inc.", "\"Quoted\" LLC", "plain"]),
+                Feature::numeric("age"),
+            ],
+            "approved",
+        );
+        let original = Dataset::new(
+            schema,
+            vec![
+                Column::Categorical(vec![0, 1, 2, 0]),
+                Column::Numeric(vec![30.0, 45.0, 52.0, 61.0]),
+            ],
+            vec![1, 0, 1, 0],
+            ProtectedSpec {
+                feature: 1,
+                privileged: PrivilegedIf::AtLeast(45.0),
+            },
+        );
+        let mut buf = Vec::new();
+        write_csv(&original, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.contains("\"Acme, Inc.\""), "{text}");
+        assert!(text.contains("\"\"\"Quoted\"\" LLC\""), "{text}");
+        // Schema-validated reader round-trips exactly.
+        let back = read_csv(
+            Cursor::new(&buf),
+            original.schema(),
+            original.protected().clone(),
+        )
+        .unwrap();
+        assert_eq!(original, back);
+        // Schema-inferring reader recovers every cell too.
+        let inferred = read_csv_infer(
+            Cursor::new(&buf),
+            "approved",
+            "age",
+            &InferredPrivileged::AtLeast(45.0),
+        )
+        .unwrap();
+        assert_eq!(inferred.n_rows(), original.n_rows());
+        assert_eq!(inferred.labels(), original.labels());
+        assert_eq!(inferred.privileged_mask(), original.privileged_mask());
+        for r in 0..original.n_rows() {
+            assert_eq!(original.describe_row(r), inferred.describe_row(r));
+        }
     }
 
     #[test]

@@ -41,4 +41,4 @@ mod retrain;
 
 pub use bias::{BiasEval, BiasInfluence, BiasPrecomp};
 pub use engine::{Estimator, InfluenceConfig, InfluenceEngine};
-pub use retrain::{retrain_updated, retrain_without, RetrainOutcome};
+pub use retrain::{retrain_updated, retrain_without, retrain_without_many, RetrainOutcome};

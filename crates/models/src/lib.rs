@@ -36,7 +36,12 @@ use gopher_linalg::Matrix;
 /// All gradient-like methods *accumulate* into their output buffer so callers
 /// can sum over examples without intermediate allocations. Implementations
 /// must keep `params`, `n_params` and `n_inputs` mutually consistent.
-pub trait Model: Clone {
+///
+/// Models are `Send + Sync`: the parallel query engine shares one trained
+/// model across scorer threads and clones it into ground-truth retraining
+/// workers, so a model must be plain data (all three built-in families are
+/// parameter vectors).
+pub trait Model: Clone + Send + Sync {
     /// Number of parameters (length of [`params`](Self::params)).
     fn n_params(&self) -> usize;
 

@@ -46,7 +46,15 @@ impl CoverageCache {
 
     /// Number of cached coverages.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("coverage cache poisoned").len()
+        self.lock().len()
+    }
+
+    /// Locks the map, recovering from poisoning: entries are pure functions
+    /// of the predicate table and are only ever inserted fully built, so a
+    /// panicking scorer thread can never leave one half-written — the data
+    /// behind a poisoned guard is still valid.
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Box<[u16]>, Arc<BitSet>>> {
+        self.entries.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// True if nothing is cached yet.
@@ -59,7 +67,7 @@ impl CoverageCache {
     /// returns it.
     pub fn get_or_insert_with(&self, ids: &[u16], compute: impl FnOnce() -> BitSet) -> Arc<BitSet> {
         {
-            let entries = self.entries.lock().expect("coverage cache poisoned");
+            let entries = self.lock();
             if let Some(hit) = entries.get(ids) {
                 return Arc::clone(hit);
             }
@@ -67,7 +75,7 @@ impl CoverageCache {
         // Compute outside the lock: intersections are the expensive part and
         // concurrent queries must not serialize on them.
         let fresh = Arc::new(compute());
-        let mut entries = self.entries.lock().expect("coverage cache poisoned");
+        let mut entries = self.lock();
         if let Some(hit) = entries.get(ids) {
             return Arc::clone(hit); // another query raced us; keep one copy
         }

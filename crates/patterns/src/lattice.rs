@@ -37,8 +37,9 @@ impl Default for LatticeConfig {
 }
 
 /// A boxed scoring callback: coverage bitset in, estimated responsibility
-/// out. [`compute_candidates_multi`] fans one of these out per request.
-pub type ScoreFn<'a> = Box<dyn FnMut(&BitSet) -> f64 + 'a>;
+/// out. [`compute_candidates_multi`] fans one of these out per request —
+/// each scorer runs on its own worker thread, hence the `Send` bound.
+pub type ScoreFn<'a> = Box<dyn FnMut(&BitSet) -> f64 + Send + 'a>;
 
 /// A scored candidate explanation.
 #[derive(Debug, Clone)]
@@ -103,34 +104,40 @@ pub fn compute_candidates<F>(
     config: &LatticeConfig,
 ) -> (Vec<Candidate>, SearchStats)
 where
-    F: FnMut(&BitSet) -> f64,
+    F: FnMut(&BitSet) -> f64 + Send,
 {
     let cache = CoverageCache::new();
     let mut scorer: ScoreFn<'_> = Box::new(&mut score);
-    compute_candidates_multi(table, std::slice::from_mut(&mut scorer), config, &cache)
+    compute_candidates_multi(table, std::slice::from_mut(&mut scorer), config, &cache, 1)
         .pop()
         .expect("one scorer in, one result out")
 }
 
 /// The multi-query variant of [`compute_candidates`]: one lattice sweep with
-/// the scoring callback fanned out per request.
+/// the scoring callback fanned out per request, each scorer pass running on
+/// its own worker thread (up to `threads`; `1` runs everything inline).
 ///
 /// All scorers share the structural work — predicate enumeration, coverage
 /// intersection (each pattern's bitset is materialized once, via `cache`),
 /// support counting, and conflict checks — while each scorer keeps its own
 /// frontier, pruning decisions, and [`SearchStats`]. The result for scorer
 /// `i` is **identical** to what `compute_candidates(table, scorers[i],
-/// config)` would return on its own: the per-scorer frontiers evolve exactly
-/// as in a solo run, so responsibility pruning never leaks across requests.
+/// config)` would return on its own, at any thread count: the per-scorer
+/// frontiers evolve exactly as in a solo run (scorer `i` is always driven by
+/// exactly one thread, sequentially), so neither responsibility pruning nor
+/// scheduling order can leak across requests.
 ///
 /// The cache outlives the call on purpose: an interactive session passes a
 /// long-lived cache so later queries (different metric, estimator, or k)
-/// skip every intersection this sweep already materialized.
+/// skip every intersection this sweep already materialized. The cache is
+/// internally synchronized, so concurrent scorer threads share fresh
+/// intersections too.
 pub fn compute_candidates_multi(
     table: &PredicateTable,
     scorers: &mut [ScoreFn<'_>],
     config: &LatticeConfig,
     cache: &CoverageCache,
+    threads: usize,
 ) -> Vec<(Vec<Candidate>, SearchStats)> {
     assert!(
         (0.0..1.0).contains(&config.support_threshold),
@@ -142,10 +149,6 @@ pub fn compute_candidates_multi(
     );
     let n = table.n_rows();
     let min_count = (config.support_threshold * n as f64).ceil().max(1.0) as usize;
-    let n_scorers = scorers.len();
-
-    let mut stats = vec![SearchStats::default(); n_scorers];
-    let mut all: Vec<Vec<Candidate>> = vec![Vec::new(); n_scorers];
 
     // Level 1: single-predicate patterns, filtered by support only. The
     // structural pass (coverage + support) is shared; scores fan out.
@@ -173,17 +176,32 @@ pub fn compute_candidates_multi(
     // single-query runs.
     let structural_cost = t_structural.elapsed();
 
-    struct ScorerState {
+    /// Everything one scorer owns during the sweep; fanning a level out
+    /// means handing each `ScorerRun` to a worker thread.
+    struct ScorerRun<'s, 'a> {
+        score: &'s mut ScoreFn<'a>,
+        stats: SearchStats,
+        all: Vec<Candidate>,
         frontier: Vec<Candidate>,
         done: bool,
     }
-    let mut states: Vec<ScorerState> = Vec::with_capacity(n_scorers);
-    for (s_idx, score) in scorers.iter_mut().enumerate() {
+    let mut runs: Vec<ScorerRun<'_, '_>> = scorers
+        .iter_mut()
+        .map(|score| ScorerRun {
+            score,
+            stats: SearchStats::default(),
+            all: Vec::new(),
+            frontier: Vec::new(),
+            done: false,
+        })
+        .collect();
+
+    gopher_par::par_for_each_mut(threads, &mut runs, |_, run| {
         let t0 = Instant::now();
         let mut frontier: Vec<Candidate> = Vec::with_capacity(singles.len());
         for single in &singles {
-            let responsibility = score(&single.coverage);
-            stats[s_idx].total_scored += 1;
+            let responsibility = (run.score)(&single.coverage);
+            run.stats.total_scored += 1;
             frontier.push(Candidate {
                 pattern: Pattern::singleton(single.id),
                 coverage: Arc::clone(&single.coverage),
@@ -193,43 +211,39 @@ pub fn compute_candidates_multi(
             });
         }
         truncate_level(&mut frontier, config.max_level_candidates);
-        stats[s_idx].levels.push(LevelStats {
+        run.stats.levels.push(LevelStats {
             level: 1,
             generated: singles.len(),
             kept: frontier.len(),
             duration: structural_cost + t0.elapsed(),
         });
-        all[s_idx].extend(frontier.iter().cloned());
-        states.push(ScorerState {
-            frontier,
-            done: false,
-        });
-    }
+        run.all.extend(frontier.iter().cloned());
+        run.frontier = frontier;
+    });
 
     // Levels 2..=max: merge pairs sharing all but one predicate. Each scorer
-    // walks its own frontier (pruning is score-dependent), but every
-    // coverage intersection goes through the shared cache, so a pattern
-    // reached by several scorers is materialized exactly once.
+    // walks its own frontier (pruning is score-dependent) on its own worker,
+    // but every coverage intersection goes through the shared cache, so a
+    // pattern reached by several scorers is materialized exactly once.
     for level in 2..=config.max_predicates {
-        if states.iter().all(|s| s.done) {
+        if runs.iter().all(|r| r.done) {
             break;
         }
-        for (s_idx, state) in states.iter_mut().enumerate() {
-            if state.done {
-                continue;
+        gopher_par::par_for_each_mut(threads, &mut runs, |_, run| {
+            if run.done {
+                return;
             }
-            if state.frontier.len() < 2 {
-                state.done = true;
-                continue;
+            if run.frontier.len() < 2 {
+                run.done = true;
+                return;
             }
             let t0 = Instant::now();
-            let score = &mut scorers[s_idx];
             let mut next: Vec<Candidate> = Vec::new();
             let mut seen: HashSet<Vec<u16>> = HashSet::new();
             let mut generated = 0usize;
-            for i in 0..state.frontier.len() {
-                for j in (i + 1)..state.frontier.len() {
-                    let (a, b) = (&state.frontier[i], &state.frontier[j]);
+            for i in 0..run.frontier.len() {
+                for j in (i + 1)..run.frontier.len() {
+                    let (a, b) = (&run.frontier[i], &run.frontier[j]);
                     let Some(merged) = a.pattern.merge(&b.pattern) else {
                         continue;
                     };
@@ -255,8 +269,8 @@ pub fn compute_candidates_multi(
                         continue;
                     }
                     generated += 1;
-                    let responsibility = score(&coverage);
-                    stats[s_idx].total_scored += 1;
+                    let responsibility = (run.score)(&coverage);
+                    run.stats.total_scored += 1;
                     if config.prune_by_responsibility
                         && (responsibility <= a.responsibility
                             || responsibility <= b.responsibility)
@@ -274,22 +288,22 @@ pub fn compute_candidates_multi(
                 }
             }
             truncate_level(&mut next, config.max_level_candidates);
-            stats[s_idx].levels.push(LevelStats {
+            run.stats.levels.push(LevelStats {
                 level,
                 generated,
                 kept: next.len(),
                 duration: t0.elapsed(),
             });
             if next.is_empty() {
-                state.done = true;
+                run.done = true;
             } else {
-                all[s_idx].extend(next.iter().cloned());
-                state.frontier = next;
+                run.all.extend(next.iter().cloned());
+                run.frontier = next;
             }
-        }
+        });
     }
 
-    all.into_iter().zip(stats).collect()
+    runs.into_iter().map(|run| (run.all, run.stats)).collect()
 }
 
 /// Keeps at most `cap` candidates (the best by responsibility).
@@ -537,33 +551,72 @@ mod tests {
         };
         let (solo_b, stats_b) = compute_candidates(&table, priv_score, &config);
 
-        let cache = CoverageCache::new();
-        let mut sa = toy_score(&labels);
-        let mut sb = priv_score;
-        let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut sa), Box::new(&mut sb)];
-        let mut multi = compute_candidates_multi(&table, &mut scorers, &config, &cache);
-        let (multi_b, mstats_b) = multi.pop().unwrap();
-        let (multi_a, mstats_a) = multi.pop().unwrap();
+        // The sweep must be thread-count-invariant: 1 (inline), 2, and an
+        // oversubscribed 8 all reproduce the solo runs bit for bit.
+        for threads in [1, 2, 8] {
+            let cache = CoverageCache::new();
+            let mut sa = toy_score(&labels);
+            let mut sb = priv_score;
+            let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut sa), Box::new(&mut sb)];
+            let mut multi =
+                compute_candidates_multi(&table, &mut scorers, &config, &cache, threads);
+            let (multi_b, mstats_b) = multi.pop().unwrap();
+            let (multi_a, mstats_a) = multi.pop().unwrap();
 
-        for ((solo, stats), (multi, mstats)) in [
-            ((&solo_a, &stats_a), (&multi_a, &mstats_a)),
-            ((&solo_b, &stats_b), (&multi_b, &mstats_b)),
-        ] {
-            assert_eq!(solo.len(), multi.len());
-            for (s, m) in solo.iter().zip(multi) {
-                assert_eq!(s.pattern.ids(), m.pattern.ids());
-                assert_eq!(s.responsibility, m.responsibility);
-                assert_eq!(s.support, m.support);
+            for ((solo, stats), (multi, mstats)) in [
+                ((&solo_a, &stats_a), (&multi_a, &mstats_a)),
+                ((&solo_b, &stats_b), (&multi_b, &mstats_b)),
+            ] {
+                assert_eq!(solo.len(), multi.len());
+                for (s, m) in solo.iter().zip(multi) {
+                    assert_eq!(s.pattern.ids(), m.pattern.ids());
+                    assert_eq!(s.responsibility, m.responsibility);
+                    assert_eq!(s.support, m.support);
+                }
+                assert_eq!(stats.total_scored, mstats.total_scored);
+                assert_eq!(stats.levels.len(), mstats.levels.len());
+                for (s, m) in stats.levels.iter().zip(&mstats.levels) {
+                    assert_eq!(
+                        (s.level, s.generated, s.kept),
+                        (m.level, m.generated, m.kept)
+                    );
+                }
             }
-            assert_eq!(stats.total_scored, mstats.total_scored);
-            assert_eq!(stats.levels.len(), mstats.levels.len());
-            for (s, m) in stats.levels.iter().zip(&mstats.levels) {
-                assert_eq!(
-                    (s.level, s.generated, s.kept),
-                    (m.level, m.generated, m.kept)
-                );
+            assert!(!cache.is_empty(), "sweep must populate the shared cache");
+        }
+    }
+
+    /// Fan-out must keep per-level timing populated: every explored level of
+    /// every scorer reports a nonzero duration even when scorers run on
+    /// worker threads.
+    #[test]
+    fn fanned_out_level_stats_keep_durations() {
+        let d = german(400, 70);
+        let table = generate_predicates(&d, 4);
+        let config = LatticeConfig {
+            support_threshold: 0.04,
+            ..Default::default()
+        };
+        let labels = d.labels().to_vec();
+        let cache = CoverageCache::new();
+        let mut s1 = toy_score(&labels);
+        let mut s2 = toy_score(&labels);
+        let mut s3 = toy_score(&labels);
+        let mut scorers: Vec<ScoreFn<'_>> =
+            vec![Box::new(&mut s1), Box::new(&mut s2), Box::new(&mut s3)];
+        let results = compute_candidates_multi(&table, &mut scorers, &config, &cache, 4);
+        for (_, stats) in &results {
+            assert!(!stats.levels.is_empty());
+            for level in &stats.levels {
+                if level.generated > 0 {
+                    assert!(
+                        level.duration > Duration::ZERO,
+                        "level {} scored {} candidates but reports zero duration",
+                        level.level,
+                        level.generated
+                    );
+                }
             }
         }
-        assert!(!cache.is_empty(), "sweep must populate the shared cache");
     }
 }

@@ -1,0 +1,75 @@
+//! Cold-sweep benchmark: the staged lattice engine on a single cold query.
+//!
+//! Measures one full staged sweep — predicate-index filter, parallel
+//! structural merge pass, and a single influence-scored scoring pass — on
+//! German and Adult at 10k rows, with the structural pass chunked across 1
+//! vs 4 workers. Every iteration builds a fresh coverage cache, index, and
+//! structural artifact, so each sample is genuinely cold (nothing is
+//! amortized across iterations, unlike the session benches). On a >=4-core
+//! host the 4-thread arm's structural phase shrinks with cores
+//! (`tests/staged_sweep.rs` asserts it); on a 1-core container the arms
+//! converge, showing the chunked pass adds no overhead over the inline
+//! loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gopher_bench::workloads::{prepare, train_lr, DatasetKind};
+use gopher_fairness::FairnessMetric;
+use gopher_influence::{BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine};
+use gopher_patterns::lattice::compute_candidates_multi;
+use gopher_patterns::{
+    generate_predicates, CoverageCache, LatticeConfig, PredicateIndex, ScoreFn, SweepStructure,
+};
+
+fn bench_cold_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cold_sweep_10k");
+    group.sample_size(10);
+
+    for kind in [DatasetKind::German, DatasetKind::Adult] {
+        let p = prepare(kind, 10_000, 42);
+        let model = train_lr(&p);
+        let engine = InfluenceEngine::new(model, &p.train, InfluenceConfig::default());
+        let bi = BiasInfluence::new(&engine, FairnessMetric::StatisticalParity, &p.test);
+        let table = generate_predicates(&p.train_raw, 4);
+        let config = LatticeConfig {
+            support_threshold: 0.05,
+            max_predicates: 3,
+            ..Default::default()
+        };
+
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_threads", kind.name()), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        let cache = CoverageCache::new();
+                        let index = PredicateIndex::build(&table, &cache);
+                        let structure = SweepStructure::build(&index, &config);
+                        let mut score = |cov: &gopher_patterns::BitSet| {
+                            let rows = cov.to_indices();
+                            bi.responsibility(
+                                &p.train,
+                                &rows,
+                                Estimator::SecondOrder,
+                                BiasEval::ChainRule,
+                            )
+                        };
+                        let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut score)];
+                        compute_candidates_multi(
+                            &table,
+                            &mut scorers,
+                            &config,
+                            &cache,
+                            &structure,
+                            threads,
+                        )
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cold_sweep);
+criterion_main!(benches);

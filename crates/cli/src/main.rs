@@ -83,6 +83,11 @@ EXPLAIN/QUERY OPTIONS:
                             ground_truth, bias_eval (chain-rule |
                             re-eval-smooth | re-eval-hard), containment.
                             Omitted fields fall back to the flags above.
+    --stats                 (query) wrap the output as {\"responses\": [...],
+                            \"session_stats\": {...}} with the session's cache
+                            counters: scored-sweep, structure (the
+                            metric-independent tier), and coverage
+                            hit/miss/eviction rates
 
 EXAMPLES:
     gopher explain --data german --k 3 --json
@@ -133,6 +138,7 @@ struct Opts {
     l2: f64,
     threads: usize,
     json: bool,
+    stats: bool,
     k: usize,
     support: f64,
     max_predicates: usize,
@@ -157,6 +163,7 @@ impl Default for Opts {
             l2: 1e-3,
             threads: 0,
             json: false,
+            stats: false,
             k: 3,
             support: 0.05,
             max_predicates: 3,
@@ -208,6 +215,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
         match flag.as_str() {
             "--help" | "-h" => return Err(UsageError::Help),
             "--json" => opts.json = true,
+            "--stats" => opts.stats = true,
             "--ground-truth" => opts.ground_truth = true,
             "--data" => opts.data = value("--data")?.clone(),
             "--csv" => opts.csv = Some(value("--csv")?.clone()),
@@ -241,6 +249,12 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
     }
     if opts.csv.is_none() && opts.rows < 20 {
         return Err(bad("--rows must be at least 20"));
+    }
+    if !(0.0..1.0).contains(&opts.support) {
+        return Err(bad("--support must be in [0, 1)"));
+    }
+    if opts.max_predicates == 0 {
+        return Err(bad("--max-predicates must be positive"));
     }
     // Reports record the seed as a JSON number; above 2^53 that round-trips
     // through f64 lossily and the printed seed would not reproduce the run.
@@ -399,7 +413,17 @@ fn exec<M: Model>(
             let session = fit_session(opts, train, test, make_model);
             let responses = session.explain_batch(&requests);
             let array: Vec<Json> = responses.iter().map(|r| explain_json(opts, r)).collect();
-            format!("{}\n", Json::Arr(array))
+            if opts.stats {
+                format!(
+                    "{}\n",
+                    Json::obj([
+                        ("responses", Json::Arr(array)),
+                        ("session_stats", session_stats_json(&session.stats())),
+                    ])
+                )
+            } else {
+                format!("{}\n", Json::Arr(array))
+            }
         }
     };
     emit(&output);
@@ -443,6 +467,40 @@ fn base_request(opts: &Opts) -> ExplainRequest {
         .with_ground_truth(opts.ground_truth);
     request.bias_eval = BiasEval::ChainRule;
     request
+}
+
+/// The `--stats` block: every cache-layer counter a serving deployment
+/// watches, straight from [`ExplainSession::stats`].
+fn session_stats_json(stats: &gopher_core::SessionStats) -> Json {
+    Json::obj([
+        ("threads", Json::num(stats.threads as f64)),
+        ("sweep_entries", Json::num(stats.sweep_entries as f64)),
+        ("sweep_cache_cap", Json::num(stats.sweep_cache_cap as f64)),
+        ("sweep_hits", Json::num(stats.sweep_hits as f64)),
+        ("sweep_misses", Json::num(stats.sweep_misses as f64)),
+        ("sweep_evictions", Json::num(stats.sweep_evictions as f64)),
+        (
+            "structure_entries",
+            Json::num(stats.structure_entries as f64),
+        ),
+        (
+            "structure_cache_cap",
+            Json::num(stats.structure_cache_cap as f64),
+        ),
+        ("structure_hits", Json::num(stats.structure_hits as f64)),
+        ("structure_misses", Json::num(stats.structure_misses as f64)),
+        (
+            "structure_evictions",
+            Json::num(stats.structure_evictions as f64),
+        ),
+        ("cached_coverages", Json::num(stats.cached_coverages as f64)),
+        ("coverage_hits", Json::num(stats.coverage_hits as f64)),
+        ("coverage_misses", Json::num(stats.coverage_misses as f64)),
+        (
+            "coverage_inserts_refused",
+            Json::num(stats.coverage_inserts_refused as f64),
+        ),
+    ])
 }
 
 // ----------------------------------------------------------------- query

@@ -177,6 +177,58 @@ fn query_answers_batched_requests_from_one_session() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `query --stats` wraps the responses with the session's cache counters.
+/// A batch mixing four metrics over one structural configuration must show
+/// the two-tier split: four scored-sweep misses but a single structure
+/// fetch — the whole batch shares one multi-scorer sweep, so pattern
+/// enumeration and coverage intersection ran once for all four metrics.
+#[test]
+fn query_stats_block_shows_cross_metric_structure_reuse() {
+    let dir = std::env::temp_dir().join(format!("gopher-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let requests = dir.join("requests.json");
+    std::fs::write(
+        &requests,
+        r#"[
+            {"metric": "statistical-parity", "k": 2},
+            {"metric": "equal-opportunity", "k": 2},
+            {"metric": "predictive-parity", "k": 2},
+            {"metric": "average-odds", "k": 2}
+        ]"#,
+    )
+    .unwrap();
+    let out = run_json(&[
+        "query",
+        "--requests",
+        requests.to_str().unwrap(),
+        "--data",
+        "german",
+        "--rows",
+        "400",
+        "--threads",
+        "4",
+        "--stats",
+    ]);
+    let responses = out
+        .get("responses")
+        .and_then(Json::as_arr)
+        .expect("--stats wraps the response array");
+    assert_eq!(responses.len(), 4);
+    let stats = out.get("session_stats").expect("--stats adds the block");
+    let counter = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap();
+    assert_eq!(counter("threads"), 4.0);
+    assert_eq!(counter("sweep_misses"), 4.0, "four distinct scoring keys");
+    assert_eq!(
+        counter("structure_misses"),
+        1.0,
+        "one structural key: the batch shares one artifact fetch"
+    );
+    assert_eq!(counter("structure_entries"), 1.0);
+    assert!(counter("cached_coverages") > 0.0);
+    assert_eq!(counter("coverage_inserts_refused"), 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn query_rejects_malformed_requests() {
     let out = gopher(&["query", "--data", "german", "--rows", "300"]);
@@ -251,6 +303,12 @@ fn usage_errors_exit_with_code_2() {
     // Seeds above 2^53 would be recorded lossily in the JSON report.
     let out = gopher(&["explain", "--seed", "18446744073709551615"]);
     assert_eq!(out.status.code(), Some(2));
+
+    // An out-of-range support threshold is a usage error, not a panic in
+    // the lattice (the artifact builder asserts the same bound internally).
+    let out = gopher(&["explain", "--support", "1.5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--support"));
 }
 
 #[test]

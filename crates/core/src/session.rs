@@ -55,9 +55,10 @@ use gopher_models::train::fit_default;
 use gopher_models::Model;
 use gopher_patterns::{
     generate_predicates, lattice, topk, BitSet, Candidate, CoverageCache, LatticeConfig,
-    PredicateTable, ScoreFn, SearchStats,
+    PredicateIndex, PredicateTable, ScoreFn, SearchStats, SweepStructure,
 };
 use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -113,6 +114,7 @@ pub struct SessionBuilder {
     influence: InfluenceConfig,
     threads: usize,
     sweep_cache_cap: usize,
+    structure_cache_cap: usize,
 }
 
 impl Default for SessionBuilder {
@@ -124,13 +126,14 @@ impl Default for SessionBuilder {
 impl SessionBuilder {
     /// Default session options (4 quantile bins per numeric feature,
     /// default influence-engine parameters, automatic thread count,
-    /// 256-entry sweep cache).
+    /// 256-entry scored sweep cache, 64-entry structure cache).
     pub fn new() -> Self {
         Self {
             max_bins: 4,
             influence: InfluenceConfig::default(),
             threads: 0,
             sweep_cache_cap: SWEEP_CACHE_CAP,
+            structure_cache_cap: STRUCTURE_CACHE_CAP,
         }
     }
 
@@ -159,12 +162,23 @@ impl SessionBuilder {
         self
     }
 
-    /// Retention bound of the sweep cache (finished lattice sweeps), in
-    /// entries. Past the cap the least-recently-used sweep is evicted; `0`
-    /// disables retention entirely (every query recomputes its sweep).
+    /// Retention bound of the scored sweep cache (finished lattice sweeps),
+    /// in entries. Past the cap the least-recently-used sweep is evicted;
+    /// `0` disables retention entirely (every query recomputes its sweep).
     #[must_use]
     pub fn sweep_cache_cap(mut self, cap: usize) -> Self {
         self.sweep_cache_cap = cap;
+        self
+    }
+
+    /// Retention bound of the structure cache (the metric-independent
+    /// structural artifact per `(τ, depth, pruning)` configuration —
+    /// per-level candidates with shared coverages and supports). Past the
+    /// cap the least-recently-used artifact is evicted; `0` disables
+    /// retention (every sweep rebuilds its structural phase).
+    #[must_use]
+    pub fn structure_cache_cap(mut self, cap: usize) -> Self {
+        self.structure_cache_cap = cap;
         self
     }
 
@@ -190,6 +204,10 @@ impl SessionBuilder {
         );
         let engine = InfluenceEngine::new(model, &train, self.influence.clone());
         let table = generate_predicates(train_raw, self.max_bins);
+        let coverage = CoverageCache::new();
+        // Materialize every predicate's coverage once, up front: sweeps at
+        // any support threshold or metric start from these shared bitsets.
+        let index = PredicateIndex::build(&table, &coverage);
         let accuracy = gopher_models::train::accuracy(engine.model(), &test);
         ExplainSession {
             train_raw: train_raw.clone(),
@@ -198,11 +216,13 @@ impl SessionBuilder {
             test,
             engine,
             table,
+            index,
             accuracy,
             threads: resolve_threads(self.threads),
-            coverage: CoverageCache::new(),
+            coverage,
             bias_cache: Mutex::new(HashMap::new()),
-            sweep_cache: Mutex::new(SweepCache::new(self.sweep_cache_cap)),
+            sweep_cache: Mutex::new(LruCache::new(self.sweep_cache_cap)),
+            structure_cache: Mutex::new(LruCache::new(self.structure_cache_cap)),
         }
     }
 
@@ -322,42 +342,59 @@ pub struct ExplainResponse {
     pub query_time: Duration,
 }
 
-/// Hashable identity of a lattice sweep: its structural parameters plus the
-/// scoring function (metric × estimator × bias-eval). Two requests with the
-/// same `SweepKey` share one `compute_candidates` result exactly.
+/// Hashable identity of the *structural* half of a lattice sweep: the
+/// parameters candidate enumeration depends on, none of the scoring. Two
+/// requests with the same `StructuralKey` share one [`SweepStructure`]
+/// artifact — pattern enumeration, coverage intersection, and support
+/// counting run once across all their metrics, estimators, and bias-evals.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-struct SweepKey {
+struct StructuralKey {
     support_bits: u64,
     max_predicates: usize,
     prune_by_responsibility: bool,
     max_level_candidates: Option<usize>,
+}
+
+impl StructuralKey {
+    fn of(lattice: &LatticeConfig) -> Self {
+        Self {
+            support_bits: lattice.support_threshold.to_bits(),
+            max_predicates: lattice.max_predicates,
+            prune_by_responsibility: lattice.prune_by_responsibility,
+            max_level_candidates: lattice.max_level_candidates,
+        }
+    }
+}
+
+/// Hashable identity of the *scoring* half of a sweep: the metric ×
+/// estimator × bias-eval triple that turns a coverage into a responsibility.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ScoringKey {
     metric: FairnessMetric,
     estimator: (u8, u64),
     bias_eval: BiasEval,
 }
 
+/// Full identity of a scored sweep: structural part + scoring part. Two
+/// requests with the same `SweepKey` share one scored `compute_candidates`
+/// result exactly; requests agreeing only on the structural part still
+/// share the structural artifact (the cheaper tier to miss).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SweepKey {
+    structural: StructuralKey,
+    scoring: ScoringKey,
+}
+
 impl SweepKey {
     fn of(req: &ExplainRequest) -> Self {
         Self {
-            support_bits: req.lattice.support_threshold.to_bits(),
-            max_predicates: req.lattice.max_predicates,
-            prune_by_responsibility: req.lattice.prune_by_responsibility,
-            max_level_candidates: req.lattice.max_level_candidates,
-            metric: req.metric,
-            estimator: estimator_key(req.estimator),
-            bias_eval: req.bias_eval,
+            structural: StructuralKey::of(&req.lattice),
+            scoring: ScoringKey {
+                metric: req.metric,
+                estimator: estimator_key(req.estimator),
+                bias_eval: req.bias_eval,
+            },
         }
-    }
-
-    /// The structural (scoring-independent) part, for grouping requests that
-    /// can share one multi-scorer sweep.
-    fn structural(&self) -> (u64, usize, bool, Option<usize>) {
-        (
-            self.support_bits,
-            self.max_predicates,
-            self.prune_by_responsibility,
-            self.max_level_candidates,
-        )
     }
 }
 
@@ -370,14 +407,20 @@ fn estimator_key(e: Estimator) -> (u8, u64) {
     }
 }
 
-/// Default cap on retained sweep results. A sweep's candidate vector is the
-/// largest thing a session caches, so — like the coverage cache — retention
-/// is bounded: past the cap, the least-recently-used sweep is evicted
-/// (tunable via [`SessionBuilder::sweep_cache_cap`]).
+/// Default cap on retained scored sweep results. A sweep's candidate vector
+/// is the largest thing a session caches, so — like the coverage cache —
+/// retention is bounded: past the cap, the least-recently-used sweep is
+/// evicted (tunable via [`SessionBuilder::sweep_cache_cap`]).
 const SWEEP_CACHE_CAP: usize = 256;
 
-/// A finished lattice sweep, cached per [`SweepKey`] for the session's
-/// lifetime (candidates are pure functions of the trained model).
+/// Default cap on retained structural artifacts. One artifact exists per
+/// structural configuration (support τ × depth × pruning), which an analyst
+/// turns far less often than metrics or estimators (tunable via
+/// [`SessionBuilder::structure_cache_cap`]).
+const STRUCTURE_CACHE_CAP: usize = 64;
+
+/// A finished scored lattice sweep, cached per [`SweepKey`] for the
+/// session's lifetime (candidates are pure functions of the trained model).
 struct SweepResult {
     candidates: Vec<Candidate>,
     stats: SearchStats,
@@ -386,11 +429,13 @@ struct SweepResult {
     duration: Duration,
 }
 
-/// LRU-bounded map of finished sweeps with hit/miss/eviction counters (the
+/// LRU-bounded map with hit/miss/eviction counters, backing both cache
+/// tiers: scored sweeps ([`SweepKey`] → [`SweepResult`]) and structural
+/// artifacts ([`StructuralKey`] → [`SweepStructure`]). The counters are the
 /// serving deployment's observability surface — see
-/// [`ExplainSession::stats`]).
-struct SweepCache {
-    entries: HashMap<SweepKey, SweepSlot>,
+/// [`ExplainSession::stats`].
+struct LruCache<K, V> {
+    entries: HashMap<K, LruSlot<V>>,
     /// Logical clock bumped on every access; slots carry the tick of their
     /// last use, and eviction removes the minimum.
     tick: u64,
@@ -400,12 +445,12 @@ struct SweepCache {
     evictions: u64,
 }
 
-struct SweepSlot {
-    sweep: Arc<SweepResult>,
+struct LruSlot<V> {
+    value: V,
     last_used: u64,
 }
 
-impl SweepCache {
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     fn new(cap: usize) -> Self {
         Self {
             entries: HashMap::new(),
@@ -418,13 +463,13 @@ impl SweepCache {
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing recency.
-    fn lookup(&mut self, key: &SweepKey) -> Option<Arc<SweepResult>> {
+    fn lookup(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         match self.entries.get_mut(key) {
             Some(slot) => {
                 slot.last_used = self.tick;
                 self.hits += 1;
-                Some(Arc::clone(&slot.sweep))
+                Some(slot.value.clone())
             }
             None => {
                 self.misses += 1;
@@ -434,19 +479,19 @@ impl SweepCache {
     }
 
     /// Like [`Self::lookup`] but without touching the hit/miss counters:
-    /// used when re-reading a key the same batch already counted.
-    fn get_quiet(&mut self, key: &SweepKey) -> Option<Arc<SweepResult>> {
+    /// used when re-reading a key the caller already counted.
+    fn get_quiet(&mut self, key: &K) -> Option<V> {
         self.tick += 1;
         let tick = self.tick;
         self.entries.get_mut(key).map(|slot| {
             slot.last_used = tick;
-            Arc::clone(&slot.sweep)
+            slot.value.clone()
         })
     }
 
     /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
     /// if the cache is at capacity. With `cap == 0` nothing is retained.
-    fn insert(&mut self, key: SweepKey, sweep: Arc<SweepResult>) {
+    fn insert(&mut self, key: K, value: V) {
         if self.cap == 0 {
             return;
         }
@@ -464,32 +509,51 @@ impl SweepCache {
         }
         self.entries.insert(
             key,
-            SweepSlot {
-                sweep,
+            LruSlot {
+                value,
                 last_used: self.tick,
             },
         );
     }
 }
 
-/// Counters a serving deployment watches: sweep-cache effectiveness and the
+/// Counters a serving deployment watches: effectiveness of all three cache
+/// layers (scored sweeps, structural artifacts, coverage bitsets) and the
 /// session's parallelism. Snapshot via [`ExplainSession::stats`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SessionStats {
     /// Worker threads the session fans batched queries across.
     pub threads: usize,
-    /// Finished sweeps currently retained.
+    /// Finished scored sweeps currently retained.
     pub sweep_entries: usize,
-    /// Capacity bound on retained sweeps (LRU past this).
+    /// Capacity bound on retained scored sweeps (LRU past this).
     pub sweep_cache_cap: usize,
-    /// Requests answered from a cached sweep.
+    /// Requests answered from a cached scored sweep.
     pub sweep_hits: u64,
-    /// Requests that had to run (or re-run) their sweep.
+    /// Requests that had to run (or re-run) their scored sweep.
     pub sweep_misses: u64,
-    /// Sweeps evicted to respect the cap.
+    /// Scored sweeps evicted to respect the cap.
     pub sweep_evictions: u64,
+    /// Structural artifacts currently retained (one per structural config).
+    pub structure_entries: usize,
+    /// Capacity bound on retained structural artifacts.
+    pub structure_cache_cap: usize,
+    /// Sweeps that reused a cached structural artifact — pattern
+    /// enumeration, coverage intersection, and support counting skipped.
+    pub structure_hits: u64,
+    /// Sweeps that had to build (or rebuild) their structural artifact.
+    pub structure_misses: u64,
+    /// Structural artifacts evicted to respect the cap.
+    pub structure_evictions: u64,
     /// Materialized pattern coverages shared across sweeps.
     pub cached_coverages: usize,
+    /// Coverage-cache lookups answered without intersecting.
+    pub coverage_hits: u64,
+    /// Coverage-cache lookups that computed their intersection.
+    pub coverage_misses: u64,
+    /// Fresh coverages the coverage-cache cap refused to retain (nonzero
+    /// means the cap is too small for the workload).
+    pub coverage_inserts_refused: u64,
 }
 
 /// A long-lived explainer bound to one trained model.
@@ -507,11 +571,17 @@ pub struct ExplainSession<M: Model> {
     test: Encoded,
     engine: InfluenceEngine<M>,
     table: PredicateTable,
+    /// Every predicate's coverage bitset, materialized once at build.
+    index: PredicateIndex,
     accuracy: f64,
     threads: usize,
     coverage: CoverageCache,
     bias_cache: Mutex<HashMap<FairnessMetric, BiasPrecomp>>,
-    sweep_cache: Mutex<SweepCache>,
+    /// Tier 2: finished scored sweeps, keyed by structural × scoring.
+    sweep_cache: Mutex<LruCache<SweepKey, Arc<SweepResult>>>,
+    /// Tier 1: structural artifacts, keyed by structural config alone and
+    /// reused across metrics, estimators, and bias evaluations.
+    structure_cache: Mutex<LruCache<StructuralKey, Arc<SweepStructure>>>,
 }
 
 impl<M: Model> ExplainSession<M> {
@@ -561,18 +631,31 @@ impl<M: Model> ExplainSession<M> {
         self.threads
     }
 
-    /// Snapshot of the session's serving counters: sweep-cache hits, misses,
-    /// evictions, retained entries, and the thread count.
+    /// Snapshot of the session's serving counters: hits, misses, and
+    /// evictions of the scored sweep cache, the structure cache, and the
+    /// coverage cache, plus retained entries and the thread count.
     pub fn stats(&self) -> SessionStats {
-        let cache = lock_recover(&self.sweep_cache);
+        let coverage = self.coverage.stats();
+        // No query path ever holds both cache locks at once, so taking both
+        // here cannot deadlock against a running batch.
+        let sweep = lock_recover(&self.sweep_cache);
+        let structure = lock_recover(&self.structure_cache);
         SessionStats {
             threads: self.threads,
-            sweep_entries: cache.entries.len(),
-            sweep_cache_cap: cache.cap,
-            sweep_hits: cache.hits,
-            sweep_misses: cache.misses,
-            sweep_evictions: cache.evictions,
-            cached_coverages: self.coverage.len(),
+            sweep_entries: sweep.entries.len(),
+            sweep_cache_cap: sweep.cap,
+            sweep_hits: sweep.hits,
+            sweep_misses: sweep.misses,
+            sweep_evictions: sweep.evictions,
+            structure_entries: structure.entries.len(),
+            structure_cache_cap: structure.cap,
+            structure_hits: structure.hits,
+            structure_misses: structure.misses,
+            structure_evictions: structure.evictions,
+            cached_coverages: coverage.entries,
+            coverage_hits: coverage.hits,
+            coverage_misses: coverage.misses,
+            coverage_inserts_refused: coverage.inserts_refused,
         }
     }
 
@@ -633,13 +716,13 @@ impl<M: Model> ExplainSession<M> {
         let mut fresh: HashSet<SweepKey> = missing.iter().map(|(k, _)| k.clone()).collect();
 
         struct Group<'r> {
-            structural: (u64, usize, bool, Option<usize>),
+            structural: StructuralKey,
             lattice: LatticeConfig,
             members: Vec<(SweepKey, &'r ExplainRequest)>,
         }
         let mut structural_groups: Vec<Group<'_>> = Vec::new();
         for (key, req) in missing {
-            let structural = key.structural();
+            let structural = key.structural.clone();
             match structural_groups
                 .iter_mut()
                 .find(|g| g.structural == structural)
@@ -711,6 +794,26 @@ impl<M: Model> ExplainSession<M> {
         self.run_sweeps_with(lattice_cfg, members, self.threads)
     }
 
+    /// The structural artifact for one lattice configuration, through the
+    /// structure cache: a hit returns the shared [`SweepStructure`] (its
+    /// resolved merges reused as-is); a miss builds a fresh one from the
+    /// session's predicate index and retains it subject to the LRU bound.
+    fn structure_for(&self, lattice_cfg: &LatticeConfig) -> Arc<SweepStructure> {
+        let key = StructuralKey::of(lattice_cfg);
+        if let Some(hit) = lock_recover(&self.structure_cache).lookup(&key) {
+            return hit;
+        }
+        // Build outside the lock; on a race, keep the first artifact so
+        // concurrent queries keep sharing one set of resolved merges.
+        let fresh = Arc::new(SweepStructure::build(&self.index, lattice_cfg));
+        let mut cache = lock_recover(&self.structure_cache);
+        if let Some(raced) = cache.get_quiet(&key) {
+            return raced;
+        }
+        cache.insert(key, Arc::clone(&fresh));
+        fresh
+    }
+
     /// Runs one multi-scorer sweep for all `members` (same structural
     /// lattice config, distinct scoring), fanning the per-member scorer
     /// passes across up to `threads` workers (the batched path splits the
@@ -722,6 +825,7 @@ impl<M: Model> ExplainSession<M> {
         members: &[(SweepKey, &ExplainRequest)],
         threads: usize,
     ) -> Vec<(SweepKey, Arc<SweepResult>)> {
+        let structure = self.structure_for(lattice_cfg);
         let bis: Vec<BiasInfluence<'_, M>> = members
             .iter()
             .map(|(_, req)| {
@@ -751,6 +855,7 @@ impl<M: Model> ExplainSession<M> {
             &mut scorers,
             lattice_cfg,
             &self.coverage,
+            &structure,
             threads,
         );
         let mut fresh_sweeps = Vec::with_capacity(members.len());
@@ -1172,17 +1277,74 @@ mod tests {
         let initial = s.stats();
         assert_eq!(initial.threads, 3);
         assert_eq!(initial.sweep_cache_cap, SWEEP_CACHE_CAP);
+        assert_eq!(initial.structure_cache_cap, STRUCTURE_CACHE_CAP);
         assert_eq!((initial.sweep_hits, initial.sweep_misses), (0, 0));
+        assert_eq!((initial.structure_hits, initial.structure_misses), (0, 0));
+        // The predicate index materializes every singleton at build.
+        assert!(initial.cached_coverages > 0);
+        assert!(initial.coverage_misses > 0);
         let req = ExplainRequest::default().with_ground_truth(false);
         let _ = s.explain(&req);
         let cold = s.stats();
         assert_eq!(cold.sweep_misses, 1);
         assert_eq!(cold.sweep_entries, 1);
-        assert!(cold.cached_coverages > 0);
+        assert_eq!(cold.structure_misses, 1);
+        assert_eq!(cold.structure_entries, 1);
+        assert!(cold.cached_coverages > initial.cached_coverages);
         let _ = s.explain(&req);
         let warm = s.stats();
         assert_eq!(warm.sweep_hits, cold.sweep_hits + 1);
         assert_eq!(warm.sweep_misses, cold.sweep_misses);
+        // A scored-cache hit never reaches the structure tier.
+        assert_eq!(warm.structure_hits, cold.structure_hits);
+        assert_eq!(warm.structure_misses, cold.structure_misses);
+    }
+
+    /// The two-tier split's whole point: a second metric over the same
+    /// structural knobs misses the scored tier but hits the structure tier —
+    /// pattern enumeration and coverage intersection run once for both.
+    #[test]
+    fn second_metric_hits_the_structure_cache() {
+        let s = session(500, 50);
+        let _ = s.explain(&ExplainRequest::default().with_ground_truth(false));
+        let after_first = s.stats();
+        assert_eq!(
+            (after_first.structure_misses, after_first.structure_hits),
+            (1, 0)
+        );
+        let _ = s.explain(
+            &ExplainRequest::default()
+                .with_metric(FairnessMetric::EqualOpportunity)
+                .with_ground_truth(false),
+        );
+        let after_second = s.stats();
+        assert_eq!(after_second.sweep_misses, 2, "distinct scoring keys");
+        assert_eq!(after_second.structure_misses, 1, "shared structural key");
+        assert_eq!(after_second.structure_hits, 1);
+        // A different support threshold is a different structural key.
+        let _ = s.explain(
+            &ExplainRequest::default()
+                .with_support_threshold(0.08)
+                .with_ground_truth(false),
+        );
+        let after_third = s.stats();
+        assert_eq!(after_third.structure_misses, 2);
+        assert_eq!(after_third.structure_entries, 2);
+    }
+
+    #[test]
+    fn structure_cache_cap_zero_disables_retention() {
+        let s = session_with(400, 51, SessionBuilder::new().structure_cache_cap(0));
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let _ = s.explain(&req);
+        let _ = s.explain(&req.clone().with_metric(FairnessMetric::EqualOpportunity));
+        let stats = s.stats();
+        assert_eq!(stats.structure_entries, 0, "nothing retained at cap 0");
+        assert_eq!(stats.structure_misses, 2, "every sweep rebuilds");
+        // Results are still correct — retention is an optimization only.
+        let reference = session(400, 51).explain(&req);
+        let again = s.explain(&req);
+        assert_reports_equal(&again.report, &reference.report);
     }
 
     /// The builder's `threads` knob and `GOPHER_THREADS` must not change

@@ -27,10 +27,38 @@ impl Column {
     }
 
     /// The value at `row`.
+    ///
+    /// Convenient for one-off access, but it re-branches on the column kind
+    /// per call — loops over rows should hoist the branch once via
+    /// [`Self::as_categorical`] / [`Self::as_numeric`] and index the typed
+    /// slice directly.
     pub fn value(&self, row: usize) -> Value {
         match self {
             Self::Categorical(v) => Value::Level(v[row]),
             Self::Numeric(v) => Value::Number(v[row]),
+        }
+    }
+
+    /// The level indices of a categorical column as a typed slice.
+    ///
+    /// # Panics
+    /// If the column is numeric (callers dispatch on the schema kind first;
+    /// a mismatch is a programming error, as in [`Value::as_level`]).
+    pub fn as_categorical(&self) -> &[u32] {
+        match self {
+            Self::Categorical(v) => v,
+            Self::Numeric(_) => panic!("column is numeric, not categorical"),
+        }
+    }
+
+    /// The raw values of a numeric column as a typed slice.
+    ///
+    /// # Panics
+    /// If the column is categorical.
+    pub fn as_numeric(&self) -> &[f64] {
+        match self {
+            Self::Numeric(v) => v,
+            Self::Categorical(_) => panic!("column is categorical, not numeric"),
         }
     }
 }
@@ -349,6 +377,27 @@ mod tests {
         assert_eq!(d.value(1, 0), Value::Level(1));
         assert_eq!(d.value(2, 1), Value::Number(40.0));
         assert_eq!(d.positive_rate(), 0.5);
+    }
+
+    #[test]
+    fn typed_accessors_return_slices() {
+        let d = toy();
+        assert_eq!(d.column(0).as_categorical(), &[0, 1, 0, 1]);
+        assert_eq!(d.column(1).as_numeric(), &[20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column is numeric")]
+    fn as_categorical_rejects_numeric_columns() {
+        let d = toy();
+        let _ = d.column(1).as_categorical();
+    }
+
+    #[test]
+    #[should_panic(expected = "column is categorical")]
+    fn as_numeric_rejects_categorical_columns() {
+        let d = toy();
+        let _ = d.column(0).as_numeric();
     }
 
     #[test]

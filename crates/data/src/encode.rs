@@ -11,7 +11,7 @@
 //! * categorical features become a full one-hot block, whose nearest valid
 //!   point under L2 is "argmax coordinate gets 1, rest get 0".
 
-use crate::dataset::{Column, Dataset, Value};
+use crate::dataset::{Dataset, Value};
 use crate::schema::FeatureKind;
 use gopher_linalg::Matrix;
 
@@ -144,8 +144,8 @@ impl Encoder {
         let mut groups = Vec::with_capacity(train.n_features());
         let mut next_col = 0usize;
         for (f_idx, feat) in train.schema().features().iter().enumerate() {
-            match (&feat.kind, train.column(f_idx)) {
-                (FeatureKind::Categorical { levels }, Column::Categorical(_)) => {
+            match &feat.kind {
+                FeatureKind::Categorical { levels } => {
                     groups.push(EncodedGroup::OneHot {
                         feature: f_idx,
                         first_col: next_col,
@@ -153,7 +153,8 @@ impl Encoder {
                     });
                     next_col += levels.len();
                 }
-                (FeatureKind::Numeric, Column::Numeric(vals)) => {
+                FeatureKind::Numeric => {
+                    let vals = train.column(f_idx).as_numeric();
                     let mean = gopher_linalg::vecops::mean(vals);
                     let std = gopher_linalg::vecops::variance(vals).sqrt().max(MIN_STD);
                     let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -177,7 +178,6 @@ impl Encoder {
                     });
                     next_col += 1;
                 }
-                _ => unreachable!("dataset validated against schema"),
             }
         }
         Encoder {
@@ -215,9 +215,7 @@ impl Encoder {
                     first_col,
                     n_levels,
                 } => {
-                    let Column::Categorical(vals) = data.column(*feature) else {
-                        panic!("transform: expected categorical column {feature}");
-                    };
+                    let vals = data.column(*feature).as_categorical();
                     for (r, &lvl) in vals.iter().enumerate() {
                         assert!(
                             (lvl as usize) < *n_levels,
@@ -233,9 +231,7 @@ impl Encoder {
                     std,
                     ..
                 } => {
-                    let Column::Numeric(vals) = data.column(*feature) else {
-                        panic!("transform: expected numeric column {feature}");
-                    };
+                    let vals = data.column(*feature).as_numeric();
                     for (r, &v) in vals.iter().enumerate() {
                         x[(r, *col)] = (v - mean) / std;
                     }
@@ -326,6 +322,7 @@ impl Encoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Column;
     use crate::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
 
     fn toy() -> Dataset {

@@ -3,6 +3,17 @@
 /// A fixed-capacity bitset over row indices `0..len`, packed into `u64`
 /// words. Pattern coverage sets are intersected constantly during the
 /// lattice search, so `and`/`count` work word-at-a-time.
+///
+/// # Out-of-range indices: `insert` panics, `contains` answers `false`
+///
+/// The asymmetry is deliberate. Inserting an index `>= len` is always a
+/// bug — the universe is the training set, silently dropping (or worse,
+/// growing for) a row would corrupt every downstream support count — so
+/// [`BitSet::insert`] (and therefore [`BitSet::from_indices`]) panics.
+/// *Querying* any index is well-defined, though: a row outside the universe
+/// is simply not a member, so [`BitSet::contains`] answers `false` rather
+/// than forcing every caller holding ids from a wider universe to
+/// range-check first.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BitSet {
     words: Vec<u64>,
@@ -19,6 +30,9 @@ impl BitSet {
     }
 
     /// A set over `len` rows with the given members.
+    ///
+    /// # Panics
+    /// If any index is `>= len` (see [`BitSet::insert`]).
     pub fn from_indices(len: usize, indices: &[u32]) -> Self {
         let mut s = Self::new(len);
         for &i in indices {
@@ -40,14 +54,17 @@ impl BitSet {
     /// Adds a row id.
     ///
     /// # Panics
-    /// If `i >= len` (debug builds index-check the word array anyway).
+    /// If `i >= len`: membership is only ever built from in-universe row
+    /// ids, so an out-of-range insert is a programming error (contrast
+    /// [`BitSet::contains`], where any query has a well-defined answer).
     #[inline]
     pub fn insert(&mut self, i: usize) {
         assert!(i < self.len, "bitset: index {i} out of range {}", self.len);
         self.words[i / 64] |= 1u64 << (i % 64);
     }
 
-    /// Membership test.
+    /// Membership test. Indices `>= len` are simply not members (`false`),
+    /// so callers holding ids from a wider universe need no range check.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
         if i >= self.len {

@@ -3,7 +3,7 @@
 use crate::bitset::BitSet;
 use crate::predicate::Predicate;
 use gopher_data::binning::Bins;
-use gopher_data::{Column, Dataset, FeatureKind};
+use gopher_data::{Dataset, FeatureKind};
 
 /// All candidate predicates over a dataset, each with its precomputed
 /// coverage bitset.
@@ -91,8 +91,11 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
     }
 
     for (f, feat) in data.schema().features().iter().enumerate() {
-        match (&feat.kind, data.column(f)) {
-            (FeatureKind::Categorical { levels }, Column::Categorical(vals)) => {
+        // Dispatch on the schema kind once per column, then scan the typed
+        // slice — the per-row loops below are the level-1 hot path.
+        match &feat.kind {
+            FeatureKind::Categorical { levels } => {
+                let vals = data.column(f).as_categorical();
                 for level in 0..levels.len() as u32 {
                     let mut cov = BitSet::new(n);
                     for (r, &v) in vals.iter().enumerate() {
@@ -109,7 +112,8 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
                     );
                 }
             }
-            (FeatureKind::Numeric, Column::Numeric(vals)) => {
+            FeatureKind::Numeric => {
+                let vals = data.column(f).as_numeric();
                 let bins = Bins::quantile(vals, max_bins);
                 for &t in bins.thresholds() {
                     let mut lt_cov = BitSet::new(n);
@@ -137,7 +141,6 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
                     );
                 }
             }
-            _ => unreachable!("dataset validated against schema"),
         }
     }
 
@@ -151,7 +154,10 @@ pub fn generate_predicates(data: &Dataset, max_bins: usize) -> PredicateTable {
             p.feature == f && matches!(p.value, crate::PredValue::Threshold(t) if t == cutoff)
         });
         if !already {
-            if let Column::Numeric(vals) = data.column(f) {
+            {
+                // `AtLeast` protected specs are validated numeric at dataset
+                // construction, so the typed accessor cannot panic here.
+                let vals = data.column(f).as_numeric();
                 let mut lt_cov = BitSet::new(n);
                 let mut ge_cov = BitSet::new(n);
                 for (r, &v) in vals.iter().enumerate() {
@@ -191,6 +197,7 @@ mod tests {
     use super::*;
     use gopher_data::generators::german;
     use gopher_data::schema::{Feature, PrivilegedIf, ProtectedSpec, Schema};
+    use gopher_data::Column;
 
     #[test]
     fn coverage_matches_matches() {

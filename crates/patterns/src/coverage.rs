@@ -15,12 +15,39 @@ use std::sync::{Arc, Mutex};
 /// (lookups still work), bounding memory on adversarial workloads.
 pub const DEFAULT_COVERAGE_CACHE_CAP: usize = 1 << 18;
 
+/// Observability counters of a [`CoverageCache`] (see
+/// [`CoverageCache::stats`]). All counters are cumulative since
+/// construction; `entries` is the current size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoverageCacheStats {
+    /// Coverages currently cached.
+    pub entries: usize,
+    /// Lookups answered from the cache (no intersection computed).
+    pub hits: u64,
+    /// Lookups that had to compute their intersection.
+    pub misses: u64,
+    /// Freshly computed coverages the cap refused to retain (the value is
+    /// still returned to the caller; the next ask recomputes it). A nonzero
+    /// count is the signal that the cap is too small for the workload.
+    pub inserts_refused: u64,
+}
+
+/// The map plus its counters, guarded by one mutex (counters are only
+/// meaningful relative to the map state they describe).
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<Box<[u16]>, Arc<BitSet>>,
+    hits: u64,
+    misses: u64,
+    inserts_refused: u64,
+}
+
 /// A concurrent map from sorted predicate-id keys to shared coverage
 /// bitsets. Coverage is a pure function of the predicate table, so entries
 /// never invalidate for the lifetime of the table the keys refer to.
 #[derive(Debug)]
 pub struct CoverageCache {
-    entries: Mutex<HashMap<Box<[u16]>, Arc<BitSet>>>,
+    inner: Mutex<CacheInner>,
     cap: usize,
 }
 
@@ -39,22 +66,22 @@ impl CoverageCache {
     /// An empty cache that stops inserting once `cap` entries are stored.
     pub fn with_capacity_cap(cap: usize) -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
+            inner: Mutex::new(CacheInner::default()),
             cap,
         }
     }
 
     /// Number of cached coverages.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.lock().entries.len()
     }
 
-    /// Locks the map, recovering from poisoning: entries are pure functions
-    /// of the predicate table and are only ever inserted fully built, so a
-    /// panicking scorer thread can never leave one half-written — the data
-    /// behind a poisoned guard is still valid.
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<Box<[u16]>, Arc<BitSet>>> {
-        self.entries.lock().unwrap_or_else(|e| e.into_inner())
+    /// Locks the cache, recovering from poisoning: entries are pure
+    /// functions of the predicate table and are only ever inserted fully
+    /// built, so a panicking scorer thread can never leave one half-written
+    /// — the data behind a poisoned guard is still valid.
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// True if nothing is cached yet.
@@ -62,25 +89,43 @@ impl CoverageCache {
         self.len() == 0
     }
 
+    /// Snapshot of the cache's hit/miss/insert-refused counters.
+    pub fn stats(&self) -> CoverageCacheStats {
+        let inner = self.lock();
+        CoverageCacheStats {
+            entries: inner.entries.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            inserts_refused: inner.inserts_refused,
+        }
+    }
+
     /// Returns the cached coverage for `ids` (sorted predicate ids), or
     /// computes it with `compute`, caches it (subject to the cap), and
     /// returns it.
     pub fn get_or_insert_with(&self, ids: &[u16], compute: impl FnOnce() -> BitSet) -> Arc<BitSet> {
         {
-            let entries = self.lock();
-            if let Some(hit) = entries.get(ids) {
-                return Arc::clone(hit);
+            let mut inner = self.lock();
+            if let Some(hit) = inner.entries.get(ids) {
+                let hit = Arc::clone(hit);
+                inner.hits += 1;
+                return hit;
             }
+            inner.misses += 1;
         }
         // Compute outside the lock: intersections are the expensive part and
         // concurrent queries must not serialize on them.
         let fresh = Arc::new(compute());
-        let mut entries = self.lock();
-        if let Some(hit) = entries.get(ids) {
+        let mut inner = self.lock();
+        if let Some(hit) = inner.entries.get(ids) {
             return Arc::clone(hit); // another query raced us; keep one copy
         }
-        if entries.len() < self.cap {
-            entries.insert(ids.to_vec().into_boxed_slice(), Arc::clone(&fresh));
+        if inner.entries.len() < self.cap {
+            inner
+                .entries
+                .insert(ids.to_vec().into_boxed_slice(), Arc::clone(&fresh));
+        } else {
+            inner.inserts_refused += 1;
         }
         fresh
     }
@@ -118,5 +163,27 @@ mod tests {
         // The uncached key recomputes on the next ask.
         let b2 = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
         assert_eq!(b2.to_indices(), vec![1]);
+    }
+
+    #[test]
+    fn counters_track_hits_misses_and_refused_inserts() {
+        let cache = CoverageCache::with_capacity_cap(1);
+        assert_eq!(cache.stats(), CoverageCacheStats::default());
+        let _ = cache.get_or_insert_with(&[1], || BitSet::from_indices(4, &[0]));
+        let _ = cache.get_or_insert_with(&[1], || unreachable!("cached"));
+        let after_hit = cache.stats();
+        assert_eq!(
+            (after_hit.entries, after_hit.hits, after_hit.misses),
+            (1, 1, 1)
+        );
+        assert_eq!(after_hit.inserts_refused, 0);
+        // Over the cap: computed and returned, but the insert is refused —
+        // once per ask, since nothing is retained.
+        let _ = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
+        let _ = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
+        let after_refused = cache.stats();
+        assert_eq!(after_refused.inserts_refused, 2);
+        assert_eq!(after_refused.misses, 3);
+        assert_eq!(after_refused.entries, 1);
     }
 }

@@ -1,0 +1,112 @@
+//! Per-session predicate coverage index.
+//!
+//! The lattice's level-1 pass used to re-clone every predicate's coverage
+//! bitset out of the [`PredicateTable`] on each sweep. A [`PredicateIndex`]
+//! materializes all of them **once** — `Arc`-shared through the session's
+//! [`CoverageCache`], with support counts precomputed — so every sweep
+//! (any support threshold, any metric) starts from the same shared bitsets
+//! and level 1 costs a filter instead of `n_predicates` clones and popcounts.
+
+use crate::bitset::BitSet;
+use crate::candidates::PredicateTable;
+use crate::coverage::CoverageCache;
+use std::sync::Arc;
+
+/// One predicate's materialized coverage: the id into the table it was built
+/// from, the shared bitset, and its popcount.
+#[derive(Debug, Clone)]
+pub struct IndexedPredicate {
+    /// Predicate id into the [`PredicateTable`] the index was built from.
+    pub id: u16,
+    /// Rows the predicate covers, shared with the session's coverage cache.
+    pub coverage: Arc<BitSet>,
+    /// `coverage.count()`, precomputed.
+    pub count: usize,
+}
+
+/// Every predicate's coverage bitset, materialized once per session.
+///
+/// Built through a [`CoverageCache`] so the singleton entries are the same
+/// allocations later sweeps and queries resolve through the cache.
+#[derive(Debug, Clone)]
+pub struct PredicateIndex {
+    entries: Vec<IndexedPredicate>,
+    n_rows: usize,
+}
+
+impl PredicateIndex {
+    /// Materializes the coverage of every predicate in `table`, routing each
+    /// bitset through `cache` (key: the singleton predicate id).
+    pub fn build(table: &PredicateTable, cache: &CoverageCache) -> Self {
+        let entries = table
+            .iter()
+            .map(|(id, _)| {
+                let coverage = cache.get_or_insert_with(&[id], || table.coverage(id).clone());
+                let count = coverage.count();
+                IndexedPredicate {
+                    id,
+                    coverage,
+                    count,
+                }
+            })
+            .collect();
+        Self {
+            entries,
+            n_rows: table.n_rows(),
+        }
+    }
+
+    /// The indexed predicates, in predicate-id order.
+    pub fn entries(&self) -> &[IndexedPredicate] {
+        &self.entries
+    }
+
+    /// Number of indexed predicates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table had no predicates.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of dataset rows the coverage bitsets range over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_predicates;
+    use gopher_data::generators::german;
+
+    #[test]
+    fn index_matches_table_coverages() {
+        let d = german(300, 91);
+        let table = generate_predicates(&d, 4);
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        assert_eq!(index.len(), table.len());
+        assert_eq!(index.n_rows(), d.n_rows());
+        for entry in index.entries() {
+            assert_eq!(entry.coverage.as_ref(), table.coverage(entry.id));
+            assert_eq!(entry.count, table.coverage(entry.id).count());
+        }
+    }
+
+    #[test]
+    fn index_shares_allocations_with_the_cache() {
+        let d = german(200, 92);
+        let table = generate_predicates(&d, 4);
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        assert_eq!(cache.len(), table.len());
+        for entry in index.entries() {
+            let cached = cache.get_or_insert_with(&[entry.id], || unreachable!("indexed"));
+            assert!(Arc::ptr_eq(&cached, &entry.coverage));
+        }
+    }
+}

@@ -1,11 +1,28 @@
 //! Lattice search for candidate explanations (paper Algorithm 1,
-//! `ComputeCandidates`).
+//! `ComputeCandidates`), staged into structural and scoring phases.
+//!
+//! Each level of the search runs in two explicit phases:
+//!
+//! 1. a **structural phase** — metric-independent: enumerate merge pairs
+//!    over the *union* of all scorers' frontiers, intersect coverages, count
+//!    support, and record every resolved merge in the sweep's
+//!    [`SweepStructure`]. The pair space is chunked across `gopher-par`
+//!    workers with deterministic, order-preserving concatenation, so the
+//!    artifact is bit-identical at any thread count;
+//! 2. per-scorer **scoring/pruning phases** — each scorer walks its own
+//!    frontier (pruning is score-dependent), resolving every merge against
+//!    the artifact instead of re-intersecting, and runs on its own worker.
+//!
+//! The split is what lets a session reuse the structural half across
+//! metrics, estimators, and bias evaluations — see `SweepStructure`.
 
 use crate::bitset::BitSet;
 use crate::candidates::PredicateTable;
 use crate::coverage::CoverageCache;
+use crate::index::PredicateIndex;
 use crate::pattern::Pattern;
-use std::collections::HashSet;
+use crate::structure::{min_count_for, SweepStructure};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -67,7 +84,14 @@ pub struct LevelStats {
     pub generated: usize,
     /// Candidates kept after all pruning.
     pub kept: usize,
-    /// Wall-clock time spent on this level.
+    /// Wall-clock time of the level's *shared structural phase* (coverage
+    /// intersection + support counting over the union frontier; for level 1,
+    /// the artifact's build time). The same cost appears in every scorer's
+    /// stats — it is what a solo run would have paid itself.
+    pub structural: Duration,
+    /// Wall-clock time this scorer spent on the level, including its share
+    /// of the structural phase (`structural` + its own scoring pass), so
+    /// reported search times stay comparable with pre-staged runs.
     pub duration: Duration,
 }
 
@@ -85,6 +109,12 @@ impl SearchStats {
     pub fn total_kept(&self) -> usize {
         self.levels.iter().map(|l| l.kept).sum()
     }
+
+    /// Wall-clock spent in the shared structural phases, summed across
+    /// levels (the metric-independent part of the sweep).
+    pub fn structural_time(&self) -> Duration {
+        self.levels.iter().map(|l| l.structural).sum()
+    }
 }
 
 /// Runs Algorithm 1: generates all candidate patterns up to
@@ -98,6 +128,10 @@ impl SearchStats {
 /// * conflicting/redundant same-feature predicate pairs — never merged;
 /// * responsibility not exceeding both parents — dropped (when
 ///   `prune_by_responsibility` is set).
+///
+/// This convenience wrapper builds a transient coverage cache, predicate
+/// index, and structural artifact; long-lived callers (sessions) hold their
+/// own and call [`compute_candidates_multi`].
 pub fn compute_candidates<F>(
     table: &PredicateTable,
     mut score: F,
@@ -107,36 +141,50 @@ where
     F: FnMut(&BitSet) -> f64 + Send,
 {
     let cache = CoverageCache::new();
+    let index = PredicateIndex::build(table, &cache);
+    let structure = SweepStructure::build(&index, config);
     let mut scorer: ScoreFn<'_> = Box::new(&mut score);
-    compute_candidates_multi(table, std::slice::from_mut(&mut scorer), config, &cache, 1)
-        .pop()
-        .expect("one scorer in, one result out")
+    compute_candidates_multi(
+        table,
+        std::slice::from_mut(&mut scorer),
+        config,
+        &cache,
+        &structure,
+        1,
+    )
+    .pop()
+    .expect("one scorer in, one result out")
 }
 
-/// The multi-query variant of [`compute_candidates`]: one lattice sweep with
-/// the scoring callback fanned out per request, each scorer pass running on
-/// its own worker thread (up to `threads`; `1` runs everything inline).
+/// The multi-query variant of [`compute_candidates`]: one staged lattice
+/// sweep with the scoring callbacks fanned out per request.
 ///
-/// All scorers share the structural work — predicate enumeration, coverage
-/// intersection (each pattern's bitset is materialized once, via `cache`),
-/// support counting, and conflict checks — while each scorer keeps its own
-/// frontier, pruning decisions, and [`SearchStats`]. The result for scorer
-/// `i` is **identical** to what `compute_candidates(table, scorers[i],
-/// config)` would return on its own, at any thread count: the per-scorer
-/// frontiers evolve exactly as in a solo run (scorer `i` is always driven by
-/// exactly one thread, sequentially), so neither responsibility pruning nor
-/// scheduling order can leak across requests.
+/// All scorers share the structural work — pair enumeration over the union
+/// of their frontiers, coverage intersection, and support counting — which
+/// runs as a chunked parallel pass over up to `threads` workers and lands in
+/// `structure`; each scorer then keeps its own frontier, pruning decisions,
+/// and [`SearchStats`], running on its own worker. The result for scorer `i`
+/// is **identical** to what `compute_candidates(table, scorers[i], config)`
+/// would return on its own, at any thread count: per-scorer frontiers evolve
+/// exactly as in a solo run (scorer `i` is always driven by exactly one
+/// thread, sequentially), merged coverages are decomposition-independent
+/// (the AND of a pattern's predicates, whichever parents produced it), and
+/// the structural pass concatenates its chunks in serial pair order.
 ///
-/// The cache outlives the call on purpose: an interactive session passes a
-/// long-lived cache so later queries (different metric, estimator, or k)
-/// skip every intersection this sweep already materialized. The cache is
-/// internally synchronized, so concurrent scorer threads share fresh
-/// intersections too.
+/// Both `cache` and `structure` outlive the call on purpose: an interactive
+/// session passes a long-lived cache and a per-structural-config artifact,
+/// so later queries — a different metric, estimator, or bias evaluation over
+/// the same structural knobs — skip every intersection this sweep resolved.
+///
+/// # Panics
+/// If `structure` was built for a different structural configuration or
+/// row count than `config`/`table` describe.
 pub fn compute_candidates_multi(
     table: &PredicateTable,
     scorers: &mut [ScoreFn<'_>],
     config: &LatticeConfig,
     cache: &CoverageCache,
+    structure: &SweepStructure,
     threads: usize,
 ) -> Vec<(Vec<Candidate>, SearchStats)> {
     assert!(
@@ -148,33 +196,17 @@ pub fn compute_candidates_multi(
         "need at least one predicate per pattern"
     );
     let n = table.n_rows();
-    let min_count = (config.support_threshold * n as f64).ceil().max(1.0) as usize;
-
-    // Level 1: single-predicate patterns, filtered by support only. The
-    // structural pass (coverage + support) is shared; scores fan out.
-    struct Level1 {
-        id: u16,
-        coverage: Arc<BitSet>,
-        support: f64,
-    }
-    let t_structural = Instant::now();
-    let mut singles: Vec<Level1> = Vec::new();
-    for (id, _) in table.iter() {
-        let coverage = cache.get_or_insert_with(&[id], || table.coverage(id).clone());
-        let count = coverage.count();
-        if count < min_count {
-            continue;
-        }
-        singles.push(Level1 {
-            id,
-            coverage,
-            support: count as f64 / n as f64,
-        });
-    }
-    // A solo run pays the structural pass itself, so every scorer's level-1
-    // duration includes it — keeping reported search times comparable with
-    // single-query runs.
-    let structural_cost = t_structural.elapsed();
+    let min_count = min_count_for(config.support_threshold, n);
+    assert_eq!(
+        structure.min_count(),
+        min_count,
+        "structural artifact was built for a different support threshold"
+    );
+    assert_eq!(
+        structure.n_rows(),
+        n,
+        "structural artifact was built for a different dataset"
+    );
 
     /// Everything one scorer owns during the sweep; fanning a level out
     /// means handing each `ScorerRun` to a worker thread.
@@ -196,39 +228,95 @@ pub fn compute_candidates_multi(
         })
         .collect();
 
+    // Level 1. Structural phase: the artifact's supported singles (built
+    // once per structural config, from the session's predicate index).
+    // Scoring phase: fan the per-scorer passes out.
+    let singles = structure.singles();
     gopher_par::par_for_each_mut(threads, &mut runs, |_, run| {
         let t0 = Instant::now();
         let mut frontier: Vec<Candidate> = Vec::with_capacity(singles.len());
-        for single in &singles {
+        for single in singles {
             let responsibility = (run.score)(&single.coverage);
             run.stats.total_scored += 1;
+            let support = single.count as f64 / n as f64;
             frontier.push(Candidate {
                 pattern: Pattern::singleton(single.id),
                 coverage: Arc::clone(&single.coverage),
-                support: single.support,
+                support,
                 responsibility,
-                interestingness: responsibility / single.support,
+                interestingness: responsibility / support,
             });
         }
         truncate_level(&mut frontier, config.max_level_candidates);
+        // A solo run pays the structural pass itself, so every scorer's
+        // level-1 duration includes it — keeping reported search times
+        // comparable with single-query runs.
         run.stats.levels.push(LevelStats {
             level: 1,
             generated: singles.len(),
             kept: frontier.len(),
-            duration: structural_cost + t0.elapsed(),
+            structural: structure.build_time(),
+            duration: structure.build_time() + t0.elapsed(),
         });
         run.all.extend(frontier.iter().cloned());
         run.frontier = frontier;
     });
 
-    // Levels 2..=max: merge pairs sharing all but one predicate. Each scorer
-    // walks its own frontier (pruning is score-dependent) on its own worker,
-    // but every coverage intersection goes through the shared cache, so a
-    // pattern reached by several scorers is materialized exactly once.
+    // Levels 2..=max: merge pairs sharing all but one predicate.
     for level in 2..=config.max_predicates {
         if runs.iter().all(|r| r.done) {
             break;
         }
+
+        // Structural phase: resolve every merge reachable from the union of
+        // the live frontiers, chunked across workers. Per-scorer
+        // interestingness pruning means no single frontier is "the"
+        // frontier, so the shared pass enumerates the union — a superset of
+        // every scorer's own pair space. The union is collected in
+        // first-seen order (runs in input order, each frontier in its own
+        // order), deterministic because the frontiers themselves are.
+        //
+        // With a single worker the pass is skipped entirely — it exists to
+        // spread coverage intersections across threads, and inline it would
+        // only duplicate the enumeration the scoring phase performs anyway
+        // (each scorer's `resolve` computes unseen merges lazily, exactly
+        // like the pre-staged engine did). Values are identical either way;
+        // skipping keeps single-threaded sweeps at their old cost.
+        let t_structural = Instant::now();
+        if threads > 1 {
+            let mut union: Vec<UnionParent> = Vec::new();
+            let mut union_index: HashMap<Vec<u16>, usize> = HashMap::new();
+            for (run_idx, run) in runs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| !r.done && r.frontier.len() >= 2)
+            {
+                // Scorers beyond the mask width share the last bit: their
+                // pairings become conservatively resolvable (extra work,
+                // never wrong values).
+                let bit = 1u64 << run_idx.min(63);
+                for cand in &run.frontier {
+                    match union_index.get(cand.pattern.ids()) {
+                        Some(&at) => union[at].scorers |= bit,
+                        None => {
+                            union_index.insert(cand.pattern.ids().to_vec(), union.len());
+                            union.push(UnionParent {
+                                pattern: cand.pattern.clone(),
+                                coverage: Arc::clone(&cand.coverage),
+                                scorers: bit,
+                            });
+                        }
+                    }
+                }
+            }
+            resolve_union_merges(table, cache, structure, &union, threads);
+        }
+        let structural_cost = t_structural.elapsed();
+
+        // Scoring phase: each scorer walks its own frontier on its own
+        // worker, resolving merges against the artifact (all hits after the
+        // structural pass; the fallback closure only fires for territory a
+        // warm artifact has never seen).
         gopher_par::par_for_each_mut(threads, &mut runs, |_, run| {
             if run.done {
                 return;
@@ -250,24 +338,17 @@ pub fn compute_candidates_multi(
                     if !seen.insert(merged.ids().to_vec()) {
                         continue;
                     }
-                    // Conflict check between the two differing predicates
-                    // (the shared ones were already checked in the parents).
-                    let da = a.pattern.difference(&b.pattern);
-                    let db = b.pattern.difference(&a.pattern);
-                    debug_assert_eq!(da.len(), 1);
-                    debug_assert_eq!(db.len(), 1);
-                    if table
-                        .predicate(da[0])
-                        .conflicts_with(table.predicate(db[0]))
-                    {
+                    if merge_conflicts(table, &a.pattern, &b.pattern) {
                         continue;
                     }
-                    let coverage =
-                        cache.get_or_insert_with(merged.ids(), || a.coverage.and(&b.coverage));
-                    let count = coverage.count();
-                    if count < min_count {
+                    let record =
+                        structure.resolve(merged.ids(), cache, || a.coverage.and(&b.coverage));
+                    if record.count < min_count {
                         continue;
                     }
+                    let coverage = record
+                        .coverage
+                        .expect("supported merges retain their coverage");
                     generated += 1;
                     let responsibility = (run.score)(&coverage);
                     run.stats.total_scored += 1;
@@ -277,7 +358,7 @@ pub fn compute_candidates_multi(
                     {
                         continue;
                     }
-                    let support = count as f64 / n as f64;
+                    let support = record.count as f64 / n as f64;
                     next.push(Candidate {
                         pattern: merged,
                         coverage,
@@ -292,7 +373,8 @@ pub fn compute_candidates_multi(
                 level,
                 generated,
                 kept: next.len(),
-                duration: t0.elapsed(),
+                structural: structural_cost,
+                duration: structural_cost + t0.elapsed(),
             });
             if next.is_empty() {
                 run.done = true;
@@ -304,6 +386,122 @@ pub fn compute_candidates_multi(
     }
 
     runs.into_iter().map(|run| (run.all, run.stats)).collect()
+}
+
+/// A frontier pattern in the structural phase's union: the pattern, its
+/// coverage, and a bitmask of which scorers hold it. The mask is what keeps
+/// the shared pass *exact* rather than a blow-up: a pair is only worth
+/// resolving when some scorer holds **both** parents (masks intersect) —
+/// cross-scorer-only pairings would compute coverages nobody asks for.
+struct UnionParent {
+    pattern: Pattern,
+    coverage: Arc<BitSet>,
+    scorers: u64,
+}
+
+/// True when the two differing predicates of a mergeable pair conflict (the
+/// shared predicates were already vetted in the parents).
+fn merge_conflicts(table: &PredicateTable, a: &Pattern, b: &Pattern) -> bool {
+    let da = a.difference(b);
+    let db = b.difference(a);
+    debug_assert_eq!(da.len(), 1);
+    debug_assert_eq!(db.len(), 1);
+    table
+        .predicate(da[0])
+        .conflicts_with(table.predicate(db[0]))
+}
+
+/// The parallel structural merge pass, in two phases over the chunked pair
+/// space of the union frontier:
+///
+/// 1. **Enumerate** (parallel, lock-free): each chunk walks its `(i, j)`
+///    pairs — mask check, merge, conflict check — filtering against a
+///    *snapshot* of the artifact's resolved keys (exact for the whole pass,
+///    since nothing inserts until phase 2 finishes). Chunks are then
+///    concatenated in serial pair order and globally deduplicated, first
+///    generating pair wins (any pair of the same pattern yields identical
+///    bits).
+/// 2. **Compute** (parallel): one coverage AND + popcount per *distinct*
+///    merge, routed through the coverage cache; records land in the
+///    artifact in the deduplicated (deterministic) order.
+///
+/// The split keeps the hot enumeration loop free of the artifact's mutex
+/// and guarantees no merged pattern is intersected twice, however many of
+/// its parent decompositions straddle chunk boundaries.
+fn resolve_union_merges(
+    table: &PredicateTable,
+    cache: &CoverageCache,
+    structure: &SweepStructure,
+    union: &[UnionParent],
+    threads: usize,
+) {
+    let m = union.len();
+    if m < 2 {
+        return;
+    }
+    let known = structure.known_keys();
+    let chunks = pair_chunks(m, threads);
+    let found = gopher_par::par_map(threads, &chunks, |_, range| {
+        let mut out: Vec<(Box<[u16]>, usize, usize)> = Vec::new();
+        let mut local_seen: HashSet<Box<[u16]>> = HashSet::new();
+        for i in range.clone() {
+            for j in (i + 1)..m {
+                let (a, b) = (&union[i], &union[j]);
+                if a.scorers & b.scorers == 0 {
+                    continue; // no scorer holds both parents
+                }
+                let Some(merged) = a.pattern.merge(&b.pattern) else {
+                    continue;
+                };
+                let ids: Box<[u16]> = merged.ids().into();
+                if known.contains(&ids) || !local_seen.insert(ids.clone()) {
+                    continue;
+                }
+                if merge_conflicts(table, &a.pattern, &b.pattern) {
+                    continue;
+                }
+                out.push((ids, i, j));
+            }
+        }
+        out
+    });
+    let mut merges: Vec<(Box<[u16]>, usize, usize)> = Vec::new();
+    let mut seen: HashSet<Box<[u16]>> = HashSet::new();
+    for (ids, i, j) in found.into_iter().flatten() {
+        if seen.insert(ids.clone()) {
+            merges.push((ids, i, j));
+        }
+    }
+    let records = gopher_par::par_map(threads, &merges, |_, (ids, i, j)| {
+        structure.compute_record(ids, cache, || union[*i].coverage.and(&union[*j].coverage))
+    });
+    for ((ids, _, _), record) in merges.iter().zip(records) {
+        structure.insert(ids, record);
+    }
+}
+
+/// Splits the upper-triangular pair space of `m` items into contiguous
+/// outer-index ranges with roughly equal pair counts, a few chunks per
+/// worker so `gopher-par`'s cursor can balance uneven merge costs.
+fn pair_chunks(m: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let total_pairs = m * (m - 1) / 2;
+    let target_chunks = (threads.max(1) * 4).min(total_pairs.max(1));
+    let per_chunk = total_pairs.div_ceil(target_chunks).max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for i in 0..m {
+        acc += m - 1 - i;
+        if acc >= per_chunk {
+            chunks.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < m {
+        chunks.push(start..m);
+    }
+    chunks
 }
 
 /// Keeps at most `cap` candidates (the best by responsibility).
@@ -478,6 +676,11 @@ mod tests {
         assert_eq!(stats.levels[0].level, 1);
         assert_eq!(stats.total_kept(), cands.len());
         assert!(stats.total_scored >= cands.len());
+        // The structural share is part of every level's duration.
+        for level in &stats.levels {
+            assert!(level.duration >= level.structural);
+        }
+        assert!(stats.structural_time() <= stats.levels.iter().map(|l| l.duration).sum());
     }
 
     #[test]
@@ -529,8 +732,10 @@ mod tests {
         }
     }
 
-    /// The multi-scorer sweep must reproduce each scorer's solo run bit for
-    /// bit: same candidates, same order, same stats counts.
+    /// The staged multi-scorer sweep must reproduce each scorer's solo run
+    /// bit for bit: same candidates (patterns, coverage bits, supports,
+    /// responsibilities), same order, same stats counts — at any thread
+    /// count, including oversubscription.
     #[test]
     fn multi_sweep_matches_solo_runs() {
         let d = german(400, 69);
@@ -555,11 +760,19 @@ mod tests {
         // oversubscribed 8 all reproduce the solo runs bit for bit.
         for threads in [1, 2, 8] {
             let cache = CoverageCache::new();
+            let index = PredicateIndex::build(&table, &cache);
+            let structure = SweepStructure::build(&index, &config);
             let mut sa = toy_score(&labels);
             let mut sb = priv_score;
             let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut sa), Box::new(&mut sb)];
-            let mut multi =
-                compute_candidates_multi(&table, &mut scorers, &config, &cache, threads);
+            let mut multi = compute_candidates_multi(
+                &table,
+                &mut scorers,
+                &config,
+                &cache,
+                &structure,
+                threads,
+            );
             let (multi_b, mstats_b) = multi.pop().unwrap();
             let (multi_a, mstats_a) = multi.pop().unwrap();
 
@@ -570,6 +783,7 @@ mod tests {
                 assert_eq!(solo.len(), multi.len());
                 for (s, m) in solo.iter().zip(multi) {
                     assert_eq!(s.pattern.ids(), m.pattern.ids());
+                    assert_eq!(s.coverage, m.coverage, "coverage bits must match");
                     assert_eq!(s.responsibility, m.responsibility);
                     assert_eq!(s.support, m.support);
                 }
@@ -583,7 +797,52 @@ mod tests {
                 }
             }
             assert!(!cache.is_empty(), "sweep must populate the shared cache");
+            assert!(
+                structure.merges_resolved() > 0,
+                "sweep must populate the structural artifact"
+            );
         }
+    }
+
+    /// A second sweep over a warm artifact (fresh scorer, same structural
+    /// config) must answer identically to a cold one, without its fallback
+    /// closure ever intersecting coverages again.
+    #[test]
+    fn warm_artifact_reuses_structural_work() {
+        let d = german(400, 78);
+        let table = generate_predicates(&d, 4);
+        let config = LatticeConfig {
+            support_threshold: 0.04,
+            ..Default::default()
+        };
+        let labels = d.labels().to_vec();
+        let (solo, solo_stats) = compute_candidates(&table, toy_score(&labels), &config);
+
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        let structure = SweepStructure::build(&index, &config);
+        let run = |cache: &CoverageCache, structure: &SweepStructure| {
+            let mut s = toy_score(&labels);
+            let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut s)];
+            compute_candidates_multi(&table, &mut scorers, &config, cache, structure, 2)
+                .pop()
+                .unwrap()
+        };
+        let (cold, _) = run(&cache, &structure);
+        let resolved_after_cold = structure.merges_resolved();
+        let coverage_misses_after_cold = cache.stats().misses;
+        let (warm, warm_stats) = run(&cache, &structure);
+
+        // Identical results, cold, warm, and solo.
+        for (a, b) in solo.iter().zip(&cold).chain(solo.iter().zip(&warm)) {
+            assert_eq!(a.pattern.ids(), b.pattern.ids());
+            assert_eq!(a.coverage, b.coverage);
+            assert_eq!(a.responsibility, b.responsibility);
+        }
+        assert_eq!(solo_stats.total_scored, warm_stats.total_scored);
+        // The warm sweep resolved nothing new and intersected nothing new.
+        assert_eq!(structure.merges_resolved(), resolved_after_cold);
+        assert_eq!(cache.stats().misses, coverage_misses_after_cold);
     }
 
     /// Fan-out must keep per-level timing populated: every explored level of
@@ -599,12 +858,15 @@ mod tests {
         };
         let labels = d.labels().to_vec();
         let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        let structure = SweepStructure::build(&index, &config);
         let mut s1 = toy_score(&labels);
         let mut s2 = toy_score(&labels);
         let mut s3 = toy_score(&labels);
         let mut scorers: Vec<ScoreFn<'_>> =
             vec![Box::new(&mut s1), Box::new(&mut s2), Box::new(&mut s3)];
-        let results = compute_candidates_multi(&table, &mut scorers, &config, &cache, 4);
+        let results =
+            compute_candidates_multi(&table, &mut scorers, &config, &cache, &structure, 4);
         for (_, stats) in &results {
             assert!(!stats.levels.is_empty());
             for level in &stats.levels {
@@ -616,6 +878,21 @@ mod tests {
                         level.generated
                     );
                 }
+                assert!(level.duration >= level.structural);
+            }
+        }
+    }
+
+    #[test]
+    fn pair_chunks_cover_every_index_once() {
+        for m in [2usize, 3, 5, 17, 64, 257] {
+            for threads in [1usize, 2, 4, 9] {
+                let chunks = pair_chunks(m, threads);
+                let mut covered = Vec::new();
+                for c in &chunks {
+                    covered.extend(c.clone());
+                }
+                assert_eq!(covered, (0..m).collect::<Vec<_>>(), "m={m} t={threads}");
             }
         }
     }

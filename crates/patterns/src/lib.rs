@@ -22,14 +22,18 @@
 mod bitset;
 mod candidates;
 pub mod coverage;
+pub mod index;
 pub mod lattice;
 mod pattern;
 mod predicate;
+pub mod structure;
 pub mod topk;
 
 pub use bitset::BitSet;
 pub use candidates::{generate_predicates, PredicateTable};
-pub use coverage::CoverageCache;
+pub use coverage::{CoverageCache, CoverageCacheStats};
+pub use index::PredicateIndex;
 pub use lattice::{Candidate, LatticeConfig, LevelStats, ScoreFn, SearchStats};
 pub use pattern::Pattern;
 pub use predicate::{Op, PredValue, Predicate};
+pub use structure::SweepStructure;

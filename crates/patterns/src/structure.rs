@@ -1,0 +1,263 @@
+//! The structural artifact of a lattice sweep: the metric-independent half.
+//!
+//! Candidate generation splits into two kinds of work (Pradhan et al.,
+//! SIGMOD 2022, §4.2): *structural* — which patterns exist above the support
+//! threshold, what rows they cover — and *scoring* — how responsible each
+//! coverage is under a metric/estimator pair. The structural half depends
+//! only on the data and the lattice's structural knobs (support threshold τ,
+//! depth), so a [`SweepStructure`] captures it once per `(τ, depth, …)`
+//! configuration and every scorer — in this sweep or a later query with a
+//! different metric, estimator, or bias evaluation — resolves its merges
+//! against it instead of re-intersecting coverages.
+//!
+//! The artifact is **append-only and internally synchronized**: entries are
+//! pure functions of the predicate table (a merged pattern's coverage is the
+//! AND of its predicates' coverages, independent of which parent pair
+//! produced it), so concurrent structural workers and scorer threads can
+//! share one artifact freely, and a warm query topping up unexplored
+//! territory can never invalidate anything.
+
+use crate::bitset::BitSet;
+use crate::coverage::CoverageCache;
+use crate::index::PredicateIndex;
+use crate::lattice::LatticeConfig;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+/// A supported single-predicate pattern (the structural part of level 1).
+#[derive(Debug, Clone)]
+pub struct StructSingle {
+    /// Predicate id.
+    pub id: u16,
+    /// Shared coverage bitset.
+    pub coverage: Arc<BitSet>,
+    /// `coverage.count()`.
+    pub count: usize,
+}
+
+/// The structural record of one merged pattern: its support count, plus the
+/// coverage bitset when the pattern meets the artifact's threshold (failed
+/// merges keep only the count — enough to skip them without re-intersecting).
+#[derive(Debug, Clone)]
+pub struct MergeRecord {
+    /// Rows covered; `None` iff `count` is below the artifact's `min_count`.
+    pub coverage: Option<Arc<BitSet>>,
+    /// Number of rows the merged pattern covers.
+    pub count: usize,
+}
+
+/// The reusable structural artifact of a sweep: supported level-1 patterns
+/// plus every merged pattern's coverage/support resolved so far.
+#[derive(Debug)]
+pub struct SweepStructure {
+    singles: Vec<StructSingle>,
+    merges: Mutex<HashMap<Box<[u16]>, MergeRecord>>,
+    min_count: usize,
+    n_rows: usize,
+    /// Wall-clock cost of building the level-1 structural pass, charged into
+    /// every scorer's level-1 duration (mirrors how a solo run pays it).
+    build_time: Duration,
+}
+
+impl SweepStructure {
+    /// Builds the artifact for one structural configuration: filters the
+    /// index's predicates by the config's support threshold. (Merged levels
+    /// fill in lazily as sweeps run.)
+    ///
+    /// # Panics
+    /// If `config.support_threshold` is outside `[0, 1)` or
+    /// `config.max_predicates` is zero — same contract as the lattice
+    /// search, enforced here because sessions build artifacts straight from
+    /// request parameters.
+    pub fn build(index: &PredicateIndex, config: &LatticeConfig) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.support_threshold),
+            "support threshold must be in [0, 1)"
+        );
+        assert!(
+            config.max_predicates >= 1,
+            "need at least one predicate per pattern"
+        );
+        let t0 = Instant::now();
+        let n = index.n_rows();
+        let min_count = min_count_for(config.support_threshold, n);
+        let singles = index
+            .entries()
+            .iter()
+            .filter(|e| e.count >= min_count)
+            .map(|e| StructSingle {
+                id: e.id,
+                coverage: Arc::clone(&e.coverage),
+                count: e.count,
+            })
+            .collect();
+        Self {
+            singles,
+            merges: Mutex::new(HashMap::new()),
+            min_count,
+            n_rows: n,
+            build_time: t0.elapsed(),
+        }
+    }
+
+    /// The supported single-predicate patterns, in predicate-id order.
+    pub fn singles(&self) -> &[StructSingle] {
+        &self.singles
+    }
+
+    /// Minimum coverage count a pattern needs (`⌈τ·n⌉`, at least 1).
+    pub fn min_count(&self) -> usize {
+        self.min_count
+    }
+
+    /// Number of dataset rows the coverages range over.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Wall-clock cost of the level-1 structural pass.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Number of merged patterns resolved so far (supported or not).
+    pub fn merges_resolved(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Locks the merge map, recovering from poisoning (records are pure and
+    /// inserted fully built; see `CoverageCache::lock` for the rationale).
+    fn lock(&self) -> MutexGuard<'_, HashMap<Box<[u16]>, MergeRecord>> {
+        self.merges.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The resolved record for a merged pattern, if any sweep has computed
+    /// it yet.
+    pub fn lookup(&self, ids: &[u16]) -> Option<MergeRecord> {
+        self.lock().get(ids).cloned()
+    }
+
+    /// True once `ids` has a resolved record.
+    pub fn contains(&self, ids: &[u16]) -> bool {
+        self.lock().contains_key(ids)
+    }
+
+    /// Snapshot of every resolved merge key. The structural pass takes one
+    /// snapshot per level instead of locking per enumerated pair: it only
+    /// inserts records *after* its parallel phase returns, so the snapshot
+    /// stays exact for the phase's whole duration.
+    pub fn known_keys(&self) -> HashSet<Box<[u16]>> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// Inserts a freshly resolved record, keeping the existing one on a
+    /// race (records for the same ids are value-identical by construction).
+    pub fn insert(&self, ids: &[u16], record: MergeRecord) {
+        self.lock()
+            .entry(ids.to_vec().into_boxed_slice())
+            .or_insert(record);
+    }
+
+    /// Resolves a merged pattern: returns the cached record, or computes the
+    /// coverage with `compute` (routed through `cache`, so other structural
+    /// configurations reuse the bitset), counts it, records it, and returns
+    /// it. This is both the structural-pass worker primitive and the scorer
+    /// fallback for territory the shared pass has not visited.
+    pub fn resolve(
+        &self,
+        ids: &[u16],
+        cache: &CoverageCache,
+        compute: impl FnOnce() -> BitSet,
+    ) -> MergeRecord {
+        if let Some(hit) = self.lookup(ids) {
+            return hit;
+        }
+        let record = self.compute_record(ids, cache, compute);
+        self.insert(ids, record.clone());
+        record
+    }
+
+    /// Computes a record without touching the merge map (structural-pass
+    /// workers use this so insertion order stays deterministic — chunks are
+    /// concatenated and inserted in pair order by the caller).
+    pub fn compute_record(
+        &self,
+        ids: &[u16],
+        cache: &CoverageCache,
+        compute: impl FnOnce() -> BitSet,
+    ) -> MergeRecord {
+        let coverage = cache.get_or_insert_with(ids, compute);
+        let count = coverage.count();
+        MergeRecord {
+            coverage: (count >= self.min_count).then_some(coverage),
+            count,
+        }
+    }
+}
+
+/// `⌈τ·n⌉`, at least 1 — the count form of the support threshold.
+pub fn min_count_for(support_threshold: f64, n_rows: usize) -> usize {
+    (support_threshold * n_rows as f64).ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::generate_predicates;
+    use gopher_data::generators::german;
+
+    fn setup(n: usize, tau: f64) -> (CoverageCache, PredicateIndex, LatticeConfig) {
+        let d = german(n, 93);
+        let table = generate_predicates(&d, 4);
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        let config = LatticeConfig {
+            support_threshold: tau,
+            ..Default::default()
+        };
+        (cache, index, config)
+    }
+
+    #[test]
+    fn singles_are_filtered_by_support() {
+        let (_cache, index, config) = setup(400, 0.1);
+        let structure = SweepStructure::build(&index, &config);
+        let min = structure.min_count();
+        assert_eq!(min, 40);
+        assert!(!structure.singles().is_empty());
+        for s in structure.singles() {
+            assert!(s.count >= min);
+            assert_eq!(s.count, s.coverage.count());
+        }
+        let expected = index.entries().iter().filter(|e| e.count >= min).count();
+        assert_eq!(structure.singles().len(), expected);
+    }
+
+    #[test]
+    fn resolve_records_supported_and_failed_merges() {
+        let (cache, index, config) = setup(400, 0.3);
+        let structure = SweepStructure::build(&index, &config);
+        let a = &index.entries()[0];
+        let b = &index.entries()[1];
+        let ids = [a.id, b.id];
+        let record = structure.resolve(&ids, &cache, || a.coverage.and(&b.coverage));
+        assert_eq!(record.count, a.coverage.intersection_count(&b.coverage));
+        assert_eq!(
+            record.coverage.is_some(),
+            record.count >= structure.min_count()
+        );
+        // Second resolve hits the artifact, not the closure.
+        let again = structure.resolve(&ids, &cache, || unreachable!("resolved"));
+        assert_eq!(again.count, record.count);
+        assert_eq!(structure.merges_resolved(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "support threshold")]
+    fn build_rejects_invalid_threshold() {
+        let (_cache, index, mut config) = setup(100, 0.05);
+        config.support_threshold = 1.0;
+        let _ = SweepStructure::build(&index, &config);
+    }
+}

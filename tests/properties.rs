@@ -37,6 +37,60 @@ proptest! {
         prop_assert_eq!(sa.and(&sb), sb.and(&sa));
     }
 
+    /// Word-boundary edges: universes whose length is not a multiple of 64
+    /// leave a partial final word, and off-by-one bugs in `and`/`count`/
+    /// `from_indices` live exactly there. Lengths are drawn to straddle the
+    /// word boundary (1..=130 covers 0, 1, and 2 full words ± slack).
+    #[test]
+    fn bitset_word_boundary_lengths(
+        len in 1usize..131,
+        seed_a in proptest::collection::vec(0u32..131, 0..40),
+        seed_b in proptest::collection::vec(0u32..131, 0..40),
+    ) {
+        // Clamp draws into the universe, dedup + sort as from_indices expects.
+        let clamp = |raw: &[u32]| -> Vec<u32> {
+            let mut v: Vec<u32> = raw
+                .iter()
+                .map(|&i| i % len as u32)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let a = clamp(&seed_a);
+        let b = clamp(&seed_b);
+        let sa = BitSet::from_indices(len, &a);
+        let sb = BitSet::from_indices(len, &b);
+        prop_assert_eq!(sa.len(), len);
+        prop_assert_eq!(sa.count(), a.len());
+        prop_assert_eq!(sa.to_indices(), a.clone());
+        // Membership is exact across the whole universe and beyond: the
+        // boundary bit (len-1) belongs, everything past it is absent.
+        for i in 0..len + 70 {
+            prop_assert_eq!(sa.contains(i), a.binary_search(&(i as u32)).is_ok());
+        }
+        // Intersection agrees with the naive set intersection and never
+        // conjures bits in the partial final word.
+        let naive: Vec<u32> = a.iter().copied().filter(|i| b.contains(i)).collect();
+        let and = sa.and(&sb);
+        prop_assert_eq!(and.to_indices(), naive.clone());
+        prop_assert_eq!(and.count(), naive.len());
+        prop_assert_eq!(sa.intersection_count(&sb), naive.len());
+        prop_assert_eq!(and.len(), len);
+    }
+
+    /// The documented out-of-range contract: `contains` answers `false` for
+    /// any index past the universe, while `insert` (checked separately in
+    /// the unit tests) panics.
+    #[test]
+    fn bitset_contains_is_total(len in 1usize..200, probe in 0usize..400) {
+        let set = BitSet::from_indices(len, &[(len - 1) as u32]);
+        if probe >= len {
+            prop_assert!(!set.contains(probe));
+        }
+        prop_assert!(set.contains(len - 1));
+    }
+
     // ---------------- Binning -------------------------------------------
 
     #[test]

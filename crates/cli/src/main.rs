@@ -488,6 +488,10 @@ fn session_stats_json(stats: &gopher_core::SessionStats) -> Json {
             Json::num(stats.structure_cache_cap as f64),
         ),
         ("structure_hits", Json::num(stats.structure_hits as f64)),
+        (
+            "structure_range_hits",
+            Json::num(stats.structure_range_hits as f64),
+        ),
         ("structure_misses", Json::num(stats.structure_misses as f64)),
         (
             "structure_evictions",

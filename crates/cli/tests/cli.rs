@@ -224,8 +224,46 @@ fn query_stats_block_shows_cross_metric_structure_reuse() {
         "one structural key: the batch shares one artifact fetch"
     );
     assert_eq!(counter("structure_entries"), 1.0);
+    assert_eq!(
+        counter("structure_range_hits"),
+        0.0,
+        "one τ, no range serves"
+    );
     assert!(counter("cached_coverages") > 0.0);
     assert_eq!(counter("coverage_inserts_refused"), 0.0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The τ-monotone serve end to end (the CI smoke step's offline twin): a
+/// two-τ batch over one session builds exactly one structural artifact —
+/// the loosest — and range-serves the tighter threshold by re-filtering,
+/// reported by the `--stats` block as a `structure_range_hits` count.
+#[test]
+fn query_stats_block_shows_tau_range_serving() {
+    let dir = std::env::temp_dir().join(format!("gopher-taus-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let requests = dir.join("taus.json");
+    std::fs::write(&requests, r#"[{"support": 0.02}, {"support": 0.05}]"#).unwrap();
+    let out = run_json(&[
+        "query",
+        "--requests",
+        requests.to_str().unwrap(),
+        "--data",
+        "german",
+        "--rows",
+        "300",
+        "--threads",
+        "4",
+        "--stats",
+    ]);
+    let responses = out.get("responses").and_then(Json::as_arr).unwrap();
+    assert_eq!(responses.len(), 2);
+    let stats = out.get("session_stats").expect("--stats adds the block");
+    let counter = |k: &str| stats.get(k).and_then(Json::as_f64).unwrap();
+    assert_eq!(counter("structure_misses"), 1.0, "only τ = 0.02 builds");
+    assert_eq!(counter("structure_range_hits"), 1.0, "τ = 0.05 re-filters");
+    assert_eq!(counter("structure_entries"), 2.0, "the view is retained");
+    assert_eq!(counter("sweep_misses"), 2.0, "distinct structural keys");
     std::fs::remove_dir_all(&dir).ok();
 }
 

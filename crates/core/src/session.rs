@@ -54,8 +54,8 @@ use gopher_influence::{
 use gopher_models::train::fit_default;
 use gopher_models::Model;
 use gopher_patterns::{
-    generate_predicates, lattice, topk, BitSet, Candidate, CoverageCache, LatticeConfig,
-    PredicateIndex, PredicateTable, ScoreFn, SearchStats, SweepStructure,
+    generate_predicates, lattice, min_count_for, topk, BitSet, Candidate, CoverageCache,
+    LatticeConfig, PredicateIndex, PredicateTable, ScoreFn, SearchStats, SweepStructure,
 };
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -115,6 +115,7 @@ pub struct SessionBuilder {
     threads: usize,
     sweep_cache_cap: usize,
     structure_cache_cap: usize,
+    coverage_cache_cap: usize,
 }
 
 impl Default for SessionBuilder {
@@ -126,7 +127,8 @@ impl Default for SessionBuilder {
 impl SessionBuilder {
     /// Default session options (4 quantile bins per numeric feature,
     /// default influence-engine parameters, automatic thread count,
-    /// 256-entry scored sweep cache, 64-entry structure cache).
+    /// 256-entry scored sweep cache, 64-entry structure cache,
+    /// 2¹⁸-entry coverage cache).
     pub fn new() -> Self {
         Self {
             max_bins: 4,
@@ -134,6 +136,7 @@ impl SessionBuilder {
             threads: 0,
             sweep_cache_cap: SWEEP_CACHE_CAP,
             structure_cache_cap: STRUCTURE_CACHE_CAP,
+            coverage_cache_cap: gopher_patterns::coverage::DEFAULT_COVERAGE_CACHE_CAP,
         }
     }
 
@@ -182,6 +185,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Retention bound of the coverage cache (materialized pattern coverage
+    /// bitsets shared across sweeps), in entries. Past the cap fresh
+    /// coverages are still computed and returned but not retained; `0`
+    /// disables retention entirely (every sweep re-intersects — the
+    /// *cold-path* configuration the `support_sweep` bench measures
+    /// against).
+    #[must_use]
+    pub fn coverage_cache_cap(mut self, cap: usize) -> Self {
+        self.coverage_cache_cap = cap;
+        self
+    }
+
     /// Builds a session around an **already trained** model. The model must
     /// have been trained on `Encoder::fit(train_raw)`-encoded data;
     /// influence functions assume its parameters are a stationary point.
@@ -204,7 +219,7 @@ impl SessionBuilder {
         );
         let engine = InfluenceEngine::new(model, &train, self.influence.clone());
         let table = generate_predicates(train_raw, self.max_bins);
-        let coverage = CoverageCache::new();
+        let coverage = CoverageCache::with_capacity_cap(self.coverage_cache_cap);
         // Materialize every predicate's coverage once, up front: sweeps at
         // any support threshold or metric start from these shared bitsets.
         let index = PredicateIndex::build(&table, &coverage);
@@ -347,22 +362,42 @@ pub struct ExplainResponse {
 /// requests with the same `StructuralKey` share one [`SweepStructure`]
 /// artifact — pattern enumeration, coverage intersection, and support
 /// counting run once across all their metrics, estimators, and bias-evals.
+///
+/// The support threshold enters as the **integer count** `⌈τ·n⌉` a pattern
+/// must clear, not τ's bit pattern: the sweep never consults τ except
+/// through that count, so any two thresholds with the same `min_count`
+/// (including the `-0.0`/`0.0` pair, whose `f64::to_bits` differ) are the
+/// *same* structural configuration and share one artifact. The integer key
+/// is also what makes the cache range-capable — see
+/// [`StructuralKey::serves`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct StructuralKey {
-    support_bits: u64,
+    min_count: usize,
     max_predicates: usize,
     prune_by_responsibility: bool,
     max_level_candidates: Option<usize>,
 }
 
 impl StructuralKey {
-    fn of(lattice: &LatticeConfig) -> Self {
+    fn of(lattice: &LatticeConfig, n_rows: usize) -> Self {
         Self {
-            support_bits: lattice.support_threshold.to_bits(),
+            min_count: min_count_for(lattice.support_threshold, n_rows),
             max_predicates: lattice.max_predicates,
             prune_by_responsibility: lattice.prune_by_responsibility,
             max_level_candidates: lattice.max_level_candidates,
         }
+    }
+
+    /// True when an artifact cached under `self` can serve a request keyed
+    /// by `req` through [`SweepStructure::refilter_view`]: identical
+    /// depth/pruning knobs and a looser-or-equal support count. Support is
+    /// anti-monotone, so the looser artifact's singles and merge records
+    /// are a superset of everything the tighter sweep can reach.
+    fn serves(&self, req: &StructuralKey) -> bool {
+        self.max_predicates == req.max_predicates
+            && self.prune_by_responsibility == req.prune_by_responsibility
+            && self.max_level_candidates == req.max_level_candidates
+            && self.min_count <= req.min_count
     }
 }
 
@@ -386,9 +421,9 @@ struct SweepKey {
 }
 
 impl SweepKey {
-    fn of(req: &ExplainRequest) -> Self {
+    fn of(req: &ExplainRequest, n_rows: usize) -> Self {
         Self {
-            structural: StructuralKey::of(&req.lattice),
+            structural: StructuralKey::of(&req.lattice, n_rows),
             scoring: ScoringKey {
                 metric: req.metric,
                 estimator: estimator_key(req.estimator),
@@ -442,6 +477,10 @@ struct LruCache<K, V> {
     cap: usize,
     hits: u64,
     misses: u64,
+    /// Lookups answered by *re-filtering* a differently-keyed entry rather
+    /// than an exact match — the structure tier's τ-monotone serve. Always
+    /// zero on the scored tier (scored sweeps have no range semantics).
+    range_hits: u64,
     evictions: u64,
 }
 
@@ -458,8 +497,30 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
             cap,
             hits: 0,
             misses: 0,
+            range_hits: 0,
             evictions: 0,
         }
+    }
+
+    /// Counter bumps for callers that drive lookups through
+    /// [`Self::get_quiet`] plus their own matching logic (the structure
+    /// tier's range-capable path): classification — exact hit, range serve,
+    /// or miss — happens outside, the tallies live here.
+    fn note_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    fn note_range_hit(&mut self) {
+        self.range_hits += 1;
+    }
+
+    /// Iterates the cached keys (no recency or counter side effects).
+    fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
     }
 
     /// Looks `key` up, counting a hit or miss and refreshing recency.
@@ -541,6 +602,11 @@ pub struct SessionStats {
     /// Sweeps that reused a cached structural artifact — pattern
     /// enumeration, coverage intersection, and support counting skipped.
     pub structure_hits: u64,
+    /// Sweeps served by **re-filtering** an artifact cached at a looser
+    /// support threshold (same depth/pruning): the τ-monotone range path.
+    /// No coverage is intersected or materialized on this path — singles
+    /// and merge records are filtered against the tighter count.
+    pub structure_range_hits: u64,
     /// Sweeps that had to build (or rebuild) their structural artifact.
     pub structure_misses: u64,
     /// Structural artifacts evicted to respect the cap.
@@ -650,6 +716,7 @@ impl<M: Model> ExplainSession<M> {
             structure_entries: structure.entries.len(),
             structure_cache_cap: structure.cap,
             structure_hits: structure.hits,
+            structure_range_hits: structure.range_hits,
             structure_misses: structure.misses,
             structure_evictions: structure.evictions,
             cached_coverages: coverage.entries,
@@ -697,7 +764,8 @@ impl<M: Model> ExplainSession<M> {
     /// Responses come back in request order, each with content identical to
     /// a cold run of that request alone — at any thread count.
     pub fn explain_batch(&self, requests: &[ExplainRequest]) -> Vec<ExplainResponse> {
-        let keys: Vec<SweepKey> = requests.iter().map(SweepKey::of).collect();
+        let n_rows = self.table.n_rows();
+        let keys: Vec<SweepKey> = requests.iter().map(|r| SweepKey::of(r, n_rows)).collect();
 
         // Find sweeps not yet cached, grouped by structural lattice config
         // (first-seen order keeps runs deterministic). This is also where
@@ -719,6 +787,7 @@ impl<M: Model> ExplainSession<M> {
             structural: StructuralKey,
             lattice: LatticeConfig,
             members: Vec<(SweepKey, &'r ExplainRequest)>,
+            structure: Option<Arc<SweepStructure>>,
         }
         let mut structural_groups: Vec<Group<'_>> = Vec::new();
         for (key, req) in missing {
@@ -732,8 +801,23 @@ impl<M: Model> ExplainSession<M> {
                     structural,
                     lattice: req.lattice.clone(),
                     members: vec![(key, req)],
+                    structure: None,
                 }),
             }
+        }
+
+        // Resolve each group's structural artifact up front, loosest support
+        // count first (stable on ties, so equal-count groups keep first-seen
+        // order): a batch mixing τ = 0.02 and τ = 0.05 must let the tighter
+        // group range-serve off the looser artifact deterministically, which
+        // the concurrent group fan-out below could not guarantee. Artifacts
+        // are level-1 filters — cheap; the expensive merge resolution still
+        // happens inside the (parallel) sweeps.
+        let mut resolve_order: Vec<usize> = (0..structural_groups.len()).collect();
+        resolve_order.sort_by_key(|&i| structural_groups[i].structural.min_count);
+        for i in resolve_order {
+            let structure = self.structure_for(&structural_groups[i].lattice);
+            structural_groups[i].structure = Some(structure);
         }
 
         // Distinct structural groups are independent sweeps: fan them out,
@@ -745,7 +829,8 @@ impl<M: Model> ExplainSession<M> {
         let outer = self.threads.min(structural_groups.len()).max(1);
         let inner = (self.threads / outer).max(1);
         let group_results = gopher_par::par_map(outer, &structural_groups, |_, group| {
-            self.run_sweeps_with(&group.lattice, &group.members, inner)
+            let structure = group.structure.as_ref().expect("resolved above");
+            self.run_sweeps_with(&group.lattice, &group.members, inner, structure)
         });
         let mut batch_sweeps: HashMap<SweepKey, Arc<SweepResult>> = HashMap::new();
         for (key, sweep) in group_results.into_iter().flatten() {
@@ -791,21 +876,59 @@ impl<M: Model> ExplainSession<M> {
         lattice_cfg: &LatticeConfig,
         members: &[(SweepKey, &ExplainRequest)],
     ) -> Vec<(SweepKey, Arc<SweepResult>)> {
-        self.run_sweeps_with(lattice_cfg, members, self.threads)
+        let structure = self.structure_for(lattice_cfg);
+        self.run_sweeps_with(lattice_cfg, members, self.threads, &structure)
     }
 
     /// The structural artifact for one lattice configuration, through the
-    /// structure cache: a hit returns the shared [`SweepStructure`] (its
-    /// resolved merges reused as-is); a miss builds a fresh one from the
-    /// session's predicate index and retains it subject to the LRU bound.
+    /// **range-capable** structure cache:
+    ///
+    /// * an exact hit returns the shared [`SweepStructure`] as-is;
+    /// * otherwise, support counts being anti-monotone, any artifact cached
+    ///   over the *same depth/pruning knobs at a looser (≤) support count*
+    ///   already contains every single and merge record this request can
+    ///   reach — the tightest such artifact is served through
+    ///   [`SweepStructure::refilter_view`] (a filter, zero intersections)
+    ///   and the view is cached under this request's own key so repeats
+    ///   exact-hit it;
+    /// * a genuine miss builds a fresh artifact from the session's
+    ///   predicate index.
+    ///
+    /// Everything is retained subject to the LRU bound.
     fn structure_for(&self, lattice_cfg: &LatticeConfig) -> Arc<SweepStructure> {
-        let key = StructuralKey::of(lattice_cfg);
-        if let Some(hit) = lock_recover(&self.structure_cache).lookup(&key) {
-            return hit;
-        }
-        // Build outside the lock; on a race, keep the first artifact so
-        // concurrent queries keep sharing one set of resolved merges.
-        let fresh = Arc::new(SweepStructure::build(&self.index, lattice_cfg));
+        let key = StructuralKey::of(lattice_cfg, self.table.n_rows());
+        let base = {
+            let mut cache = lock_recover(&self.structure_cache);
+            if let Some(hit) = cache.get_quiet(&key) {
+                cache.note_hit();
+                return hit;
+            }
+            // τ-monotone range lookup. The tightest qualifying source wins:
+            // it has the least content to re-filter, and any qualifying
+            // artifact yields bit-identical sweeps.
+            let source = cache
+                .keys()
+                .filter(|k| k.serves(&key))
+                .max_by_key(|k| k.min_count)
+                .cloned();
+            match source {
+                Some(src) => {
+                    cache.note_range_hit();
+                    Some(cache.get_quiet(&src).expect("key scanned under this lock"))
+                }
+                None => {
+                    cache.note_miss();
+                    None
+                }
+            }
+        };
+        // Build or re-filter outside the lock; on a race, keep the first
+        // artifact so concurrent queries keep sharing one set of resolved
+        // merges.
+        let fresh = Arc::new(match base {
+            Some(base) => base.refilter_view(key.min_count),
+            None => SweepStructure::build(&self.index, lattice_cfg),
+        });
         let mut cache = lock_recover(&self.structure_cache);
         if let Some(raced) = cache.get_quiet(&key) {
             return raced;
@@ -815,17 +938,20 @@ impl<M: Model> ExplainSession<M> {
     }
 
     /// Runs one multi-scorer sweep for all `members` (same structural
-    /// lattice config, distinct scoring), fanning the per-member scorer
-    /// passes across up to `threads` workers (the batched path splits the
-    /// session budget between concurrent groups and this fan-out). Results
-    /// are cached subject to the LRU bound and returned for this batch.
+    /// lattice config, distinct scoring) against an already-resolved
+    /// `structure` (callers fetch it via [`Self::structure_for`] — the
+    /// batch path resolves all its groups' artifacts up front, in
+    /// loosest-τ-first order), fanning the per-member scorer passes across
+    /// up to `threads` workers (the batched path splits the session budget
+    /// between concurrent groups and this fan-out). Results are cached
+    /// subject to the LRU bound and returned for this batch.
     fn run_sweeps_with(
         &self,
         lattice_cfg: &LatticeConfig,
         members: &[(SweepKey, &ExplainRequest)],
         threads: usize,
+        structure: &Arc<SweepStructure>,
     ) -> Vec<(SweepKey, Arc<SweepResult>)> {
-        let structure = self.structure_for(lattice_cfg);
         let bis: Vec<BiasInfluence<'_, M>> = members
             .iter()
             .map(|(_, req)| {
@@ -855,7 +981,7 @@ impl<M: Model> ExplainSession<M> {
             &mut scorers,
             lattice_cfg,
             &self.coverage,
-            &structure,
+            structure,
             threads,
         );
         let mut fresh_sweeps = Vec::with_capacity(members.len());
@@ -1321,15 +1447,92 @@ mod tests {
         assert_eq!(after_second.sweep_misses, 2, "distinct scoring keys");
         assert_eq!(after_second.structure_misses, 1, "shared structural key");
         assert_eq!(after_second.structure_hits, 1);
-        // A different support threshold is a different structural key.
+        // A tighter support threshold is a different structural key, but a
+        // τ-monotone one: served by re-filtering the τ = 0.05 artifact, not
+        // by rebuilding (the view is retained under its own key).
         let _ = s.explain(
             &ExplainRequest::default()
                 .with_support_threshold(0.08)
                 .with_ground_truth(false),
         );
         let after_third = s.stats();
-        assert_eq!(after_third.structure_misses, 2);
+        assert_eq!(after_third.structure_misses, 1);
+        assert_eq!(after_third.structure_range_hits, 1);
         assert_eq!(after_third.structure_entries, 2);
+        // A *looser* threshold cannot be range-served (the cached artifacts
+        // lack its singles/merges): a genuine miss.
+        let _ = s.explain(
+            &ExplainRequest::default()
+                .with_support_threshold(0.01)
+                .with_ground_truth(false),
+        );
+        let after_fourth = s.stats();
+        assert_eq!(after_fourth.structure_misses, 2);
+        assert_eq!(after_fourth.structure_range_hits, 1);
+        assert_eq!(after_fourth.structure_entries, 3);
+    }
+
+    /// Satellite regression (τ keying): `-0.0` passes the `[0, 1)` range
+    /// check but its `f64::to_bits` differs from `0.0`'s — the old
+    /// bit-pattern key built duplicate artifacts for the same structural
+    /// configuration. Under the integer `min_count` key, `-0.0`, `0.0`, and
+    /// any τ ≤ 1/n all mean "at least one covered row" and must share one
+    /// artifact, one cache entry, and one scored sweep.
+    #[test]
+    fn negative_zero_and_tiny_taus_share_one_artifact() {
+        let s = session(400, 52);
+        let n = s.train().n_rows() as f64;
+        let taus = [-0.0, 0.0, 0.5 / n, 0.99 / n];
+        let responses: Vec<_> = taus
+            .iter()
+            .map(|&tau| {
+                s.explain(
+                    &ExplainRequest::default()
+                        .with_support_threshold(tau)
+                        .with_ground_truth(false),
+                )
+            })
+            .collect();
+        for r in &responses[1..] {
+            assert_reports_equal(&responses[0].report, &r.report);
+        }
+        let stats = s.stats();
+        assert_eq!(stats.structure_misses, 1, "one artifact build");
+        assert_eq!(stats.structure_entries, 1, "one cache entry");
+        assert_eq!(stats.structure_range_hits, 0, "equal keys are exact hits");
+        assert_eq!(stats.sweep_misses, 1, "one scored sweep too");
+        assert_eq!(stats.sweep_hits, 3);
+    }
+
+    /// The τ-monotone acceptance property: after a sweep at a loose τ, a
+    /// sweep at a tighter τ' (same depth/pruning, same metric) is served by
+    /// re-filtering — *zero* coverage intersections are materialized or even
+    /// counted (the coverage-cache miss counter stays put), the range-hit
+    /// counter proves the path taken, and the answer is bit-identical to a
+    /// cold session's.
+    #[test]
+    fn warm_tighter_tau_sweep_materializes_no_intersections() {
+        let loose = ExplainRequest::default()
+            .with_support_threshold(0.02)
+            .with_ground_truth(false);
+        let tight = loose.clone().with_support_threshold(0.05);
+
+        let s = session(600, 53);
+        let _ = s.explain(&loose);
+        let before = s.stats();
+        let warm = s.explain(&tight);
+        let after = s.stats();
+
+        assert_eq!(after.structure_range_hits, before.structure_range_hits + 1);
+        assert_eq!(after.structure_misses, before.structure_misses);
+        assert_eq!(
+            after.coverage_misses, before.coverage_misses,
+            "a range-served sweep must intersect nothing"
+        );
+        assert_eq!(after.coverage_hits, before.coverage_hits);
+
+        let cold = session(600, 53).explain(&tight);
+        assert_reports_equal(&warm.report, &cold.report);
     }
 
     #[test]

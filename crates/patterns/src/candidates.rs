@@ -221,17 +221,40 @@ mod tests {
     fn lt_and_ge_partition_rows() {
         let d = german(300, 52);
         let table = generate_predicates(&d, 4);
-        // Every numeric threshold generates complementary covers.
+        // Every numeric threshold generates complementary covers. The twin
+        // is located by `(feature, threshold)`, never by `id + 1`: the
+        // empty/full filter can drop predicates, so adjacent ids are not a
+        // twin relation — `id + 1` would read a different feature's
+        // predicate (silently skipping the pair) or run off the end of the
+        // table (an out-of-bounds panic when the last predicate is an `Lt`).
+        let mut pairs = 0usize;
         for (id, pred) in table.iter() {
-            if pred.op == crate::Op::Lt {
-                // Find the Ge twin (generated right after).
-                let twin = table.predicate(id + 1);
-                if twin.feature == pred.feature && twin.op == crate::Op::Ge {
-                    let total = table.coverage(id).count() + table.coverage(id + 1).count();
-                    assert_eq!(total, d.n_rows());
-                }
+            if pred.op != crate::Op::Lt {
+                continue;
             }
+            let crate::PredValue::Threshold(t) = pred.value else {
+                panic!("Lt predicates carry a numeric threshold");
+            };
+            let (twin_id, _) = table
+                .iter()
+                .find(|(_, q)| {
+                    q.feature == pred.feature
+                        && q.op == crate::Op::Ge
+                        && matches!(q.value, crate::PredValue::Threshold(u) if u == t)
+                })
+                .unwrap_or_else(|| {
+                    // An `Lt` and its `Ge` twin cover complementary row
+                    // sets, so the empty/full filter drops both or neither.
+                    panic!("Lt {pred:?} has no Ge twin at its threshold")
+                });
+            assert_eq!(
+                table.coverage(id).count() + table.coverage(twin_id).count(),
+                d.n_rows(),
+                "Lt/Ge twins at {pred:?} must partition the rows"
+            );
+            pairs += 1;
         }
+        assert!(pairs > 0, "german generates numeric threshold predicates");
     }
 
     #[test]

@@ -100,6 +100,23 @@ impl CoverageCache {
         }
     }
 
+    /// Returns the cached coverage for `ids` without computing anything.
+    ///
+    /// Counts a hit when present and **nothing** when absent: the caller is
+    /// probing before deciding whether the intersection is worth
+    /// materializing at all (the lattice's lazy merge path counts first and
+    /// skips unsupported merges), so an absent entry is not yet a miss — if
+    /// the caller goes on to materialize via
+    /// [`CoverageCache::get_or_insert_with`], *that* lookup records the miss.
+    pub fn peek(&self, ids: &[u16]) -> Option<Arc<BitSet>> {
+        let mut inner = self.lock();
+        let hit = inner.entries.get(ids).map(Arc::clone);
+        if hit.is_some() {
+            inner.hits += 1;
+        }
+        hit
+    }
+
     /// Returns the cached coverage for `ids` (sorted predicate ids), or
     /// computes it with `compute`, caches it (subject to the cap), and
     /// returns it.
@@ -163,6 +180,18 @@ mod tests {
         // The uncached key recomputes on the next ask.
         let b2 = cache.get_or_insert_with(&[2], || BitSet::from_indices(4, &[1]));
         assert_eq!(b2.to_indices(), vec![1]);
+    }
+
+    #[test]
+    fn peek_counts_hits_but_never_misses() {
+        let cache = CoverageCache::new();
+        assert!(cache.peek(&[7]).is_none());
+        assert_eq!(cache.stats().misses, 0, "an absent peek is not a miss");
+        let a = cache.get_or_insert_with(&[7], || BitSet::from_indices(4, &[2]));
+        let peeked = cache.peek(&[7]).expect("cached");
+        assert!(Arc::ptr_eq(&a, &peeked));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -341,8 +341,7 @@ pub fn compute_candidates_multi(
                     if merge_conflicts(table, &a.pattern, &b.pattern) {
                         continue;
                     }
-                    let record =
-                        structure.resolve(merged.ids(), cache, || a.coverage.and(&b.coverage));
+                    let record = structure.resolve(merged.ids(), cache, &a.coverage, &b.coverage);
                     if record.count < min_count {
                         continue;
                     }
@@ -421,9 +420,12 @@ fn merge_conflicts(table: &PredicateTable, a: &Pattern, b: &Pattern) -> bool {
 ///    concatenated in serial pair order and globally deduplicated, first
 ///    generating pair wins (any pair of the same pattern yields identical
 ///    bits).
-/// 2. **Compute** (parallel): one coverage AND + popcount per *distinct*
-///    merge, routed through the coverage cache; records land in the
-///    artifact in the deduplicated (deterministic) order.
+/// 2. **Compute** (parallel): one fused and+popcount per *distinct* merge,
+///    with the full AND materialized (and routed through the coverage
+///    cache) only for merges that meet the artifact's support count —
+///    failed merges, the majority at realistic thresholds, cost a single
+///    counting pass and no allocation; records land in the artifact in the
+///    deduplicated (deterministic) order.
 ///
 /// The split keeps the hot enumeration loop free of the artifact's mutex
 /// and guarantees no merged pattern is intersected twice, however many of
@@ -473,7 +475,7 @@ fn resolve_union_merges(
         }
     }
     let records = gopher_par::par_map(threads, &merges, |_, (ids, i, j)| {
-        structure.compute_record(ids, cache, || union[*i].coverage.and(&union[*j].coverage))
+        structure.compute_record(ids, cache, &union[*i].coverage, &union[*j].coverage)
     });
     for ((ids, _, _), record) in merges.iter().zip(records) {
         structure.insert(ids, record);

@@ -159,21 +159,22 @@ impl SweepStructure {
             .or_insert(record);
     }
 
-    /// Resolves a merged pattern: returns the cached record, or computes the
-    /// coverage with `compute` (routed through `cache`, so other structural
-    /// configurations reuse the bitset), counts it, records it, and returns
-    /// it. This is both the structural-pass worker primitive and the scorer
-    /// fallback for territory the shared pass has not visited.
+    /// Resolves a merged pattern from its parents' coverages: returns the
+    /// cached record, or computes one lazily (see
+    /// [`SweepStructure::compute_record`]), records it, and returns it. This
+    /// is both the structural-pass worker primitive and the scorer fallback
+    /// for territory the shared pass has not visited.
     pub fn resolve(
         &self,
         ids: &[u16],
         cache: &CoverageCache,
-        compute: impl FnOnce() -> BitSet,
+        a: &BitSet,
+        b: &BitSet,
     ) -> MergeRecord {
         if let Some(hit) = self.lookup(ids) {
             return hit;
         }
-        let record = self.compute_record(ids, cache, compute);
+        let record = self.compute_record(ids, cache, a, b);
         self.insert(ids, record.clone());
         record
     }
@@ -181,17 +182,96 @@ impl SweepStructure {
     /// Computes a record without touching the merge map (structural-pass
     /// workers use this so insertion order stays deterministic — chunks are
     /// concatenated and inserted in pair order by the caller).
+    ///
+    /// **Count-first, materialize-on-demand:** unless some other structural
+    /// configuration already materialized this pattern's coverage (a cache
+    /// peek answers that for free), the intersection is *counted* with the
+    /// fused [`BitSet::and_count`] kernel first, and the AND is only
+    /// materialized — and routed through `cache` for cross-config reuse —
+    /// when the merge meets this artifact's `min_count`. At realistic
+    /// support thresholds failed merges are the majority of the pair space,
+    /// so most pairs cost one fused pass and zero allocations.
     pub fn compute_record(
         &self,
         ids: &[u16],
         cache: &CoverageCache,
-        compute: impl FnOnce() -> BitSet,
+        a: &BitSet,
+        b: &BitSet,
     ) -> MergeRecord {
-        let coverage = cache.get_or_insert_with(ids, compute);
-        let count = coverage.count();
-        MergeRecord {
-            coverage: (count >= self.min_count).then_some(coverage),
-            count,
+        if let Some(coverage) = cache.peek(ids) {
+            let count = coverage.count();
+            return MergeRecord {
+                coverage: (count >= self.min_count).then_some(coverage),
+                count,
+            };
+        }
+        let count = a.and_count(b);
+        let coverage =
+            (count >= self.min_count).then(|| cache.get_or_insert_with(ids, || a.and(b)));
+        MergeRecord { coverage, count }
+    }
+
+    /// A tightened copy of this artifact for a higher support threshold:
+    /// the τ-monotone serve. Support counts only shrink as predicates are
+    /// added, so an artifact built at a looser threshold already contains
+    /// every single and every merge a sweep at `min_count ≥` its own can
+    /// reach — this re-filters them instead of re-intersecting anything:
+    /// singles below the tighter count drop out, and merge records between
+    /// the two thresholds keep their count but shed their coverage (exactly
+    /// what a cold build at the tighter threshold would have recorded).
+    ///
+    /// The view is detached: merges resolved into it later do not flow back
+    /// into the source artifact (their records would carry the wrong
+    /// `coverage` presence for the looser threshold), but coverage bitsets
+    /// stay shared `Arc`s with the source throughout.
+    ///
+    /// Cost: `O(singles + resolved merges)` — the record map is cloned
+    /// (keys and `Arc` handles, never bitset payloads) under the source's
+    /// merge lock. Callers cache views under their own exact key, so the
+    /// clone runs once per `(source, min_count)` pair; a copy-free overlay
+    /// (shared base map + per-view threshold) is a recorded follow-up for
+    /// very deep sweeps.
+    ///
+    /// # Panics
+    /// If `min_count` is below this artifact's own threshold — loosening
+    /// needs structural work this artifact never did.
+    pub fn refilter_view(&self, min_count: usize) -> Self {
+        assert!(
+            min_count >= self.min_count,
+            "refilter can only tighten the threshold ({} < {})",
+            min_count,
+            self.min_count
+        );
+        let t0 = Instant::now();
+        let singles = self
+            .singles
+            .iter()
+            .filter(|s| s.count >= min_count)
+            .cloned()
+            .collect();
+        let merges = self
+            .lock()
+            .iter()
+            .map(|(ids, r)| {
+                (
+                    ids.clone(),
+                    MergeRecord {
+                        coverage: if r.count >= min_count {
+                            r.coverage.clone()
+                        } else {
+                            None
+                        },
+                        count: r.count,
+                    },
+                )
+            })
+            .collect();
+        Self {
+            singles,
+            merges: Mutex::new(merges),
+            min_count,
+            n_rows: self.n_rows,
+            build_time: t0.elapsed(),
         }
     }
 }
@@ -241,16 +321,102 @@ mod tests {
         let a = &index.entries()[0];
         let b = &index.entries()[1];
         let ids = [a.id, b.id];
-        let record = structure.resolve(&ids, &cache, || a.coverage.and(&b.coverage));
+        let misses_before = cache.stats().misses;
+        let record = structure.resolve(&ids, &cache, &a.coverage, &b.coverage);
         assert_eq!(record.count, a.coverage.intersection_count(&b.coverage));
         assert_eq!(
             record.coverage.is_some(),
             record.count >= structure.min_count()
         );
-        // Second resolve hits the artifact, not the closure.
-        let again = structure.resolve(&ids, &cache, || unreachable!("resolved"));
+        // Second resolve hits the artifact: no new intersection, cached or
+        // counted (the coverage cache's miss counter stays put).
+        let misses_after_first = cache.stats().misses;
+        let again = structure.resolve(&ids, &cache, &a.coverage, &b.coverage);
         assert_eq!(again.count, record.count);
         assert_eq!(structure.merges_resolved(), 1);
+        assert_eq!(cache.stats().misses, misses_after_first);
+        // Lazy materialization: only a *supported* merge reaches the
+        // coverage cache at all — a failed one is counted, never allocated.
+        if record.coverage.is_some() {
+            assert_eq!(misses_after_first, misses_before + 1);
+        } else {
+            assert_eq!(misses_after_first, misses_before);
+            assert!(
+                cache.peek(&ids).is_none(),
+                "failed merges stay unmaterialized"
+            );
+        }
+    }
+
+    #[test]
+    fn failed_merges_never_touch_the_coverage_cache() {
+        // τ = 0.9: virtually every merge fails the support check.
+        let (cache, index, config) = setup(400, 0.9);
+        let structure = SweepStructure::build(&index, &config);
+        let entries_before = cache.len();
+        let mut failed = 0usize;
+        for i in 0..index.entries().len().min(8) {
+            for j in (i + 1)..index.entries().len().min(8) {
+                let (a, b) = (&index.entries()[i], &index.entries()[j]);
+                let record = structure.resolve(&[a.id, b.id], &cache, &a.coverage, &b.coverage);
+                if record.coverage.is_none() {
+                    failed += 1;
+                }
+            }
+        }
+        assert!(failed > 0, "the tight threshold must fail some merges");
+        // Every resolved merge failed support ⇒ zero new cache entries.
+        assert_eq!(
+            cache.len() - entries_before,
+            structure.merges_resolved() - failed
+        );
+    }
+
+    #[test]
+    fn refilter_view_matches_a_cold_build_at_the_tighter_threshold() {
+        let (cache, index, config) = setup(400, 0.05);
+        let loose = SweepStructure::build(&index, &config);
+        // Resolve a few merges so the view has records to re-filter.
+        for i in 0..6 {
+            let (a, b) = (&index.entries()[i], &index.entries()[i + 1]);
+            let _ = loose.resolve(&[a.id, b.id], &cache, &a.coverage, &b.coverage);
+        }
+        let tight_config = LatticeConfig {
+            support_threshold: 0.2,
+            ..config.clone()
+        };
+        let cold = SweepStructure::build(&index, &tight_config);
+        let view = loose.refilter_view(cold.min_count());
+
+        assert_eq!(view.min_count(), cold.min_count());
+        assert_eq!(view.n_rows(), cold.n_rows());
+        assert_eq!(view.singles().len(), cold.singles().len());
+        for (v, c) in view.singles().iter().zip(cold.singles()) {
+            assert_eq!(v.id, c.id);
+            assert_eq!(v.count, c.count);
+            assert_eq!(v.coverage, c.coverage);
+        }
+        // Re-filtered records keep counts; coverage survives iff the count
+        // clears the tighter threshold.
+        assert_eq!(view.merges_resolved(), loose.merges_resolved());
+        for (i, entry) in index.entries().iter().enumerate().take(6) {
+            let ids = [entry.id, index.entries()[i + 1].id];
+            let from_loose = loose.lookup(&ids).unwrap();
+            let from_view = view.lookup(&ids).unwrap();
+            assert_eq!(from_view.count, from_loose.count);
+            assert_eq!(
+                from_view.coverage.is_some(),
+                from_view.count >= cold.min_count()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "refilter can only tighten")]
+    fn refilter_view_rejects_loosening() {
+        let (_cache, index, config) = setup(200, 0.2);
+        let structure = SweepStructure::build(&index, &config);
+        let _ = structure.refilter_view(structure.min_count() - 1);
     }
 
     #[test]

@@ -79,6 +79,34 @@ proptest! {
         prop_assert_eq!(and.len(), len);
     }
 
+    /// The fused kernel and the materialized path agree everywhere the
+    /// 4-word unroll and a partial final word can interact: `and_count`
+    /// (and its `intersection_count` alias) equals `and().count()` at
+    /// universe lengths not divisible by 64, including lengths shorter
+    /// than, equal to, and straddling the 256-bit unroll width.
+    #[test]
+    fn and_count_matches_materialized_and(
+        len in 1usize..600,
+        seed_a in proptest::collection::vec(0u32..600, 0..120),
+        seed_b in proptest::collection::vec(0u32..600, 0..120),
+    ) {
+        let clamp = |raw: &[u32]| -> Vec<u32> {
+            let mut v: Vec<u32> = raw.iter().map(|&i| i % len as u32).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let sa = BitSet::from_indices(len, &clamp(&seed_a));
+        let sb = BitSet::from_indices(len, &clamp(&seed_b));
+        let materialized = sa.and(&sb).count();
+        prop_assert_eq!(sa.and_count(&sb), materialized);
+        prop_assert_eq!(sa.intersection_count(&sb), materialized);
+        // Commutative, and exact against a dense complement too.
+        prop_assert_eq!(sb.and_count(&sa), materialized);
+        let full = BitSet::from_indices(len, &(0..len as u32).collect::<Vec<_>>());
+        prop_assert_eq!(sa.and_count(&full), sa.count());
+    }
+
     /// The documented out-of-range contract: `contains` answers `false` for
     /// any index past the universe, while `insert` (checked separately in
     /// the unit tests) panics.

@@ -11,8 +11,8 @@ use gopher_fairness::FairnessMetric;
 use gopher_models::LogisticRegression;
 use gopher_patterns::lattice::{compute_candidates_multi, LatticeConfig};
 use gopher_patterns::{
-    generate_predicates, BitSet, Candidate, CoverageCache, PredicateIndex, PredicateTable, ScoreFn,
-    SearchStats, SweepStructure,
+    generate_predicates, min_count_for, BitSet, Candidate, CoverageCache, PredicateIndex,
+    PredicateTable, ScoreFn, SearchStats, SweepStructure,
 };
 use gopher_prng::Rng;
 use proptest::prelude::*;
@@ -153,6 +153,101 @@ proptest! {
                     (sl.level, sl.generated, sl.kept),
                     (pl.level, pl.generated, pl.kept)
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// The τ-monotone acceptance property: a [`SweepStructure`] re-filtered
+    /// to a tighter support count is indistinguishable from one cold-built
+    /// at that count — identical singles, and a bit-identical sweep that
+    /// touches a fresh coverage cache not at all (every merge it enumerates
+    /// was already resolved at the looser τ) — at 1 and 4 threads, across
+    /// depths, pruning modes, and scorers.
+    #[test]
+    fn refiltered_view_sweeps_bit_identical_to_cold_build(
+        pair_choice in 0usize..3,
+        depth in 2usize..4,
+        prune_bit in 0u64..2,
+        kind in 0u64..3,
+        thread_choice in 0usize..2,
+    ) {
+        let (d, table) = table();
+        let labels = d.labels();
+        let privileged = d.privileged_mask();
+        let (tau_loose, tau_tight) = [(0.04, 0.08), (0.05, 0.12), (0.06, 0.2)][pair_choice];
+        let threads = [1usize, 4][thread_choice];
+        let loose_cfg = LatticeConfig {
+            support_threshold: tau_loose,
+            max_predicates: depth,
+            prune_by_responsibility: prune_bit == 1,
+            max_level_candidates: None,
+        };
+        let tight_cfg = LatticeConfig {
+            support_threshold: tau_tight,
+            ..loose_cfg.clone()
+        };
+        let _cpu = CPU_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(table, &cache);
+        let run = |config: &LatticeConfig, cache: &CoverageCache, structure: &SweepStructure| {
+            let mut s = make_scorer(kind, labels, &privileged);
+            let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut s)];
+            compute_candidates_multi(table, &mut scorers, config, cache, structure, threads)
+                .pop()
+                .unwrap()
+        };
+        // A sweep at the loose τ populates the source artifact.
+        let loose_structure = SweepStructure::build(&index, &loose_cfg);
+        run(&loose_cfg, &cache, &loose_structure);
+
+        let view = loose_structure.refilter_view(min_count_for(tau_tight, d.n_rows()));
+        let cold = SweepStructure::build(&index, &tight_cfg);
+
+        // Identical singles (ids, counts, coverage bits)...
+        prop_assert_eq!(view.min_count(), cold.min_count());
+        prop_assert_eq!(view.singles().len(), cold.singles().len());
+        for (v, c) in view.singles().iter().zip(cold.singles()) {
+            prop_assert_eq!(v.id, c.id);
+            prop_assert_eq!(v.count, c.count);
+            prop_assert_eq!(v.coverage.as_ref(), c.coverage.as_ref());
+        }
+
+        // ... a bit-identical sweep, with the view's run never touching a
+        // fresh coverage cache (zero intersections counted or materialized;
+        // support is anti-monotone, so the tighter frontier is a subset of
+        // the looser one and every merge it reaches is already resolved).
+        let view_cache = CoverageCache::new();
+        let (view_cands, view_stats) = run(&tight_cfg, &view_cache, &view);
+        prop_assert_eq!(view_cache.stats().misses, 0);
+        prop_assert_eq!(view_cache.stats().hits, 0);
+        let (cold_cands, cold_stats) = run(&tight_cfg, &cache, &cold);
+        prop_assert_eq!(view_cands.len(), cold_cands.len());
+        for (a, b) in view_cands.iter().zip(&cold_cands) {
+            prop_assert_eq!(a.pattern.ids(), b.pattern.ids());
+            prop_assert_eq!(a.coverage.as_ref(), b.coverage.as_ref());
+            prop_assert_eq!(a.support.to_bits(), b.support.to_bits());
+            prop_assert_eq!(a.responsibility.to_bits(), b.responsibility.to_bits());
+        }
+        prop_assert_eq!(view_stats.total_scored, cold_stats.total_scored);
+        prop_assert_eq!(view_stats.levels.len(), cold_stats.levels.len());
+        for (v, c) in view_stats.levels.iter().zip(&cold_stats.levels) {
+            prop_assert_eq!((v.level, v.generated, v.kept), (c.level, c.generated, c.kept));
+        }
+
+        // Every merge record the cold sweep resolved exists in the view
+        // with the same support count and the same coverage presence/bits.
+        for ids in cold.known_keys() {
+            let c = cold.lookup(&ids).unwrap();
+            let v = view.lookup(&ids);
+            prop_assert!(v.is_some(), "cold-resolved merge missing from the view");
+            let v = v.unwrap();
+            prop_assert_eq!(v.count, c.count);
+            prop_assert_eq!(v.coverage.is_some(), c.coverage.is_some());
+            if let (Some(vc), Some(cc)) = (&v.coverage, &c.coverage) {
+                prop_assert_eq!(vc.as_ref(), cc.as_ref());
             }
         }
     }

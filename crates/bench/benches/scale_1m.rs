@@ -1,0 +1,249 @@
+//! SQF-scale bench tier: the paper's headline regime (hundreds of
+//! thousands of stop-question-frisk rows) instead of the German/Adult
+//! 1k–10k rows everything else is tuned on.
+//!
+//! Two families of arms:
+//!
+//! * **`cold_sweep_{off,on}/{100k,500k,1m}`** — one cold staged sweep per
+//!   iteration (fresh coverage cache and structural artifact over a
+//!   prebuilt predicate index) over synthetic SQF at 100k/500k/1M rows,
+//!   support τ = 0.1, depth 3, responsibility pruning off, one cheap
+//!   count-based scorer so the structural merge pass dominates the
+//!   measurement. `off` runs the exact `and_count` for every merge; `on`
+//!   attaches a sampled-support prefilter over a quarter of the rows that
+//!   skips merges whose sampled upper bound already proves them
+//!   unsupported. The PR's acceptance criterion is `on` strictly faster
+//!   than `off` at 500k, asserted on the median of paired back-to-back
+//!   off/on sweeps (robust to host drift, which exceeds the effect size on
+//!   shared containers); the bench also asserts the two arms are
+//!   bit-identical and that the prefilter actually skipped work before any
+//!   timing is trusted.
+//! * **`session_100k/second_order_cold_explain`** — end-to-end
+//!   `ExplainSession::explain` under *second-order* scoring at SQF-100k
+//!   (all retention off, so each iteration pays the full sweep), with the
+//!   prefilter on. After timing, the report's per-level timings re-measure
+//!   the structural share at scale — the number the ROADMAP asks for
+//!   (German-10k/first-order put it at ~2%; tune structural work where it
+//!   actually costs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopher_bench::workloads::{prepare, train_lr, DatasetKind};
+use gopher_core::{ExplainRequest, SessionBuilder};
+use gopher_data::generators::sqf;
+use gopher_influence::Estimator;
+use gopher_patterns::lattice::{compute_candidates_multi, LatticeConfig};
+use gopher_patterns::{
+    generate_predicates, BitSet, Candidate, CoverageCache, PredicateIndex, PredicateTable, ScoreFn,
+    SupportPrefilter, SweepStructure,
+};
+use std::sync::Arc;
+
+/// Prefilter sample as a fraction of the rows (the bound's power scales
+/// with the sampled fraction; a quarter of the universe is the session
+/// guidance at 100k+).
+fn prefilter_rows(n: usize) -> usize {
+    n / 4
+}
+
+/// (rows, label, timed samples) — samples shrink as the sweeps grow.
+const SIZES: [(usize, &str, usize); 3] = [
+    (100_000, "100k", 7),
+    (500_000, "500k", 5),
+    (1_000_000, "1m", 4),
+];
+
+fn config() -> LatticeConfig {
+    LatticeConfig {
+        support_threshold: 0.1,
+        max_predicates: 3,
+        prune_by_responsibility: false,
+        max_level_candidates: None,
+    }
+}
+
+/// One cold staged sweep over a prebuilt predicate index: fresh coverage
+/// cache and structural artifact per call, one cheap scorer. The index
+/// (predicate materialization — data prep, identical in both arms and
+/// untouched by the prefilter) is built once per size outside the timed
+/// region, so the measurement is the structural merge pass plus scoring:
+/// the work the prefilter exists to cut.
+fn cold_sweep(
+    table: &PredicateTable,
+    index: &PredicateIndex,
+    n_rows: usize,
+    prefilter: Option<Arc<SupportPrefilter>>,
+) -> (Vec<Candidate>, usize) {
+    let cache = CoverageCache::new();
+    let structure = SweepStructure::build_with_prefilter(index, &config(), prefilter);
+    // Density scoring: one SIMD popcount per candidate, so merge
+    // resolution — the work the prefilter targets — dominates the arm
+    // instead of a per-row scoring loop.
+    let mut scorer = |cov: &BitSet| cov.count() as f64 / n_rows as f64;
+    let mut scorers: Vec<ScoreFn<'_>> = vec![Box::new(&mut scorer)];
+    let mut results =
+        compute_candidates_multi(table, &mut scorers, &config(), &cache, &structure, 1);
+    let (candidates, stats) = results.pop().expect("one scorer in, one result out");
+    (candidates, stats.total_scored)
+}
+
+fn bench_cold_sweeps(c: &mut Criterion) {
+    for (n, label, samples) in SIZES {
+        let d = sqf(n, 7);
+        let table = generate_predicates(&d, 4);
+        let index_cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &index_cache);
+
+        // Identity + effectiveness gate before trusting any timing: the
+        // prefiltered sweep must return bit-identical candidates and must
+        // actually have skipped exact merges.
+        let pf = Arc::new(SupportPrefilter::new(n, prefilter_rows(n)));
+        let (plain, plain_scored) = cold_sweep(&table, &index, n, None);
+        let (filtered, filtered_scored) = cold_sweep(&table, &index, n, Some(Arc::clone(&pf)));
+        assert_eq!(
+            plain_scored, filtered_scored,
+            "{label}: scored counts diverge"
+        );
+        assert_eq!(
+            plain.len(),
+            filtered.len(),
+            "{label}: candidate counts diverge"
+        );
+        for (a, b) in plain.iter().zip(&filtered) {
+            assert_eq!(
+                a.pattern.ids(),
+                b.pattern.ids(),
+                "{label}: patterns diverge"
+            );
+            assert_eq!(
+                a.support.to_bits(),
+                b.support.to_bits(),
+                "{label}: supports diverge"
+            );
+        }
+        assert!(
+            pf.skips() > 0,
+            "{label}: prefilter never skipped a merge — the arm measures nothing"
+        );
+        println!(
+            "{label}: {} candidates, prefilter skipped {}/{} probes",
+            plain.len(),
+            pf.skips(),
+            pf.probes()
+        );
+
+        // Paired off/on measurement. The container this runs on shares its
+        // host: single-arm means drift by more than the prefilter's
+        // effect, so the verdict uses the median of per-pair deltas — each
+        // pair runs back-to-back (cancelling common-mode drift) and the
+        // within-pair order alternates (cancelling order bias) — instead
+        // of comparing two separately-timed arms. 500k gets extra pairs
+        // because the acceptance assertion below rides on it.
+        let pairs = if label == "500k" { 21 } else { samples + 2 };
+        let timed_off = || {
+            let t = std::time::Instant::now();
+            let _ = cold_sweep(&table, &index, n, None);
+            t.elapsed().as_secs_f64()
+        };
+        let timed_on = || {
+            let t = std::time::Instant::now();
+            let _ = cold_sweep(
+                &table,
+                &index,
+                n,
+                Some(Arc::new(SupportPrefilter::new(n, prefilter_rows(n)))),
+            );
+            t.elapsed().as_secs_f64()
+        };
+        let mut deltas = Vec::with_capacity(pairs);
+        let mut on_wins = 0usize;
+        for i in 0..pairs {
+            let (off_t, on_t) = if i % 2 == 0 {
+                let off_t = timed_off();
+                (off_t, timed_on())
+            } else {
+                let on_t = timed_on();
+                (timed_off(), on_t)
+            };
+            on_wins += usize::from(on_t < off_t);
+            deltas.push(off_t - on_t);
+        }
+        deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = deltas[pairs / 2];
+        println!(
+            "{label}: paired prefilter delta: median {:+.3}ms (on faster in {on_wins}/{pairs} pairs)",
+            median * 1e3
+        );
+        if label == "500k" {
+            assert!(
+                median > 0.0,
+                "500k: prefilter-on must be strictly faster than off \
+                 (paired median {:+.3}ms) — the PR's acceptance criterion",
+                median * 1e3
+            );
+        }
+
+        let mut group = c.benchmark_group(format!("scale_sqf_{label}"));
+        group.sample_size(samples);
+        group.bench_function("cold_sweep_prefilter_off", |b| {
+            b.iter(|| cold_sweep(&table, &index, n, None))
+        });
+        group.bench_function("cold_sweep_prefilter_on", |b| {
+            b.iter(|| {
+                cold_sweep(
+                    &table,
+                    &index,
+                    n,
+                    Some(Arc::new(SupportPrefilter::new(n, prefilter_rows(n)))),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_session_second_order(c: &mut Criterion) {
+    let p = prepare(DatasetKind::Sqf, 100_000, 42);
+    let model = train_lr(&p);
+    // All retention off: every explain pays its full sweep, so the timed
+    // loop is the real second-order workload, not a cache memo. Two worker
+    // threads force the shared structural pass, which is the only path
+    // where structural time is attributed separately from scoring (at one
+    // thread merges resolve inline inside the scoring loop).
+    let session = SessionBuilder::new()
+        .structure_cache_cap(0)
+        .sweep_cache_cap(0)
+        .coverage_cache_cap(0)
+        .threads(2)
+        .prefilter_sample(prefilter_rows(p.train_raw.n_rows()))
+        .build(model, &p.train_raw, &p.test_raw);
+    let request = ExplainRequest::default()
+        .with_support_threshold(0.1)
+        .with_max_predicates(3)
+        .with_estimator(Estimator::SecondOrder)
+        .with_ground_truth(false);
+
+    let mut group = c.benchmark_group("scale_sqf_session_100k");
+    group.sample_size(3);
+    group.bench_function("second_order_cold_explain", |b| {
+        b.iter(|| session.explain(&request))
+    });
+    group.finish();
+
+    // Structural-share re-measurement at scale (the ROADMAP number).
+    let stats = session.explain(&request).report.stats;
+    let structural: f64 = stats
+        .levels
+        .iter()
+        .map(|l| l.structural.as_secs_f64())
+        .sum();
+    let total: f64 = stats.levels.iter().map(|l| l.duration.as_secs_f64()).sum();
+    println!(
+        "structural share at SQF-100k/second-order: {:.1}% ({:.3}s of {:.3}s)",
+        100.0 * structural / total,
+        structural,
+        total
+    );
+}
+
+criterion_group!(benches, bench_cold_sweeps, bench_session_second_order);
+criterion_main!(benches);

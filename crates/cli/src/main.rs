@@ -67,6 +67,12 @@ COMMON OPTIONS:
                             retrains); 0 = auto: $GOPHER_THREADS if set, else
                             all available cores [0]. Results are identical
                             at every thread count.
+    --prefilter-sample <N>  row-sample size of the admissible sampled-support
+                            prefilter; 0 = off [0]. Skips provably
+                            unsupported merges in the structural pass before
+                            their exact intersection — results are identical
+                            on or off; worth turning on from ~100k rows
+                            (sample about a quarter of the rows).
     --json                  emit a JSON report on stdout instead of text
 
 EXPLAIN/QUERY OPTIONS:
@@ -137,6 +143,7 @@ struct Opts {
     test_fraction: f64,
     l2: f64,
     threads: usize,
+    prefilter_sample: usize,
     json: bool,
     stats: bool,
     k: usize,
@@ -162,6 +169,7 @@ impl Default for Opts {
             test_fraction: 0.3,
             l2: 1e-3,
             threads: 0,
+            prefilter_sample: 0,
             json: false,
             stats: false,
             k: 3,
@@ -235,6 +243,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
             }
             "--l2" => opts.l2 = parse_num(value("--l2")?, "--l2")?,
             "--threads" => opts.threads = parse_num(value("--threads")?, "--threads")?,
+            "--prefilter-sample" => {
+                opts.prefilter_sample =
+                    parse_num(value("--prefilter-sample")?, "--prefilter-sample")?
+            }
             "--learning-rate" => {
                 opts.learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
             }
@@ -452,6 +464,7 @@ fn fit_session<M: Model>(
 ) -> ExplainSession<M> {
     SessionBuilder::new()
         .threads(opts.threads)
+        .prefilter_sample(opts.prefilter_sample)
         .fit(make_model, train, test)
 }
 
@@ -504,6 +517,12 @@ fn session_stats_json(stats: &gopher_core::SessionStats) -> Json {
             "coverage_inserts_refused",
             Json::num(stats.coverage_inserts_refused as f64),
         ),
+        (
+            "prefilter_sample_rows",
+            Json::num(stats.prefilter_sample_rows as f64),
+        ),
+        ("prefilter_probes", Json::num(stats.prefilter_probes as f64)),
+        ("prefilter_skips", Json::num(stats.prefilter_skips as f64)),
     ])
 }
 

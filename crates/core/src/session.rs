@@ -55,7 +55,8 @@ use gopher_models::train::fit_default;
 use gopher_models::Model;
 use gopher_patterns::{
     generate_predicates, lattice, min_count_for, topk, BitSet, Candidate, CoverageCache,
-    LatticeConfig, PredicateIndex, PredicateTable, ScoreFn, SearchStats, SweepStructure,
+    LatticeConfig, PredicateIndex, PredicateTable, ScoreFn, SearchStats, SupportPrefilter,
+    SweepStructure,
 };
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
@@ -116,6 +117,7 @@ pub struct SessionBuilder {
     sweep_cache_cap: usize,
     structure_cache_cap: usize,
     coverage_cache_cap: usize,
+    prefilter_sample: usize,
 }
 
 impl Default for SessionBuilder {
@@ -137,6 +139,7 @@ impl SessionBuilder {
             sweep_cache_cap: SWEEP_CACHE_CAP,
             structure_cache_cap: STRUCTURE_CACHE_CAP,
             coverage_cache_cap: gopher_patterns::coverage::DEFAULT_COVERAGE_CACHE_CAP,
+            prefilter_sample: 0,
         }
     }
 
@@ -197,6 +200,26 @@ impl SessionBuilder {
         self
     }
 
+    /// Row-sample size of the admissible sampled-support prefilter, or `0`
+    /// (the default) to disable it. When on, the structural pass bounds each
+    /// merge's support from above on ~this many sampled rows and skips the
+    /// exact intersection when the bound already fails the support
+    /// threshold. The skip rule is *admissible* — a merge is skipped iff the
+    /// bound proves `count < min_count` — so results, candidates, and every
+    /// sweep statistic are bit-identical with the prefilter on or off; only
+    /// the structural pass gets cheaper. The bound's power scales with the
+    /// sampled *fraction* — about a quarter of the training rows works
+    /// well; a fixed few thousand rows proves nothing at SQF scale (see
+    /// `gopher_patterns::SupportPrefilter`). Worth turning on from ~100k
+    /// rows; at small n the probe overhead outweighs the skipped work, and
+    /// around 1M rows the structural pass goes memory-bandwidth-bound and
+    /// the prefilter lands at break-even rather than a win.
+    #[must_use]
+    pub fn prefilter_sample(mut self, sample_rows: usize) -> Self {
+        self.prefilter_sample = sample_rows;
+        self
+    }
+
     /// Builds a session around an **already trained** model. The model must
     /// have been trained on `Encoder::fit(train_raw)`-encoded data;
     /// influence functions assume its parameters are a stationary point.
@@ -224,6 +247,8 @@ impl SessionBuilder {
         // any support threshold or metric start from these shared bitsets.
         let index = PredicateIndex::build(&table, &coverage);
         let accuracy = gopher_models::train::accuracy(engine.model(), &test);
+        let prefilter = (self.prefilter_sample > 0)
+            .then(|| Arc::new(SupportPrefilter::new(table.n_rows(), self.prefilter_sample)));
         ExplainSession {
             train_raw: train_raw.clone(),
             encoder,
@@ -238,6 +263,7 @@ impl SessionBuilder {
             bias_cache: Mutex::new(HashMap::new()),
             sweep_cache: Mutex::new(LruCache::new(self.sweep_cache_cap)),
             structure_cache: Mutex::new(LruCache::new(self.structure_cache_cap)),
+            prefilter,
         }
     }
 
@@ -620,6 +646,14 @@ pub struct SessionStats {
     /// Fresh coverages the coverage-cache cap refused to retain (nonzero
     /// means the cap is too small for the workload).
     pub coverage_inserts_refused: u64,
+    /// Effective row-sample size of the sampled-support prefilter (`0` when
+    /// the prefilter is off).
+    pub prefilter_sample_rows: usize,
+    /// Merge resolutions that consulted the prefilter.
+    pub prefilter_probes: u64,
+    /// Prefilter consultations whose sampled upper bound skipped the exact
+    /// intersection (each one a provably unsupported merge).
+    pub prefilter_skips: u64,
 }
 
 /// A long-lived explainer bound to one trained model.
@@ -648,6 +682,11 @@ pub struct ExplainSession<M: Model> {
     /// Tier 1: structural artifacts, keyed by structural config alone and
     /// reused across metrics, estimators, and bias evaluations.
     structure_cache: Mutex<LruCache<StructuralKey, Arc<SweepStructure>>>,
+    /// Admissible sampled-support prefilter attached to every structural
+    /// artifact this session builds; `None` when the knob is off. Session-
+    /// constant, so it is deliberately *not* part of [`StructuralKey`] —
+    /// artifacts differ only in speed, never content.
+    prefilter: Option<Arc<SupportPrefilter>>,
 }
 
 impl<M: Model> ExplainSession<M> {
@@ -723,6 +762,9 @@ impl<M: Model> ExplainSession<M> {
             coverage_hits: coverage.hits,
             coverage_misses: coverage.misses,
             coverage_inserts_refused: coverage.inserts_refused,
+            prefilter_sample_rows: self.prefilter.as_ref().map_or(0, |p| p.sample_rows()),
+            prefilter_probes: self.prefilter.as_ref().map_or(0, |p| p.probes()),
+            prefilter_skips: self.prefilter.as_ref().map_or(0, |p| p.skips()),
         }
     }
 
@@ -927,7 +969,11 @@ impl<M: Model> ExplainSession<M> {
         // merges.
         let fresh = Arc::new(match base {
             Some(base) => base.refilter_view(key.min_count),
-            None => SweepStructure::build(&self.index, lattice_cfg),
+            None => SweepStructure::build_with_prefilter(
+                &self.index,
+                lattice_cfg,
+                self.prefilter.clone(),
+            ),
         });
         let mut cache = lock_recover(&self.structure_cache);
         if let Some(raced) = cache.get_quiet(&key) {

@@ -12,7 +12,7 @@
 use crate::dataset::{Column, Dataset, Value};
 use crate::schema::{Feature, FeatureKind, PrivilegedIf, ProtectedSpec, Schema};
 use std::borrow::Cow;
-use std::io::{BufRead, BufWriter, Write};
+use std::io::{self, BufRead, BufWriter, Seek, SeekFrom, Write};
 
 /// Errors from CSV parsing.
 #[derive(Debug)]
@@ -264,7 +264,96 @@ pub enum InferredPrivileged {
 /// and doubled quotes escape a literal quote. Malformed quoting (an
 /// unterminated or misplaced quote) is rejected with the offending line
 /// number rather than silently mis-aligned.
-pub fn read_csv_infer<R: BufRead>(
+///
+/// This entry point **streams**: it reads the input twice in fixed-size
+/// chunks (inference pass, then a materialization pass after a rewind — the
+/// `Seek` bound) and never holds more than one chunk plus one record in
+/// memory beyond the typed columns themselves, which are preallocated at the
+/// row count the first pass established. Results — datasets *and* errors,
+/// including which error wins when a file has several — are bit-identical
+/// to the buffered reference path, [`read_csv_infer_buffered`]; the
+/// `csv_streaming` property suite pins that equivalence.
+pub fn read_csv_infer<R: BufRead + Seek>(
+    reader: R,
+    label_column: &str,
+    protected_column: &str,
+    privileged: &InferredPrivileged,
+) -> Result<Dataset, CsvError> {
+    read_csv_infer_chunked(
+        reader,
+        label_column,
+        protected_column,
+        privileged,
+        DEFAULT_CHUNK_BYTES,
+    )
+}
+
+/// Chunk size [`read_csv_infer`] streams with.
+const DEFAULT_CHUNK_BYTES: usize = 64 * 1024;
+
+/// Resolves the label and protected columns in a header, with the same
+/// errors whichever ingestion path runs.
+fn resolve_required_columns(
+    names: &[String],
+    label_column: &str,
+    protected_column: &str,
+) -> Result<(usize, usize), CsvError> {
+    let parse_err = |message: String| CsvError::Parse { line: 1, message };
+    let label_idx = names
+        .iter()
+        .position(|n| n == label_column)
+        .ok_or_else(|| parse_err(format!("label column {label_column:?} not in header")))?;
+    let protected_idx = names
+        .iter()
+        .position(|n| n == protected_column)
+        .ok_or_else(|| {
+            parse_err(format!(
+                "protected column {protected_column:?} not in header"
+            ))
+        })?;
+    if protected_idx == label_idx {
+        return Err(parse_err(
+            "protected column cannot be the label column".into(),
+        ));
+    }
+    Ok((label_idx, protected_idx))
+}
+
+/// Resolves the raw privileged rule against the protected feature's inferred
+/// kind, with the same errors whichever ingestion path runs.
+fn resolve_privileged_rule(
+    privileged: &InferredPrivileged,
+    kind: &FeatureKind,
+    protected_column: &str,
+) -> Result<PrivilegedIf, CsvError> {
+    let parse_err = |message: String| CsvError::Parse { line: 1, message };
+    match (privileged, kind) {
+        (InferredPrivileged::Equals(level), FeatureKind::Categorical { levels }) => levels
+            .iter()
+            .position(|l| l == level)
+            .map(|idx| PrivilegedIf::Level(idx as u32))
+            .ok_or_else(|| {
+                parse_err(format!(
+                    "privileged level {level:?} never occurs in column {protected_column:?}"
+                ))
+            }),
+        (InferredPrivileged::AtLeast(cutoff), FeatureKind::Numeric) => {
+            Ok(PrivilegedIf::AtLeast(*cutoff))
+        }
+        (InferredPrivileged::Equals(_), FeatureKind::Numeric) => Err(parse_err(format!(
+            "column {protected_column:?} is numeric; use `>=cutoff` syntax"
+        ))),
+        (InferredPrivileged::AtLeast(_), FeatureKind::Categorical { .. }) => Err(parse_err(
+            format!("column {protected_column:?} is categorical; use `=level` syntax"),
+        )),
+    }
+}
+
+/// Buffered reference implementation of [`read_csv_infer`]: reads every row
+/// into memory before inferring. Kept (public) as the bit-identity oracle
+/// the streaming path is property-tested against, and for readers that
+/// cannot rewind.
+pub fn read_csv_infer_buffered<R: BufRead>(
     reader: R,
     label_column: &str,
     protected_column: &str,
@@ -278,25 +367,8 @@ pub fn read_csv_infer<R: BufRead>(
     let parse_err = |line: usize, message: String| CsvError::Parse { line, message };
     let names: Vec<String> = split_record(&header, 1)?;
     let n_cols = names.len();
-    let label_idx = names
-        .iter()
-        .position(|n| n == label_column)
-        .ok_or_else(|| parse_err(1, format!("label column {label_column:?} not in header")))?;
-    let protected_idx = names
-        .iter()
-        .position(|n| n == protected_column)
-        .ok_or_else(|| {
-            parse_err(
-                1,
-                format!("protected column {protected_column:?} not in header"),
-            )
-        })?;
-    if protected_idx == label_idx {
-        return Err(parse_err(
-            1,
-            "protected column cannot be the label column".into(),
-        ));
-    }
+    let (label_idx, protected_idx) =
+        resolve_required_columns(&names, label_column, protected_column)?;
 
     // Pass 1: collect all fields (the inference needs a full column view),
     // remembering each row's source line for error reporting.
@@ -382,34 +454,273 @@ pub fn read_csv_infer<R: BufRead>(
     }
 
     let protected_feature = feature_of_col[protected_idx].expect("not the label column");
-    let privileged_rule = match (privileged, &features[protected_feature].kind) {
-        (InferredPrivileged::Equals(level), FeatureKind::Categorical { levels }) => {
-            let idx = levels.iter().position(|l| l == level).ok_or_else(|| {
+    let privileged_rule = resolve_privileged_rule(
+        privileged,
+        &features[protected_feature].kind,
+        protected_column,
+    )?;
+
+    Ok(Dataset::new(
+        Schema::new(features, names[label_idx].clone()),
+        columns,
+        labels,
+        ProtectedSpec {
+            feature: protected_feature,
+            privileged: privileged_rule,
+        },
+    ))
+}
+
+/// Assembles records (lines) out of fixed-size chunks read from `reader`,
+/// reproducing `BufRead::lines` semantics exactly: records split on `\n`, a
+/// trailing `\r` is stripped only from `\n`-terminated records (a final
+/// unterminated line keeps its `\r`), and invalid UTF-8 surfaces as the same
+/// `InvalidData` I/O error. Carry-over bytes are compacted once per refill,
+/// so a record straddling any number of chunk boundaries costs amortized
+/// O(record), not O(pending²).
+struct RecordReader<R: BufRead> {
+    reader: R,
+    chunk: Vec<u8>,
+    /// Unconsumed bytes: `pending[pos..]` is carried-over input.
+    pending: Vec<u8>,
+    pos: usize,
+    /// `pending[pos..searched]` is known to contain no `\n`.
+    searched: usize,
+    eof: bool,
+}
+
+impl<R: BufRead> RecordReader<R> {
+    fn new(reader: R, chunk_bytes: usize) -> Self {
+        Self {
+            reader,
+            chunk: vec![0; chunk_bytes.max(1)],
+            pending: Vec::new(),
+            pos: 0,
+            searched: 0,
+            eof: false,
+        }
+    }
+
+    /// The next record, or `None` at end of input.
+    fn next_record(&mut self) -> Result<Option<String>, CsvError> {
+        loop {
+            if let Some(rel) = self.pending[self.searched..]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let nl = self.searched + rel;
+                let mut end = nl;
+                if end > self.pos && self.pending[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                let record = utf8_record(&self.pending[self.pos..end])?;
+                self.pos = nl + 1;
+                self.searched = self.pos;
+                return Ok(Some(record));
+            }
+            self.searched = self.pending.len();
+            if self.eof {
+                if self.pos >= self.pending.len() {
+                    return Ok(None);
+                }
+                // Final unterminated line: no `\n` was stripped, so no `\r`
+                // is either (mirrors `BufRead::lines`).
+                let record = utf8_record(&self.pending[self.pos..])?;
+                self.pos = self.pending.len();
+                return Ok(Some(record));
+            }
+            self.pending.drain(..self.pos);
+            self.searched -= self.pos;
+            self.pos = 0;
+            let n = self.reader.read(&mut self.chunk).map_err(CsvError::Io)?;
+            if n == 0 {
+                self.eof = true;
+            } else {
+                self.pending.extend_from_slice(&self.chunk[..n]);
+            }
+        }
+    }
+}
+
+/// Decodes one record's bytes, failing exactly like `BufRead::lines` does on
+/// invalid UTF-8.
+fn utf8_record(bytes: &[u8]) -> Result<String, CsvError> {
+    std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| {
+        CsvError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "stream did not contain valid UTF-8",
+        ))
+    })
+}
+
+/// One streamed column being materialized in the second pass, its type fixed
+/// by the first pass.
+enum ColumnBuilder {
+    Numeric(Vec<f64>),
+    Categorical {
+        levels: Vec<String>,
+        level_of: std::collections::HashMap<String, u32>,
+        values: Vec<u32>,
+    },
+}
+
+/// Streaming implementation of [`read_csv_infer`] with an explicit chunk
+/// size (exposed so tests can force chunk boundaries to straddle quoted
+/// fields and multi-byte rows; `read_csv_infer` passes 64 KiB). Two passes:
+///
+/// 1. **Inference** — validate structure record by record (field counts,
+///    quoting), keep one `numeric_ok` flag per column, count data rows.
+/// 2. **Materialization** — rewind, then fill typed columns preallocated at
+///    the first pass's row count; labels are validated in row order (the
+///    first pass already proved structure, so the first label error is the
+///    same one the buffered path reports).
+///
+/// `chunk_bytes` is clamped to at least 1; records may straddle any number
+/// of chunks.
+pub fn read_csv_infer_chunked<R: BufRead + Seek>(
+    mut reader: R,
+    label_column: &str,
+    protected_column: &str,
+    privileged: &InferredPrivileged,
+    chunk_bytes: usize,
+) -> Result<Dataset, CsvError> {
+    let parse_err = |line: usize, message: String| CsvError::Parse { line, message };
+    let mut records = RecordReader::new(&mut reader, chunk_bytes);
+    let header = records.next_record()?.ok_or(CsvError::Parse {
+        line: 1,
+        message: "missing header".into(),
+    })?;
+    let names: Vec<String> = split_record(&header, 1)?;
+    let n_cols = names.len();
+    let (label_idx, protected_idx) =
+        resolve_required_columns(&names, label_column, protected_column)?;
+
+    // Pass 1: structure validation + per-column numeric inference + count.
+    let mut numeric_ok = vec![true; n_cols];
+    let mut n_rows = 0usize;
+    let mut line_no = 1usize;
+    while let Some(line) = records.next_record()? {
+        line_no += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = split_record(&line, line_no)?;
+        if fields.len() != n_cols {
+            return Err(parse_err(
+                line_no,
+                format!("expected {n_cols} fields, found {}", fields.len()),
+            ));
+        }
+        for (c, field) in fields.iter().enumerate() {
+            if c != label_idx && numeric_ok[c] && !field.parse::<f64>().is_ok_and(|v| v.is_finite())
+            {
+                numeric_ok[c] = false;
+            }
+        }
+        n_rows += 1;
+    }
+    if n_rows == 0 {
+        return Err(parse_err(2, "no data rows".into()));
+    }
+    drop(records);
+
+    // Pass 2: rewind and materialize into preallocated typed columns.
+    reader.seek(SeekFrom::Start(0)).map_err(CsvError::Io)?;
+    let mut records = RecordReader::new(&mut reader, chunk_bytes);
+    let _header = records.next_record()?; // structure proven in pass 1
+    let mut feature_of_col: Vec<Option<usize>> = vec![None; n_cols];
+    let mut builders: Vec<ColumnBuilder> = Vec::with_capacity(n_cols - 1);
+    for c in 0..n_cols {
+        if c == label_idx {
+            continue;
+        }
+        feature_of_col[c] = Some(builders.len());
+        builders.push(if numeric_ok[c] {
+            ColumnBuilder::Numeric(Vec::with_capacity(n_rows))
+        } else {
+            ColumnBuilder::Categorical {
+                levels: Vec::new(),
+                level_of: std::collections::HashMap::new(),
+                values: Vec::with_capacity(n_rows),
+            }
+        });
+    }
+    let mut labels: Vec<u8> = Vec::with_capacity(n_rows);
+    let mut line_no = 1usize;
+    while let Some(line) = records.next_record()? {
+        line_no += 1;
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<String> = split_record(&line, line_no)?;
+        for (c, field) in fields.iter().enumerate() {
+            let Some(f) = feature_of_col[c] else {
+                continue;
+            };
+            match &mut builders[f] {
+                ColumnBuilder::Numeric(values) => {
+                    // Pass 1 proved every field in this column numeric.
+                    let v = field.parse::<f64>().map_err(|_| {
+                        parse_err(line_no, format!("field {field:?} stopped parsing as f64"))
+                    })?;
+                    values.push(v);
+                }
+                ColumnBuilder::Categorical {
+                    levels,
+                    level_of,
+                    values,
+                } => {
+                    let idx = match level_of.get(field.as_str()) {
+                        Some(&i) => i,
+                        None => {
+                            let i = levels.len() as u32;
+                            levels.push(field.clone());
+                            level_of.insert(field.clone(), i);
+                            i
+                        }
+                    };
+                    values.push(idx);
+                }
+            }
+        }
+        let y: u8 = fields[label_idx]
+            .parse()
+            .ok()
+            .filter(|&y| y <= 1)
+            .ok_or_else(|| {
                 parse_err(
-                    1,
-                    format!(
-                        "privileged level {level:?} never occurs in column {protected_column:?}"
-                    ),
+                    line_no,
+                    format!("label {:?} must be 0 or 1", fields[label_idx]),
                 )
             })?;
-            PrivilegedIf::Level(idx as u32)
+        labels.push(y);
+    }
+    drop(records);
+
+    let mut features: Vec<Feature> = Vec::with_capacity(builders.len());
+    let mut columns: Vec<Column> = Vec::with_capacity(builders.len());
+    for (c, name) in names.iter().enumerate() {
+        let Some(f) = feature_of_col[c] else {
+            continue;
+        };
+        match std::mem::replace(&mut builders[f], ColumnBuilder::Numeric(Vec::new())) {
+            ColumnBuilder::Numeric(values) => {
+                features.push(Feature::numeric(name.clone()));
+                columns.push(Column::Numeric(values));
+            }
+            ColumnBuilder::Categorical { levels, values, .. } => {
+                features.push(Feature::categorical(name.clone(), levels));
+                columns.push(Column::Categorical(values));
+            }
         }
-        (InferredPrivileged::AtLeast(cutoff), FeatureKind::Numeric) => {
-            PrivilegedIf::AtLeast(*cutoff)
-        }
-        (InferredPrivileged::Equals(_), FeatureKind::Numeric) => {
-            return Err(parse_err(
-                1,
-                format!("column {protected_column:?} is numeric; use `>=cutoff` syntax"),
-            ));
-        }
-        (InferredPrivileged::AtLeast(_), FeatureKind::Categorical { .. }) => {
-            return Err(parse_err(
-                1,
-                format!("column {protected_column:?} is categorical; use `=level` syntax"),
-            ));
-        }
-    };
+    }
+
+    let protected_feature = feature_of_col[protected_idx].expect("not the label column");
+    let privileged_rule = resolve_privileged_rule(
+        privileged,
+        &features[protected_feature].kind,
+        protected_column,
+    )?;
 
     Ok(Dataset::new(
         Schema::new(features, names[label_idx].clone()),
@@ -548,6 +859,70 @@ age,gender,income,approved
         assert_eq!(inferred.privileged_mask(), original.privileged_mask());
         for r in 0..original.n_rows() {
             assert_eq!(original.describe_row(r), inferred.describe_row(r));
+        }
+    }
+
+    /// Every chunk size — down to one byte, so boundaries land inside
+    /// quoted fields, multi-byte characters, and `\r\n` pairs — must yield
+    /// exactly what the buffered reference yields.
+    #[test]
+    fn streaming_matches_buffered_at_every_tiny_chunk_size() {
+        let csv = "name,née,approved\r\n\
+                   \"Smith, John\",café,1\r\n\
+                   \n\
+                   \"He said \"\"hí\"\"\",naïve,0\n\
+                   plain,über,1";
+        let rule = InferredPrivileged::Equals("café".into());
+        let buffered =
+            read_csv_infer_buffered(Cursor::new(csv.as_bytes()), "approved", "née", &rule).unwrap();
+        for chunk in [1usize, 2, 3, 5, 7, 16, 64, 4096] {
+            let streamed = read_csv_infer_chunked(
+                Cursor::new(csv.as_bytes()),
+                "approved",
+                "née",
+                &rule,
+                chunk,
+            )
+            .unwrap();
+            assert_eq!(streamed, buffered, "chunk={chunk}");
+        }
+    }
+
+    /// Errors must also match the buffered path — same variant, same line —
+    /// at chunk sizes that split the offending record.
+    #[test]
+    fn streaming_reports_buffered_errors_at_tiny_chunks() {
+        let cases: &[&str] = &[
+            "a,y\n1,0\nonly_one_field\n", // field-count error, line 3
+            "a,y\n\"unterminated,0\n",    // quoting error, line 2
+            "a,y\n1,7\n",                 // label error, line 2
+            "a,y\n",                      // no data rows
+        ];
+        for csv in cases {
+            let want = format!(
+                "{:?}",
+                read_csv_infer_buffered(
+                    Cursor::new(csv.as_bytes()),
+                    "y",
+                    "a",
+                    &InferredPrivileged::AtLeast(0.0),
+                )
+                .unwrap_err()
+            );
+            for chunk in [1usize, 3, 8] {
+                let got = format!(
+                    "{:?}",
+                    read_csv_infer_chunked(
+                        Cursor::new(csv.as_bytes()),
+                        "y",
+                        "a",
+                        &InferredPrivileged::AtLeast(0.0),
+                        chunk,
+                    )
+                    .unwrap_err()
+                );
+                assert_eq!(got, want, "csv={csv:?} chunk={chunk}");
+            }
         }
     }
 

@@ -147,6 +147,41 @@ mod tests {
         );
     }
 
+    /// At SQF scale the generator's own planted-rate assertions run (they
+    /// are gated on n ≥ 100k), and the planted subgroup A must be
+    /// recoverable from the emitted columns with its frisk rate intact —
+    /// the structure the `scale_1m` bench tier sweeps for.
+    #[test]
+    fn sqf_large_n_keeps_planted_rates() {
+        let d = sqf(200_000, 11); // generation itself asserts the rates
+        assert_eq!(d.n_rows(), 200_000);
+        let race = d.schema().feature_index("race").unwrap();
+        let black = d.schema().level_index(race, "Black").unwrap();
+        let age = d.schema().feature_index("age").unwrap();
+        let fits = d.schema().feature_index("fits_description").unwrap();
+        let location = d.schema().feature_index("location").unwrap();
+        let mut members = 0usize;
+        let mut frisked = 0usize;
+        for r in 0..d.n_rows() {
+            if d.value(r, race).as_level() == black
+                && d.value(r, fits).as_level() == 0
+                && d.value(r, location).as_level() == 0
+                && d.value(r, age).as_number() < 25.0
+            {
+                members += 1;
+                // Label 1 = not frisked.
+                frisked += usize::from(d.labels()[r] == 0);
+            }
+        }
+        let support = members as f64 / d.n_rows() as f64;
+        assert!(
+            (0.05..0.30).contains(&support),
+            "subgroup A support {support}"
+        );
+        let rate = frisked as f64 / members as f64;
+        assert!(rate > 0.75, "subgroup A frisk rate {rate}");
+    }
+
     #[test]
     fn planted_german_subgroup_exists_with_expected_support() {
         // (age >= 45) ∧ (gender = Female) should cover roughly 4–9% of rows

@@ -57,6 +57,16 @@ pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
     let mut build_c = Vec::with_capacity(n);
     let mut labels = Vec::with_capacity(n);
 
+    // Planted-bias bookkeeping: at large n the realized subgroup supports
+    // and frisk rates are asserted against the planted parameters, so a
+    // regression in the planting logic (or the RNG plumbing feeding it)
+    // fails at generation time instead of surfacing as a mysteriously
+    // unbiased benchmark dataset downstream.
+    let mut a_rows = 0usize;
+    let mut a_frisked = 0usize;
+    let mut c_rows = 0usize;
+    let mut c_frisked = 0usize;
+
     for _ in 0..n {
         let race = race_dist.sample(&mut rng) as u32;
         let white = race == 2;
@@ -106,8 +116,18 @@ pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
             p_frisk = p_frisk.min(0.06);
         }
 
+        let frisked = rng.bernoulli(p_frisk);
+        if subgroup_a {
+            a_rows += 1;
+            a_frisked += usize::from(frisked);
+        }
+        if subgroup_c {
+            c_rows += 1;
+            c_frisked += usize::from(frisked);
+        }
+
         // Label 1 = NOT frisked (favorable).
-        labels.push(u8::from(!rng.bernoulli(p_frisk)));
+        labels.push(u8::from(!frisked));
         race_c.push(race);
         age_c.push(age);
         location_c.push(location);
@@ -117,6 +137,25 @@ pub fn sqf(n_rows: usize, seed: u64) -> Dataset {
         proximity_c.push(proximity);
         time_c.push(night);
         build_c.push(build);
+    }
+
+    // Generation-time sanity check on the planted bias. Only at large n,
+    // where the binomial noise around the planted rates is far smaller than
+    // the slack in these bands (at 100k rows subgroup A alone has tens of
+    // thousands of members; a band this wide is > 50σ from the mean).
+    if n >= 100_000 {
+        let a_support = a_rows as f64 / n as f64;
+        let a_rate = a_frisked as f64 / a_rows.max(1) as f64;
+        assert!(
+            (0.05..0.30).contains(&a_support) && a_rate > 0.75,
+            "planted subgroup A drifted: support {a_support:.4}, frisk rate {a_rate:.4}"
+        );
+        let c_support = c_rows as f64 / n as f64;
+        let c_not_frisked = 1.0 - c_frisked as f64 / c_rows.max(1) as f64;
+        assert!(
+            (0.01..0.10).contains(&c_support) && c_not_frisked > 0.90,
+            "planted subgroup C drifted: support {c_support:.4}, not-frisked rate {c_not_frisked:.4}"
+        );
     }
 
     let race_idx = schema.feature_index("race").expect("race feature exists");

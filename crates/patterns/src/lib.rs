@@ -29,11 +29,11 @@ mod predicate;
 pub mod structure;
 pub mod topk;
 
-pub use bitset::BitSet;
+pub use bitset::{simd_backend, BitSet};
 pub use candidates::{generate_predicates, PredicateTable};
 pub use coverage::{CoverageCache, CoverageCacheStats};
 pub use index::PredicateIndex;
 pub use lattice::{Candidate, LatticeConfig, LevelStats, ScoreFn, SearchStats};
 pub use pattern::Pattern;
 pub use predicate::{Op, PredValue, Predicate};
-pub use structure::{min_count_for, SweepStructure};
+pub use structure::{min_count_for, MergeRecord, ParentHint, SupportPrefilter, SweepStructure};

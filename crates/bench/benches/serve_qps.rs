@@ -1,0 +1,160 @@
+//! Serving-throughput benchmark: the `gopher serve` daemon under concurrent
+//! HTTP load, micro-batching on vs off.
+//!
+//! Two identically configured servers answer the same workload — four
+//! persistent clients spraying mixed-metric explains across two tenant
+//! sessions — differing only in the batch window (the daemon's 2 ms default
+//! vs `0`, which disables coalescing). Both tenants run with
+//! `sweep_cache_cap: 0`, so every request pays its lattice sweep and the
+//! batched arm's saving is structural sharing, not scored-cache hits.
+//!
+//! The acceptance verdict is counter-based, not wall-clock: after the load,
+//! the batched arm's sessions must report `batches_formed` strictly below
+//! `requests_served` (coalescing happened) while the solo arm's are equal
+//! (it never batched). Wall-clock medians of paired rounds are printed for
+//! the record; on shared or single-core containers they are noise-dominated,
+//! so they inform `BENCH_baseline.json` rather than gate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gopher_json::Json;
+use gopher_serve::client::{request_once, Conn};
+use gopher_serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+const TENANTS: [&str; 2] = ["tenant-a", "tenant-b"];
+const METRICS: [&str; 4] = [
+    "statistical-parity",
+    "equal-opportunity",
+    "predictive-parity",
+    "average-odds",
+];
+
+/// Boots a daemon with the given batch window and registers both tenants
+/// (German generator, sweep retention off so every explain really sweeps).
+fn boot(window: Duration) -> Server {
+    let server = Server::start(ServeConfig {
+        batch_window: window,
+        workers: CLIENTS,
+        ..Default::default()
+    })
+    .expect("bind an ephemeral port");
+    for (tenant, seed) in TENANTS.iter().zip([7u64, 11]) {
+        let body = format!(
+            r#"{{"name":"{tenant}", "generator":"german", "rows":300, "seed":{seed}, "sweep_cache_cap":0}}"#
+        );
+        let created = request_once(server.addr(), "POST", "/sessions", Some(&body))
+            .expect("create tenant session");
+        assert_eq!(created.status, 201, "{}", created.body);
+    }
+    server
+}
+
+/// One load round: every client keeps one connection alive and walks the
+/// tenant × metric grid from its own offset, so concurrent requests mix
+/// shapes the way real multi-analyst traffic does.
+fn round(addr: SocketAddr) {
+    std::thread::scope(|scope| {
+        for t in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut conn = Conn::connect(addr).expect("connect");
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let tenant = TENANTS[(t + i) % TENANTS.len()];
+                    let metric = METRICS[(t + i) % METRICS.len()];
+                    let body = format!(r#"{{"metric":"{metric}"}}"#);
+                    let answer = conn
+                        .request("POST", &format!("/sessions/{tenant}/explain"), Some(&body))
+                        .expect("explain");
+                    assert_eq!(answer.status, 200, "{}", answer.body);
+                }
+            });
+        }
+    });
+}
+
+/// Cumulative (requests_served, batches_formed) over both tenants.
+fn traffic_counters(addr: SocketAddr) -> (u64, u64) {
+    let mut requests = 0;
+    let mut batches = 0;
+    for tenant in TENANTS {
+        let stats =
+            request_once(addr, "GET", &format!("/sessions/{tenant}/stats"), None).expect("stats");
+        assert_eq!(stats.status, 200, "{}", stats.body);
+        let json = gopher_json::parse(stats.body.trim()).expect("stats JSON");
+        let field = |name: &str| {
+            json.get(name)
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| panic!("stats missing {name}: {}", stats.body))
+                as u64
+        };
+        requests += field("requests_served");
+        batches += field("batches_formed");
+    }
+    (requests, batches)
+}
+
+fn bench_serve_qps(c: &mut Criterion) {
+    let solo = boot(Duration::ZERO);
+    let batched = boot(Duration::from_millis(2));
+
+    let mut group = c.benchmark_group("serve_qps_german_300");
+    group.sample_size(10);
+    group.bench_function("round_32req_4clients_window_0", |b| {
+        b.iter(|| round(solo.addr()));
+    });
+    group.bench_function("round_32req_4clients_window_2ms", |b| {
+        b.iter(|| round(batched.addr()));
+    });
+    group.finish();
+
+    // Paired rounds in alternating order: the wall-clock record for the
+    // baseline file, robust to drift on a shared container.
+    let mut solo_times = Vec::new();
+    let mut batched_times = Vec::new();
+    for i in 0..6 {
+        let order: [(&Server, &mut Vec<Duration>); 2] = if i % 2 == 0 {
+            [(&solo, &mut solo_times), (&batched, &mut batched_times)]
+        } else {
+            [(&batched, &mut batched_times), (&solo, &mut solo_times)]
+        };
+        for (server, times) in order {
+            let start = Instant::now();
+            round(server.addr());
+            times.push(start.elapsed());
+        }
+    }
+    solo_times.sort();
+    batched_times.sort();
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as f64;
+    let qps = |median: Duration| total / median.as_secs_f64();
+    println!(
+        "serve_qps paired medians: solo {:?} ({:.0} qps), batched {:?} ({:.0} qps)",
+        solo_times[3],
+        qps(solo_times[3]),
+        batched_times[3],
+        qps(batched_times[3]),
+    );
+
+    // The batching verdict lives in the counters: the solo arm never formed
+    // a multi-request batch, the batched arm must have.
+    let (solo_requests, solo_batches) = traffic_counters(solo.addr());
+    assert_eq!(
+        solo_requests, solo_batches,
+        "window 0 must run every request solo"
+    );
+    let (batched_requests, batched_batches) = traffic_counters(batched.addr());
+    assert!(
+        batched_batches < batched_requests,
+        "the 2 ms window must coalesce under 4-client load \
+         ({batched_batches} batches for {batched_requests} requests)"
+    );
+    println!(
+        "serve_qps counters: solo {solo_requests} requests = {solo_batches} batches; \
+         batched {batched_requests} requests in {batched_batches} batches"
+    );
+}
+
+criterion_group!(benches, bench_serve_qps);
+criterion_main!(benches);

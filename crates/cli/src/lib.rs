@@ -3,8 +3,10 @@
 //! The binary (`src/main.rs`) does the argument parsing and orchestration;
 //! this crate exposes the pieces worth reusing and testing in isolation:
 //!
-//! * [`json`] — a dependency-free JSON value tree with a writer and a strict
-//!   parser (used both to emit `--json` reports and, from the integration
-//!   tests, to validate that those reports round-trip).
+//! * [`json`] — the workspace's dependency-free JSON value tree with a
+//!   writer and a strict, hardened parser. Since PR 7 the codec lives in its
+//!   own crate, [`gopher_json`], so the serving daemon can speak the same
+//!   wire format without depending on the CLI; this alias keeps every
+//!   existing `gopher_cli::json::…` caller working unchanged.
 
-pub mod json;
+pub use gopher_json as json;

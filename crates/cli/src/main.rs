@@ -12,13 +12,16 @@
 //! * `gopher query` — build one explain session and answer a JSON array of
 //!   explanation requests against it (implies `--json`): the serving-style
 //!   entry point, where model training and influence precomputation are paid
-//!   once for the whole batch.
+//!   once for the whole batch;
+//! * `gopher serve` — the same serving surface over HTTP: a multi-session
+//!   daemon with an LRU session registry and micro-batched explain calls
+//!   (see `gopher_serve`).
 //!
 //! Run `gopher --help` for the full flag reference.
 
 use gopher_cli::json::{self, Json};
 use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
-use gopher_data::csv::{read_csv_infer, InferredPrivileged};
+use gopher_data::csv::{parse_protected_spec, read_csv_infer};
 use gopher_data::generators::{adult, german, sqf};
 use gopher_data::{Dataset, Encoder};
 use gopher_fairness::{
@@ -29,6 +32,8 @@ use gopher_influence::{BiasEval, Estimator};
 use gopher_models::train::{accuracy, fit_default};
 use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
 use gopher_prng::Rng;
+use gopher_serve::api;
+use gopher_serve::{ServeConfig, Server};
 use std::fmt::Write as _;
 use std::io::{Read as _, Write as _};
 use std::process::ExitCode;
@@ -37,7 +42,7 @@ const HELP: &str = "\
 gopher — interpretable data-based explanations for fairness debugging
 
 USAGE:
-    gopher <explain|audit|report|query> [OPTIONS]
+    gopher <explain|audit|report|query|serve> [OPTIONS]
 
 SUBCOMMANDS:
     explain    top-k training-data patterns responsible for model bias
@@ -45,6 +50,8 @@ SUBCOMMANDS:
     report     audit + explain as one JSON document (implies --json)
     query      answer a JSON array of explain requests against one shared
                session (implies --json); see --requests
+    serve      HTTP daemon: named sessions from CSV uploads or generators,
+               LRU registry, micro-batched explain calls; see SERVE OPTIONS
 
 COMMON OPTIONS:
     --data <NAME>           dataset generator: german | adult | sqf [german]
@@ -95,6 +102,20 @@ EXPLAIN/QUERY OPTIONS:
                             metric-independent tier), and coverage
                             hit/miss/eviction rates
 
+SERVE OPTIONS:
+    --addr <HOST>           address to bind [127.0.0.1]
+    --port <N>              port to bind; 0 = OS-assigned, printed on the
+                            `listening on http://...` line [7979]
+    --batch-window-ms <MS>  micro-batch collection window: concurrent
+                            explain calls against one session within this
+                            window coalesce into one explain_batch; 0
+                            disables coalescing [2]
+    --max-batch <N>         most requests one micro-batch may coalesce [16]
+    --session-cap <N>       sessions retained before LRU eviction [8]
+    --workers <N>           connection-handling threads; 0 = auto [0]
+    --max-body-bytes <N>    largest accepted request body (413 past it)
+                            [16777216]
+
 EXAMPLES:
     gopher explain --data german --k 3 --json
     gopher explain --csv loans.csv --label approved --protected gender=F
@@ -102,6 +123,7 @@ EXAMPLES:
     gopher report --data sqf --k 5 --support 0.1
     echo '[{\"metric\":\"statistical-parity\"},{\"metric\":\"equal-opportunity\"}]' \\
         | gopher query --requests - --data german
+    gopher serve --port 7979 --batch-window-ms 2
 ";
 
 fn main() -> ExitCode {
@@ -152,6 +174,13 @@ struct Opts {
     estimator: Estimator,
     learning_rate: f64,
     ground_truth: bool,
+    addr: String,
+    port: u16,
+    batch_window_ms: u64,
+    max_batch: usize,
+    session_cap: usize,
+    workers: usize,
+    max_body_bytes: usize,
 }
 
 impl Default for Opts {
@@ -178,37 +207,25 @@ impl Default for Opts {
             estimator: Estimator::SecondOrder,
             learning_rate: 1.0,
             ground_truth: false,
+            addr: "127.0.0.1".into(),
+            port: 7979,
+            batch_window_ms: 2,
+            max_batch: 16,
+            session_cap: 8,
+            workers: 0,
+            max_body_bytes: json::DEFAULT_MAX_BYTES,
         }
     }
 }
 
+/// The metric/estimator vocabularies live in `gopher_serve::api` (shared
+/// with the HTTP surface); these shims only adapt the error type.
 fn parse_metric(name: &str) -> Result<FairnessMetric, UsageError> {
-    match name {
-        "statistical-parity" | "spd" => Ok(FairnessMetric::StatisticalParity),
-        "equal-opportunity" | "eo" => Ok(FairnessMetric::EqualOpportunity),
-        "predictive-parity" | "pp" => Ok(FairnessMetric::PredictiveParity),
-        "average-odds" | "ao" => Ok(FairnessMetric::AverageOdds),
-        other => Err(bad(format!("unknown metric `{other}`"))),
-    }
+    api::parse_metric(name).map_err(bad)
 }
 
 fn parse_estimator(name: &str, learning_rate: f64) -> Result<Estimator, UsageError> {
-    match name {
-        "first-order" | "fo" => Ok(Estimator::FirstOrder),
-        "second-order" | "so" => Ok(Estimator::SecondOrder),
-        "newton" => Ok(Estimator::NewtonStep),
-        "one-step-gd" | "gd" => Ok(Estimator::OneStepGd { learning_rate }),
-        other => Err(bad(format!("unknown estimator `{other}`"))),
-    }
-}
-
-fn parse_bias_eval(name: &str) -> Result<BiasEval, UsageError> {
-    match name {
-        "chain-rule" => Ok(BiasEval::ChainRule),
-        "re-eval-smooth" => Ok(BiasEval::ReEvalSmooth),
-        "re-eval-hard" => Ok(BiasEval::ReEvalHard),
-        other => Err(bad(format!("unknown bias_eval `{other}`"))),
-    }
+    api::parse_estimator(name, learning_rate).map_err(bad)
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
@@ -252,6 +269,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
             }
             "--metric" => opts.metric = parse_metric(value("--metric")?)?,
             "--estimator" => estimator_name = value("--estimator")?.clone(),
+            "--addr" => opts.addr = value("--addr")?.clone(),
+            "--port" => opts.port = parse_num(value("--port")?, "--port")?,
+            "--batch-window-ms" => {
+                opts.batch_window_ms = parse_num(value("--batch-window-ms")?, "--batch-window-ms")?
+            }
+            "--max-batch" => opts.max_batch = parse_num(value("--max-batch")?, "--max-batch")?,
+            "--session-cap" => {
+                opts.session_cap = parse_num(value("--session-cap")?, "--session-cap")?
+            }
+            "--workers" => opts.workers = parse_num(value("--workers")?, "--workers")?,
+            "--max-body-bytes" => {
+                opts.max_body_bytes = parse_num(value("--max-body-bytes")?, "--max-body-bytes")?
+            }
             other => return Err(bad(format!("unknown flag `{other}`"))),
         }
     }
@@ -295,6 +325,7 @@ fn run(args: &[String]) -> Result<(), UsageError> {
         "audit" => dispatch(&mut opts, Action::Audit),
         "report" => dispatch(&mut opts, Action::Report),
         "query" => dispatch(&mut opts, Action::Query),
+        "serve" => serve(&opts),
         other => Err(bad(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -326,7 +357,8 @@ fn load_data(opts: &mut Opts) -> Result<Dataset, UsageError> {
         .protected
         .as_deref()
         .ok_or_else(|| bad("--csv requires --protected <SPEC>"))?;
-    let (column, rule) = parse_protected_spec(spec)?;
+    let (column, rule) =
+        parse_protected_spec(spec).map_err(|e| bad(format!("--protected: {e}")))?;
     let file =
         std::fs::File::open(&path).map_err(|e| bad(format!("cannot open --csv {path:?}: {e}")))?;
     let data = read_csv_infer(std::io::BufReader::new(file), label, column, &rule)
@@ -335,25 +367,6 @@ fn load_data(opts: &mut Opts) -> Result<Dataset, UsageError> {
     opts.data = path;
     opts.rows = data.n_rows();
     Ok(data)
-}
-
-/// Parses `col=level` / `col>=cutoff` privileged-group rules.
-fn parse_protected_spec(spec: &str) -> Result<(&str, InferredPrivileged), UsageError> {
-    if let Some((column, cutoff)) = spec.split_once(">=") {
-        let cutoff: f64 = cutoff
-            .parse()
-            .map_err(|_| bad(format!("invalid cutoff in --protected `{spec}`")))?;
-        return Ok((column, InferredPrivileged::AtLeast(cutoff)));
-    }
-    if let Some((column, level)) = spec.split_once('=') {
-        if column.is_empty() || level.is_empty() {
-            return Err(bad(format!("invalid --protected `{spec}`")));
-        }
-        return Ok((column, InferredPrivileged::Equals(level.to_string())));
-    }
-    Err(bad(format!(
-        "--protected must be `col=level` or `col>=cutoff`, got `{spec}`"
-    )))
 }
 
 /// Monomorphizes the chosen model family into [`exec`].
@@ -482,48 +495,39 @@ fn base_request(opts: &Opts) -> ExplainRequest {
     request
 }
 
-/// The `--stats` block: every cache-layer counter a serving deployment
-/// watches, straight from [`ExplainSession::stats`].
+/// The `--stats` block: every cache-layer and traffic counter a serving
+/// deployment watches, shared with `GET /sessions/{name}/stats`.
 fn session_stats_json(stats: &gopher_core::SessionStats) -> Json {
-    Json::obj([
-        ("threads", Json::num(stats.threads as f64)),
-        ("sweep_entries", Json::num(stats.sweep_entries as f64)),
-        ("sweep_cache_cap", Json::num(stats.sweep_cache_cap as f64)),
-        ("sweep_hits", Json::num(stats.sweep_hits as f64)),
-        ("sweep_misses", Json::num(stats.sweep_misses as f64)),
-        ("sweep_evictions", Json::num(stats.sweep_evictions as f64)),
-        (
-            "structure_entries",
-            Json::num(stats.structure_entries as f64),
-        ),
-        (
-            "structure_cache_cap",
-            Json::num(stats.structure_cache_cap as f64),
-        ),
-        ("structure_hits", Json::num(stats.structure_hits as f64)),
-        (
-            "structure_range_hits",
-            Json::num(stats.structure_range_hits as f64),
-        ),
-        ("structure_misses", Json::num(stats.structure_misses as f64)),
-        (
-            "structure_evictions",
-            Json::num(stats.structure_evictions as f64),
-        ),
-        ("cached_coverages", Json::num(stats.cached_coverages as f64)),
-        ("coverage_hits", Json::num(stats.coverage_hits as f64)),
-        ("coverage_misses", Json::num(stats.coverage_misses as f64)),
-        (
-            "coverage_inserts_refused",
-            Json::num(stats.coverage_inserts_refused as f64),
-        ),
-        (
-            "prefilter_sample_rows",
-            Json::num(stats.prefilter_sample_rows as f64),
-        ),
-        ("prefilter_probes", Json::num(stats.prefilter_probes as f64)),
-        ("prefilter_skips", Json::num(stats.prefilter_skips as f64)),
-    ])
+    api::session_stats_json(stats)
+}
+
+// ------------------------------------------------------------------ serve
+
+/// Runs the HTTP daemon until a signal or `POST /shutdown` asks it to
+/// drain: in-flight requests (including forming micro-batches) complete,
+/// then the workers park and we return.
+fn serve(opts: &Opts) -> Result<(), UsageError> {
+    gopher_serve::signals::install();
+    let config = ServeConfig {
+        addr: opts.addr.clone(),
+        port: opts.port,
+        batch_window: std::time::Duration::from_millis(opts.batch_window_ms),
+        max_batch: opts.max_batch,
+        session_cap: opts.session_cap,
+        workers: opts.workers,
+        max_body_bytes: opts.max_body_bytes,
+    };
+    let server = Server::start(config)
+        .map_err(|e| bad(format!("cannot bind {}:{}: {e}", opts.addr, opts.port)))?;
+    // Scripts (and the CI smoke) scrape this exact line for the bound port.
+    emit(&format!("listening on http://{}\n", server.addr()));
+    while !server.shutdown_requested() && !gopher_serve::signals::signalled() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.trigger_shutdown();
+    server.join();
+    emit("gopher serve: drained and stopped\n");
+    Ok(())
 }
 
 // ----------------------------------------------------------------- query
@@ -564,167 +568,30 @@ fn read_requests(opts: &Opts) -> Result<Vec<ExplainRequest>, UsageError> {
         .collect()
 }
 
-/// The request-object fields `gopher query` understands.
-const REQUEST_FIELDS: [&str; 9] = [
-    "metric",
-    "k",
-    "estimator",
-    "learning_rate",
-    "support",
-    "max_predicates",
-    "containment",
-    "ground_truth",
-    "bias_eval",
-];
-
 /// Builds one [`ExplainRequest`] from a JSON object, falling back to the
-/// CLI flags for omitted fields. Unknown keys and mistyped values are hard
-/// errors — a serving endpoint must not silently answer with defaults when
-/// the caller's parameter was dropped.
+/// CLI flags for omitted fields. The field vocabulary, validation, and
+/// error wording are the shared serving codec's
+/// ([`api::parse_explain_request`]) — `gopher query` and the HTTP daemon
+/// accept byte-identical request objects.
 fn parse_request(item: &Json, opts: &Opts) -> Result<ExplainRequest, UsageError> {
-    let Json::Obj(fields) = item else {
-        return Err(bad("must be a JSON object"));
-    };
-    for key in fields.keys() {
-        if !REQUEST_FIELDS.contains(&key.as_str()) {
-            return Err(bad(format!(
-                "unknown field {key:?} (expected one of: {})",
-                REQUEST_FIELDS.join(", ")
-            )));
-        }
-    }
-    let mut request = base_request(opts);
-    let get_f = |key: &str| -> Result<Option<f64>, UsageError> {
-        match item.get(key) {
-            None => Ok(None),
-            Some(v) => v
-                .as_f64()
-                .map(Some)
-                .ok_or_else(|| bad(format!("field {key:?} must be a number"))),
-        }
-    };
-    let get_s = |key: &str| -> Result<Option<&str>, UsageError> {
-        match item.get(key) {
-            None => Ok(None),
-            Some(v) => v
-                .as_str()
-                .map(Some)
-                .ok_or_else(|| bad(format!("field {key:?} must be a string"))),
-        }
-    };
-    if let Some(metric) = get_s("metric")? {
-        request.metric = parse_metric(metric)?;
-    }
-    if let Some(k) = get_f("k")? {
-        if k < 1.0 || k.fract() != 0.0 {
-            return Err(bad(format!("k must be a positive integer, got {k}")));
-        }
-        request.k = k as usize;
-    }
-    let learning_rate = get_f("learning_rate")?.unwrap_or(opts.learning_rate);
-    if let Some(estimator) = get_s("estimator")? {
-        request.estimator = parse_estimator(estimator, learning_rate)?;
-    } else if let Estimator::OneStepGd { .. } = request.estimator {
-        // `learning_rate` alone must still apply when the flags already
-        // selected the one-step-GD estimator.
-        request.estimator = Estimator::OneStepGd { learning_rate };
-    }
-    if let Some(support) = get_f("support")? {
-        if !(0.0..1.0).contains(&support) {
-            return Err(bad(format!("support must be in [0, 1), got {support}")));
-        }
-        request.lattice.support_threshold = support;
-    }
-    if let Some(depth) = get_f("max_predicates")? {
-        if depth < 1.0 || depth.fract() != 0.0 {
-            return Err(bad(format!(
-                "max_predicates must be a positive integer, got {depth}"
-            )));
-        }
-        request.lattice.max_predicates = depth as usize;
-    }
-    if let Some(containment) = get_f("containment")? {
-        if !(0.0..=1.0).contains(&containment) {
-            return Err(bad(format!(
-                "containment must be in [0, 1], got {containment}"
-            )));
-        }
-        request.containment_threshold = containment;
-    }
-    match item.get("ground_truth") {
-        None => {}
-        Some(Json::Bool(gt)) => request.ground_truth_for_topk = *gt,
-        Some(_) => return Err(bad("field \"ground_truth\" must be a boolean")),
-    }
-    if let Some(eval) = get_s("bias_eval")? {
-        request.bias_eval = parse_bias_eval(eval)?;
-    }
-    Ok(request)
+    api::parse_explain_request(item, &base_request(opts), opts.learning_rate).map_err(bad)
 }
 
 // ---------------------------------------------------------------- explain
 
+/// The shared serving response ([`api::explain_response_json`]) plus the
+/// CLI's invocation context. Field names and value formatting are identical
+/// between `gopher explain --json` and `POST /sessions/{name}/explain`.
 fn explain_json(opts: &Opts, response: &ExplainResponse) -> Json {
-    let report = &response.report;
-    let request = &response.request;
-    let explanations: Vec<Json> = report
-        .explanations
-        .iter()
-        .map(|e| {
-            Json::obj([
-                ("pattern", Json::str(&e.pattern_text)),
-                ("support", Json::num(e.support)),
-                ("est_responsibility", Json::num(e.est_responsibility)),
-                ("interestingness", Json::num(e.candidate.interestingness)),
-                (
-                    "ground_truth_responsibility",
-                    e.ground_truth_responsibility.map_or(Json::Null, Json::num),
-                ),
-                (
-                    "ground_truth_new_bias",
-                    e.ground_truth_new_bias.map_or(Json::Null, Json::num),
-                ),
-            ])
-        })
-        .collect();
-    Json::obj([
-        ("command", Json::str("explain")),
-        ("dataset", Json::str(&opts.data)),
-        ("rows", Json::num(opts.rows as f64)),
-        ("model", Json::str(&opts.model)),
-        ("metric", Json::str(report.metric.name())),
-        ("seed", Json::num(opts.seed as f64)),
-        ("estimator", Json::str(estimator_name(request.estimator))),
-        ("base_bias", Json::num(report.base_bias)),
-        ("accuracy", Json::num(report.accuracy)),
-        ("k", Json::num(request.k as f64)),
-        (
-            "support_threshold",
-            Json::num(request.lattice.support_threshold),
-        ),
-        (
-            "candidates_scored",
-            Json::num(report.stats.total_scored as f64),
-        ),
-        (
-            "search_ms",
-            Json::num(report.search_time.as_secs_f64() * 1e3),
-        ),
-        (
-            "query_ms",
-            Json::num(response.query_time.as_secs_f64() * 1e3),
-        ),
-        ("explanations", Json::Arr(explanations)),
-    ])
-}
-
-fn estimator_name(e: Estimator) -> &'static str {
-    match e {
-        Estimator::FirstOrder => "first-order",
-        Estimator::SecondOrder => "second-order",
-        Estimator::NewtonStep => "newton",
-        Estimator::OneStepGd { .. } => "one-step-gd",
-    }
+    let Json::Obj(mut fields) = api::explain_response_json(response) else {
+        unreachable!("explain_response_json returns an object");
+    };
+    fields.insert("command".into(), Json::str("explain"));
+    fields.insert("dataset".into(), Json::str(&opts.data));
+    fields.insert("rows".into(), Json::num(opts.rows as f64));
+    fields.insert("model".into(), Json::str(&opts.model));
+    fields.insert("seed".into(), Json::num(opts.seed as f64));
+    Json::Obj(fields)
 }
 
 fn render_explain_text(report: &Json) -> String {

@@ -440,3 +440,118 @@ fn threads_flag_does_not_change_results() {
         }
     }
 }
+
+/// End-to-end smoke of the `serve` subcommand: boot the real binary on an
+/// ephemeral port, create a session, coalesce three concurrent explains,
+/// check the stats surface, and shut down gracefully over HTTP.
+#[test]
+fn serve_boots_answers_and_drains() {
+    use gopher_serve::client::request_once;
+    use std::io::BufRead;
+
+    /// Kills the server if the test panics partway — an orphaned daemon
+    /// would otherwise outlive the test run holding inherited pipes open.
+    struct KillOnDrop(std::process::Child);
+    impl Drop for KillOnDrop {
+        fn drop(&mut self) {
+            let _ = self.0.kill();
+            let _ = self.0.wait();
+        }
+    }
+
+    /// Response body minus the per-request timing fields, which legitimately
+    /// differ between members of the same batch.
+    fn stripped(body: &str) -> Json {
+        let mut json = json::parse(body.trim()).expect("explain body must be JSON");
+        if let Json::Obj(ref mut fields) = json {
+            fields.remove("query_ms");
+            fields.remove("search_ms");
+        }
+        json
+    }
+
+    let mut child = KillOnDrop(
+        Command::new(env!("CARGO_BIN_EXE_gopher"))
+            .args([
+                "serve",
+                "--port",
+                "0",
+                "--batch-window-ms",
+                "150",
+                "--workers",
+                "4",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("failed to spawn gopher serve"),
+    );
+    let stdout = child.0.stdout.take().unwrap();
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let banner = lines.next().expect("server must print a banner").unwrap();
+    let addr = banner
+        .strip_prefix("listening on http://")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let created = request_once(
+        addr.as_str(),
+        "POST",
+        "/sessions",
+        Some(r#"{"name":"smoke", "generator":"german", "rows":300, "seed":7}"#),
+    )
+    .unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let answers: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let addr = addr.as_str();
+                scope.spawn(move || {
+                    request_once(
+                        addr,
+                        "POST",
+                        "/sessions/smoke/explain",
+                        Some(r#"{"metric":"statistical-parity"}"#),
+                    )
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for answer in &answers {
+        assert_eq!(answer.status, 200, "{}", answer.body);
+    }
+    // Identical concurrent requests: every client must read the same answer
+    // (timing fields aside — those are per-request even within a batch).
+    assert!(answers
+        .windows(2)
+        .all(|w| stripped(&w[0].body) == stripped(&w[1].body)));
+
+    let stats = request_once(addr.as_str(), "GET", "/sessions/smoke/stats", None).unwrap();
+    assert_eq!(stats.status, 200);
+    let stats_json = json::parse(stats.body.trim()).unwrap();
+    let requests = stats_json
+        .get("requests_served")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let batches = stats_json
+        .get("batches_formed")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(requests, 3.0);
+    assert!(
+        batches < requests,
+        "3 concurrent explains must coalesce (batches_formed {batches})"
+    );
+
+    let ack = request_once(addr.as_str(), "POST", "/shutdown", None).unwrap();
+    assert_eq!(ack.status, 200);
+    let status = child.0.wait().expect("server must exit after /shutdown");
+    assert!(status.success(), "serve must exit cleanly, got {status:?}");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        rest.iter().any(|l| l.contains("drained")),
+        "drain banner missing from {rest:?}"
+    );
+}

@@ -60,6 +60,7 @@ use gopher_patterns::{
 };
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -264,6 +265,9 @@ impl SessionBuilder {
             sweep_cache: Mutex::new(LruCache::new(self.sweep_cache_cap)),
             structure_cache: Mutex::new(LruCache::new(self.structure_cache_cap)),
             prefilter,
+            requests_served: AtomicU64::new(0),
+            batches_served: AtomicU64::new(0),
+            max_batch_requests: AtomicU64::new(0),
         }
     }
 
@@ -654,6 +658,16 @@ pub struct SessionStats {
     /// Prefilter consultations whose sampled upper bound skipped the exact
     /// intersection (each one a provably unsupported merge).
     pub prefilter_skips: u64,
+    /// Total explanation requests answered (every entry point funnels
+    /// through [`ExplainSession::explain_batch`]). Registry-facing: the
+    /// per-session traffic counter a serving deployment watches.
+    pub requests_served: u64,
+    /// `explain_batch` invocations. `batches_served < requests_served`
+    /// means callers were coalesced — the serving daemon's micro-batching
+    /// win, measured at the layer where the sweeps actually run.
+    pub batches_served: u64,
+    /// Largest single batch answered so far.
+    pub max_batch_requests: u64,
 }
 
 /// A long-lived explainer bound to one trained model.
@@ -687,6 +701,16 @@ pub struct ExplainSession<M: Model> {
     /// constant, so it is deliberately *not* part of [`StructuralKey`] —
     /// artifacts differ only in speed, never content.
     prefilter: Option<Arc<SupportPrefilter>>,
+    /// Total [`ExplainRequest`]s this session has answered (every entry
+    /// point funnels through [`Self::explain_batch`]). Registry-facing: a
+    /// serving deployment's per-session traffic counter.
+    requests_served: AtomicU64,
+    /// Number of [`Self::explain_batch`] invocations. The gap between this
+    /// and [`Self::requests_served`] is exactly what batching amortized:
+    /// `batches < requests` means concurrent callers were coalesced.
+    batches_served: AtomicU64,
+    /// Largest single batch answered so far.
+    max_batch_requests: AtomicU64,
 }
 
 impl<M: Model> ExplainSession<M> {
@@ -765,6 +789,9 @@ impl<M: Model> ExplainSession<M> {
             prefilter_sample_rows: self.prefilter.as_ref().map_or(0, |p| p.sample_rows()),
             prefilter_probes: self.prefilter.as_ref().map_or(0, |p| p.probes()),
             prefilter_skips: self.prefilter.as_ref().map_or(0, |p| p.skips()),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            batches_served: self.batches_served.load(Ordering::Relaxed),
+            max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
         }
     }
 
@@ -806,6 +833,13 @@ impl<M: Model> ExplainSession<M> {
     /// Responses come back in request order, each with content identical to
     /// a cold run of that request alone — at any thread count.
     pub fn explain_batch(&self, requests: &[ExplainRequest]) -> Vec<ExplainResponse> {
+        if !requests.is_empty() {
+            self.requests_served
+                .fetch_add(requests.len() as u64, Ordering::Relaxed);
+            self.batches_served.fetch_add(1, Ordering::Relaxed);
+            self.max_batch_requests
+                .fetch_max(requests.len() as u64, Ordering::Relaxed);
+        }
         let n_rows = self.table.n_rows();
         let keys: Vec<SweepKey> = requests.iter().map(|r| SweepKey::of(r, n_rows)).collect();
 
@@ -1624,5 +1658,29 @@ mod tests {
         for (a, b) in r1.iter().zip(&r4) {
             assert_reports_equal(&a.report, &b.report);
         }
+    }
+
+    /// Registry-facing traffic counters: every entry point funnels through
+    /// `explain_batch`, so requests/batches/max-batch tally exactly — the
+    /// serving daemon reads the batching win straight off these.
+    #[test]
+    fn request_and_batch_counters_tally() {
+        let s = session(400, 54);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        assert_eq!(s.stats().requests_served, 0);
+        assert_eq!(s.stats().batches_served, 0);
+
+        let _ = s.explain(&req);
+        let _ = s.explain_batch(&[
+            req.clone(),
+            req.clone().with_metric(FairnessMetric::EqualOpportunity),
+            req.clone().with_k(1),
+        ]);
+        let _ = s.explain_batch(&[]);
+
+        let stats = s.stats();
+        assert_eq!(stats.requests_served, 4, "1 solo + 3 batched");
+        assert_eq!(stats.batches_served, 2, "empty batches are not counted");
+        assert_eq!(stats.max_batch_requests, 3);
     }
 }

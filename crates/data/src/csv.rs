@@ -247,6 +247,28 @@ pub enum InferredPrivileged {
     AtLeast(f64),
 }
 
+/// Parses a `col=level` / `col>=cutoff` privileged-group rule into the
+/// column name and its [`InferredPrivileged`] half. The textual spec is the
+/// one both the CLI's `--protected` flag and the serving daemon's session
+/// uploads speak, so it lives here next to the inferring reader it feeds.
+pub fn parse_protected_spec(spec: &str) -> Result<(&str, InferredPrivileged), String> {
+    if let Some((column, cutoff)) = spec.split_once(">=") {
+        let cutoff: f64 = cutoff
+            .parse()
+            .map_err(|_| format!("invalid cutoff in protected spec `{spec}`"))?;
+        return Ok((column, InferredPrivileged::AtLeast(cutoff)));
+    }
+    if let Some((column, level)) = spec.split_once('=') {
+        if column.is_empty() || level.is_empty() {
+            return Err(format!("invalid protected spec `{spec}`"));
+        }
+        return Ok((column, InferredPrivileged::Equals(level.to_string())));
+    }
+    Err(format!(
+        "protected spec must be `col=level` or `col>=cutoff`, got `{spec}`"
+    ))
+}
+
 /// Reads an arbitrary CSV into a [`Dataset`], inferring the schema:
 ///
 /// * a column whose every field parses as a finite `f64` becomes numeric;

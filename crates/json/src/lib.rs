@@ -1,11 +1,20 @@
-//! Minimal JSON support for the CLI: a [`Json`] value tree, a writer
-//! (`Display`), and a strict recursive-descent [`parse`]r.
+//! Dependency-free JSON support shared by the `gopher` CLI and the
+//! `gopher serve` daemon: a [`Json`] value tree, a writer (`Display`), and a
+//! strict recursive-descent [`parse`]r.
 //!
 //! The container has no crates.io access, so `serde_json` is off the table;
-//! the CLI's report format is small and flat enough that ~200 lines of
-//! hand-rolled JSON are the simpler dependency anyway. The parser exists so
-//! integration tests can round-trip the CLI's own output instead of grepping
-//! for substrings.
+//! the workspace's report and wire formats are small and flat enough that
+//! ~200 lines of hand-rolled JSON are the simpler dependency anyway. The
+//! parser exists so integration tests can round-trip the CLI's own output
+//! instead of grepping for substrings — and, since PR 7, so the serving
+//! daemon can decode request bodies.
+//!
+//! Because the daemon feeds this parser **untrusted network input**, parsing
+//! is hardened: input size and container nesting depth are bounded
+//! ([`ParseLimits`]), so a deeply-nested body comes back as a clean `Err`
+//! (an HTTP 400 at the server) instead of blowing the parser's stack, and a
+//! huge body is rejected before any work is done. [`parse`] applies the
+//! defaults; [`parse_with_limits`] lets servers tighten them per endpoint.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -137,12 +146,56 @@ impl fmt::Display for Json {
     }
 }
 
+/// Bounds enforced while parsing untrusted input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum input length in bytes; longer documents are rejected before
+    /// any parsing work happens.
+    pub max_bytes: usize,
+    /// Maximum container nesting depth (arrays/objects). The parser is
+    /// recursive-descent, so this bound is what keeps a `[[[[…]]]]` body
+    /// from overflowing the stack; every level costs one stack frame.
+    pub max_depth: usize,
+}
+
+/// Default input-size bound of [`parse`]: 16 MiB, comfortably above any
+/// report the workspace emits and any request body the server accepts.
+pub const DEFAULT_MAX_BYTES: usize = 16 << 20;
+
+/// Default nesting-depth bound of [`parse`]. The workspace's own documents
+/// nest 4–5 levels; 64 leaves an order-of-magnitude headroom while keeping
+/// worst-case recursion far below any thread's stack budget.
+pub const DEFAULT_MAX_DEPTH: usize = 64;
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        Self {
+            max_bytes: DEFAULT_MAX_BYTES,
+            max_depth: DEFAULT_MAX_DEPTH,
+        }
+    }
+}
+
 /// Parses a complete JSON document (trailing whitespace allowed, trailing
-/// garbage rejected).
+/// garbage rejected) under the default [`ParseLimits`].
 pub fn parse(input: &str) -> Result<Json, String> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses a complete JSON document under explicit [`ParseLimits`]. Oversized
+/// input and over-deep nesting return descriptive errors — never a stack
+/// overflow — so servers can surface them as 400s.
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, String> {
+    if input.len() > limits.max_bytes {
+        return Err(format!(
+            "input too large: {} bytes exceeds the {}-byte limit",
+            input.len(),
+            limits.max_bytes
+        ));
+    }
     let bytes = input.as_bytes();
     let mut pos = 0;
-    let value = parse_value(bytes, &mut pos)?;
+    let value = parse_value(bytes, &mut pos, limits.max_depth)?;
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing garbage at byte {pos}"));
@@ -165,7 +218,9 @@ fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+/// `depth` is the *remaining* container allowance: entering an array or an
+/// object consumes one level, scalars consume none.
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Json, String> {
     skip_ws(b, pos);
     match b.get(*pos) {
         None => Err("unexpected end of input".into()),
@@ -174,6 +229,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
         Some(b'"') => parse_string(b, pos).map(Json::Str),
         Some(b'[') => {
+            let depth = enter_container(depth, *pos)?;
             *pos += 1;
             let mut items = Vec::new();
             skip_ws(b, pos);
@@ -182,7 +238,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(b, pos)?);
+                items.push(parse_value(b, pos, depth)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -195,6 +251,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
             }
         }
         Some(b'{') => {
+            let depth = enter_container(depth, *pos)?;
             *pos += 1;
             let mut members = BTreeMap::new();
             skip_ws(b, pos);
@@ -207,7 +264,7 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
                 let key = parse_string(b, pos)?;
                 skip_ws(b, pos);
                 expect(b, pos, b':')?;
-                members.insert(key, parse_value(b, pos)?);
+                members.insert(key, parse_value(b, pos, depth)?);
                 skip_ws(b, pos);
                 match b.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -221,6 +278,12 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         }
         Some(_) => parse_number(b, pos),
     }
+}
+
+fn enter_container(depth: usize, at: usize) -> Result<usize, String> {
+    depth
+        .checked_sub(1)
+        .ok_or_else(|| format!("nesting deeper than the configured limit at byte {at}"))
 }
 
 fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
@@ -402,5 +465,65 @@ mod tests {
     fn integers_print_without_decimal_point() {
         assert_eq!(Json::Num(3.0).to_string(), "3");
         assert_eq!(Json::Num(0.25).to_string(), "0.25");
+    }
+
+    /// The hardening property: a pathologically nested document — far deeper
+    /// than any thread's stack could recurse through — must come back as a
+    /// clean `Err`, not a stack overflow. This is what lets the server turn
+    /// a hostile body into a 400.
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let depth = 200_000;
+            let mut doc = open.repeat(depth);
+            doc.push('1');
+            doc.push_str(&close.repeat(depth));
+            let err = parse(&doc).expect_err("over-deep document must be rejected");
+            assert!(err.contains("nesting deeper"), "unexpected error: {err}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_exact() {
+        // depth-3 document: [[[1]]]
+        let doc = "[[[1]]]";
+        assert!(parse_with_limits(
+            doc,
+            ParseLimits {
+                max_depth: 3,
+                ..ParseLimits::default()
+            }
+        )
+        .is_ok());
+        assert!(parse_with_limits(
+            doc,
+            ParseLimits {
+                max_depth: 2,
+                ..ParseLimits::default()
+            }
+        )
+        .is_err());
+        // Scalars cost no depth at all.
+        assert!(parse_with_limits(
+            "42",
+            ParseLimits {
+                max_depth: 0,
+                ..ParseLimits::default()
+            }
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_up_front() {
+        let doc = format!("\"{}\"", "x".repeat(1024));
+        let limits = ParseLimits {
+            max_bytes: 64,
+            ..ParseLimits::default()
+        };
+        let err = parse_with_limits(&doc, limits).expect_err("must reject oversized input");
+        assert!(err.contains("too large"), "unexpected error: {err}");
+        // Under the default limits the same document is fine.
+        assert!(parse(&doc).is_ok());
     }
 }

@@ -1,0 +1,263 @@
+//! Minimal HTTP/1.1 framing over a `TcpStream`.
+//!
+//! Implements exactly what the daemon needs and nothing more: request-line +
+//! header parsing, `Content-Length` bodies, keep-alive with per-connection
+//! buffering (a read timeout never loses bytes — partial input stays in the
+//! connection buffer for the next poll), `Expect: 100-continue`, and bounded
+//! heads and bodies so a misbehaving client cannot balloon memory. Chunked
+//! transfer encoding is deliberately rejected with `501`.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers). Past this the
+/// request is rejected with `431` — no legitimate client of this API gets
+/// anywhere near 16 KiB of headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection after this exchange.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of the named header (name matched case-insensitively —
+    /// stored names are already lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The socket read timed out with a request still incomplete (or not
+    /// started). The partial bytes stay buffered; call
+    /// [`HttpConn::read_request`] again. This is how the worker loop polls
+    /// the shutdown flag on idle keep-alive connections.
+    Timeout,
+    /// Transport failure; the connection is unusable.
+    Io(io::Error),
+    /// Syntactically invalid request — answer `400` and close.
+    Malformed(String),
+    /// Request head exceeded [`MAX_HEAD_BYTES`] — answer `431` and close.
+    HeadTooLarge,
+    /// Declared body exceeds the configured bound — answer `413` and close.
+    BodyTooLarge {
+        /// The configured body bound, for the error message.
+        limit: usize,
+    },
+    /// The client used a transfer mode this server does not implement
+    /// (chunked encoding) — answer `501` and close.
+    NotImplemented(String),
+}
+
+/// A server-side connection: the stream plus the bytes read past the last
+/// complete request (keep-alive pipelining and timeout-interrupted reads
+/// both land here, so nothing is ever lost between calls).
+pub struct HttpConn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+impl HttpConn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The underlying stream (for writing responses).
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Reads one request. `Ok(None)` means the client closed cleanly between
+    /// requests; [`HttpError::Timeout`] means "nothing complete yet, poll
+    /// again". Bodies larger than `max_body` are refused before they are
+    /// read.
+    pub fn read_request(&mut self, max_body: usize) -> Result<Option<Request>, HttpError> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::HeadTooLarge);
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    if self.buf.is_empty() {
+                        return Ok(None);
+                    }
+                    return Err(HttpError::Malformed("connection closed mid-request".into()));
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if is_timeout(&e) => return Err(HttpError::Timeout),
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        };
+        let head = self.buf[..head_end].to_vec();
+        let body_start = head_end + 4;
+        let head_text = String::from_utf8(head)
+            .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+        let mut request = parse_head(&head_text)?;
+
+        let content_length = match request.header("content-length") {
+            None => 0,
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length {v:?}")))?,
+        };
+        if request.header("transfer-encoding").is_some() {
+            return Err(HttpError::NotImplemented(
+                "chunked transfer encoding is not supported; send Content-Length".into(),
+            ));
+        }
+        if content_length > max_body {
+            return Err(HttpError::BodyTooLarge { limit: max_body });
+        }
+        if request
+            .header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+        {
+            // The body fits; tell the client to go ahead.
+            self.stream
+                .write_all(b"HTTP/1.1 100 Continue\r\n\r\n")
+                .map_err(HttpError::Io)?;
+        }
+
+        let mut body: Vec<u8> = self.buf[body_start..].to_vec();
+        self.buf.clear();
+        while body.len() < content_length {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(HttpError::Malformed("connection closed mid-body".into())),
+                Ok(n) => body.extend_from_slice(&chunk[..n]),
+                // The head arrived, so the body is in flight: keep waiting
+                // rather than surfacing a poll timeout mid-request.
+                Err(e) if is_timeout(&e) => continue,
+                Err(e) => return Err(HttpError::Io(e)),
+            }
+        }
+        // Anything past the declared body is the next pipelined request.
+        self.buf = body.split_off(content_length);
+        request.body = body;
+        Ok(Some(request))
+    }
+}
+
+/// Byte offset of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Parses the request line and headers (body left empty).
+fn parse_head(head: &str) -> Result<Request, HttpError> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| HttpError::Malformed("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let close = headers
+        .iter()
+        .any(|(n, v)| n == "connection" && v.eq_ignore_ascii_case("close"));
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+        close,
+    })
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes one response with `Content-Length` framing. `close` adds
+/// `Connection: close` (the caller must then actually close).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    if close {
+        head.push_str("Connection: close\r\n");
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

@@ -1,0 +1,40 @@
+//! Signal wiring for graceful shutdown, without a `libc` dependency.
+//!
+//! The handler does the only async-signal-safe thing it can: flip one
+//! atomic. The CLI's serve loop polls [`signalled`] alongside the server's
+//! own shutdown flag, so `ctrl-c` (SIGINT) and `SIGTERM` both drain
+//! in-flight batches instead of killing them mid-sweep.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT or SIGTERM has arrived since [`install`].
+pub fn signalled() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
+}
+
+/// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent.
+#[cfg(unix)]
+pub fn install() {
+    unsafe extern "C" fn handler(_signum: i32) {
+        SIGNALLED.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        /// POSIX `signal(2)`; the raw prototype keeps this crate free of
+        /// external crates (the symbol is in every libc the workspace
+        /// targets).
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let f: unsafe extern "C" fn(i32) = handler;
+    unsafe {
+        signal(SIGINT, f as usize);
+        signal(SIGTERM, f as usize);
+    }
+}
+
+/// No-op off Unix: the serve loop still honors `POST /shutdown`.
+#[cfg(not(unix))]
+pub fn install() {}

@@ -13,16 +13,22 @@
 //! * [`gopher_fairness`] — fairness metrics and their gradients;
 //! * [`gopher_influence`] — influence-function estimators;
 //! * [`gopher_patterns`] — predicates, lattice search, top-k selection;
+//! * [`gopher_serve`] — the `gopher serve` HTTP daemon: session registry,
+//!   micro-batching, wire codecs (start at [`gopher_serve::Server`]);
+//! * [`gopher_json`] — the dependency-free JSON codec the CLI and daemon
+//!   share;
 //! * [`gopher_linalg`] / [`gopher_prng`] — numeric substrate.
 
 pub use gopher_core;
 pub use gopher_data;
 pub use gopher_fairness;
 pub use gopher_influence;
+pub use gopher_json;
 pub use gopher_linalg;
 pub use gopher_models;
 pub use gopher_patterns;
 pub use gopher_prng;
+pub use gopher_serve;
 
 /// The names almost every consumer needs.
 pub mod prelude {

@@ -1,0 +1,19 @@
+//! Seeded bad fixture for the `env-literal` rule: an ad-hoc environment
+//! knob nobody documented — configuration that silently changes behavior
+//! and that no README, `--help`, or knob table will ever surface.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+fn worker_count() -> usize {
+    // Documented knob: fine.
+    if let Ok(v) = std::env::var("GOPHER_THREADS") {
+        if let Ok(n) = v.parse() {
+            return n;
+        }
+    }
+    // BAD: an undocumented knob, invisible to every operator.
+    if std::env::var("GOPHER_TURBO_MODE").is_ok() {
+        return 64;
+    }
+    1
+}

@@ -1,0 +1,25 @@
+//! Seeded bad fixture for the `float-bits-key` rule: the exact shape of
+//! PR 5's structural-key bug — keying a cache on `f64::to_bits` of the
+//! support threshold, so `-0.0` and `0.0` (equal floats, distinct bit
+//! patterns) built duplicate sweep artifacts.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+use std::collections::HashMap;
+
+struct StructuralKey {
+    support_bits: u64,
+}
+
+impl StructuralKey {
+    fn of(support_threshold: f64) -> Self {
+        Self {
+            // BAD: -0.0 and 0.0 are the same threshold but different keys.
+            support_bits: support_threshold.to_bits(),
+        }
+    }
+}
+
+fn cache_sweep(cache: &mut HashMap<u64, Vec<usize>>, tau: f64, sweep: Vec<usize>) {
+    cache.insert(tau.to_bits(), sweep);
+}

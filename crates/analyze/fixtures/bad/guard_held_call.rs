@@ -1,0 +1,32 @@
+//! Seeded bad fixture for the `guard-held-call` rule: the exact shape of
+//! PR 3's deadlock — the sweep-cache recompute path re-entered
+//! `run_sweeps` (which takes the same lock) while the `match` scrutinee
+//! still held the cache guard.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+use std::sync::{Mutex, MutexGuard};
+
+struct Session {
+    sweep_cache: Mutex<Vec<u64>>,
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Session {
+    fn run_sweeps(&self) -> u64 {
+        lock_recover(&self.sweep_cache).iter().sum()
+    }
+
+    fn answer(&self) -> u64 {
+        let cache = lock_recover(&self.sweep_cache);
+        match cache.first() {
+            Some(&hit) => hit,
+            // BAD: re-enters run_sweeps — which takes the same lock —
+            // while `cache` is still live. Deadlock.
+            None => self.run_sweeps(),
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Seeded bad fixture for the `nan-sort` rule: the exact shape PR 2
+//! removed from the explainer's ranking paths — `partial_cmp` comparators
+//! that panic (unwrap) or silently break total order (unwrap_or(Equal))
+//! the moment a NaN responsibility score appears.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+fn rank_candidates(scores: &mut Vec<(usize, f64)>) {
+    // BAD: one NaN score and the ranking is nondeterministic.
+    scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+fn best(scores: &[f64]) -> Option<&f64> {
+    // BAD: panics on the first NaN.
+    scores.iter().max_by(|a, b| a.partial_cmp(b).unwrap())
+}

@@ -1,0 +1,23 @@
+//! Seeded bad fixture for the `raw-lock` rule: the exact shape PR 3 fixed
+//! in `ExplainSession` — unwrapping a cache lock, so one panicking query
+//! thread poisons the mutex and bricks the shared session forever.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+use std::sync::Mutex;
+
+struct Session {
+    sweep_cache: Mutex<Vec<u64>>,
+}
+
+impl Session {
+    fn cached_sweeps(&self) -> usize {
+        // BAD: a scorer panic under this lock poisons it; every later
+        // query then panics here instead of answering.
+        self.sweep_cache.lock().unwrap().len()
+    }
+
+    fn insert(&self, value: u64) {
+        self.sweep_cache.lock().expect("cache poisoned").push(value);
+    }
+}

@@ -1,0 +1,303 @@
+//! Workspace walking, suppression handling, and report assembly.
+//!
+//! Suppressions are inline comments of the form
+//! `// gopher-lint: allow(rule-id) — reason`: the rule list is mandatory,
+//! and so is the reason — an allow without one is itself a finding
+//! (`bare-allow`), because an unexplained suppression is exactly the kind
+//! of reviewer-memory this tool exists to replace. An allow covers its own
+//! line and the line directly below it (the trailing-comment and
+//! line-above idioms), and suppressed findings stay counted in the report.
+
+use crate::lexer::{lex, Comment};
+use crate::rules::{check_all, is_known_rule, Finding};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// One finding located in a file.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Path of the offending file (as given / relative to the scan root).
+    pub file: String,
+    /// The rule id.
+    pub rule: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The outcome of analyzing a set of files.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Active findings — each one fails the run.
+    pub findings: Vec<Violation>,
+    /// Findings silenced by a reasoned `gopher-lint: allow`.
+    pub suppressed: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// A parsed `gopher-lint: allow(...)` comment.
+struct Allow {
+    rules: Vec<String>,
+    /// Lines the allow covers (its own line and the next).
+    lines: [u32; 2],
+}
+
+/// Parses suppression comments. Returns the allows plus `bare-allow`
+/// findings for any allow missing its rule list or its reason.
+fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bare = Vec::new();
+    for c in comments {
+        let text = c.text.trim_start_matches(['/', '!']).trim_start();
+        let Some(rest) = text.strip_prefix("gopher-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut fail = |message: String| {
+            bare.push(Finding {
+                rule: "bare-allow",
+                line: c.line,
+                col: 1,
+                message,
+            });
+        };
+        let Some(open) = rest.strip_prefix("allow").map(str::trim_start) else {
+            fail(format!("unrecognized gopher-lint directive: {text:?}"));
+            continue;
+        };
+        let Some((ids, reason)) = open.strip_prefix('(').and_then(|s| s.split_once(')')) else {
+            fail("gopher-lint: allow needs a parenthesized rule list".to_string());
+            continue;
+        };
+        let rules: Vec<String> = ids
+            .split(',')
+            .map(|id| id.trim().to_string())
+            .filter(|id| !id.is_empty())
+            .collect();
+        if rules.is_empty() {
+            fail("gopher-lint: allow() names no rules".to_string());
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|id| !is_known_rule(id)) {
+            fail(format!("gopher-lint: allow names unknown rule {unknown:?}"));
+            continue;
+        }
+        // The reason follows the rule list after any dash/colon separator.
+        let reason = reason
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':', ','])
+            .trim();
+        if reason.is_empty() {
+            fail(
+                "gopher-lint: allow without a reason — say why the invariant holds here, e.g. \
+                 `// gopher-lint: allow(raw-lock) — guard never crosses a panic boundary`"
+                    .to_string(),
+            );
+            continue;
+        }
+        allows.push(Allow {
+            rules,
+            lines: [c.end_line, c.end_line + 1],
+        });
+    }
+    (allows, bare)
+}
+
+/// Analyzes one source text. Returns `(active, suppressed)` findings.
+pub fn analyze_source(source: &str, enabled: &[&str]) -> (Vec<Finding>, Vec<Finding>) {
+    let lexed = lex(source);
+    let (allows, bare) = parse_allows(&lexed.comments);
+    let mut covered: HashMap<&str, Vec<u32>> = HashMap::new();
+    for allow in &allows {
+        for rule in &allow.rules {
+            covered.entry(rule).or_default().extend(allow.lines);
+        }
+    }
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for finding in check_all(&lexed, enabled) {
+        let is_covered = covered
+            .get(finding.rule)
+            .is_some_and(|lines| lines.contains(&finding.line));
+        if is_covered {
+            suppressed.push(finding);
+        } else {
+            active.push(finding);
+        }
+    }
+    // Malformed allows always fail the run — they cannot suppress anything,
+    // least of all themselves.
+    active.extend(bare);
+    active.sort_by_key(|f| (f.line, f.col));
+    (active, suppressed)
+}
+
+/// Directories never descended into: build artifacts, VCS internals, and
+/// the analyzer's own deliberately-bad rule fixtures.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "node_modules"];
+
+/// Collects every `.rs` file under `root` (sorted for deterministic
+/// output), skipping `target`, `.git`, `fixtures`, `node_modules`, and
+/// hidden directories (see `SKIP_DIRS`).
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Analyzes every `.rs` file reachable from `paths` (files are taken as-is,
+/// directories are walked). File labels in the report are made relative to
+/// `relative_to` when possible.
+pub fn analyze_paths(
+    paths: &[PathBuf],
+    relative_to: &Path,
+    enabled: &[&str],
+) -> std::io::Result<Analysis> {
+    let mut files = Vec::new();
+    for path in paths {
+        if path.is_dir() {
+            files.extend(collect_rs_files(path)?);
+        } else {
+            files.push(path.clone());
+        }
+    }
+    let mut analysis = Analysis::default();
+    for file in &files {
+        let source = std::fs::read_to_string(file)?;
+        let label = file
+            .strip_prefix(relative_to)
+            .unwrap_or(file)
+            .display()
+            .to_string();
+        let (active, suppressed) = analyze_source(&source, enabled);
+        let locate = |f: Finding| Violation {
+            file: label.clone(),
+            rule: f.rule.to_string(),
+            line: f.line,
+            col: f.col,
+            message: f.message,
+        };
+        analysis.findings.extend(active.into_iter().map(locate));
+        analysis
+            .suppressed
+            .extend(suppressed.into_iter().map(locate));
+        analysis.files_scanned += 1;
+    }
+    Ok(analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: &[&str] = &[
+        "raw-lock",
+        "nan-sort",
+        "float-bits-key",
+        "undocumented-unsafe",
+        "guard-held-call",
+        "env-literal",
+    ];
+
+    #[test]
+    fn allow_with_reason_suppresses_and_is_counted() {
+        let src = "\
+// gopher-lint: allow(raw-lock) — this test asserts the poisoned-lock panic itself.
+let g = m.lock().unwrap();
+";
+        let (active, suppressed) = analyze_source(src, ALL);
+        assert!(active.is_empty(), "unexpected findings: {active:?}");
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(suppressed[0].rule, "raw-lock");
+    }
+
+    #[test]
+    fn trailing_allow_on_the_same_line_works() {
+        let src = "let g = m.lock().unwrap(); // gopher-lint: allow(raw-lock) — poisoning is the point here\n";
+        let (active, suppressed) = analyze_source(src, ALL);
+        assert!(active.is_empty());
+        assert_eq!(suppressed.len(), 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_its_own_finding_and_suppresses_nothing() {
+        let src = "\
+// gopher-lint: allow(raw-lock)
+let g = m.lock().unwrap();
+";
+        let (active, suppressed) = analyze_source(src, ALL);
+        assert!(suppressed.is_empty());
+        assert_eq!(active.len(), 2, "{active:?}");
+        assert!(active.iter().any(|f| f.rule == "bare-allow"));
+        assert!(active.iter().any(|f| f.rule == "raw-lock"));
+    }
+
+    #[test]
+    fn allow_for_the_wrong_rule_does_not_suppress() {
+        let src = "\
+// gopher-lint: allow(nan-sort) — wrong rule on purpose
+let g = m.lock().unwrap();
+";
+        let (active, _) = analyze_source(src, ALL);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule, "raw-lock");
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_id_is_flagged() {
+        let src = "// gopher-lint: allow(made-up-rule) — whatever\n";
+        let (active, _) = analyze_source(src, ALL);
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].rule, "bare-allow");
+        assert!(active[0].message.contains("made-up-rule"));
+    }
+
+    #[test]
+    fn one_allow_can_cover_multiple_rules() {
+        let src = "\
+// gopher-lint: allow(raw-lock, nan-sort) — crafted snippet exercising both classes at once
+let g = m.lock().unwrap(); v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+";
+        let (active, suppressed) = analyze_source(src, ALL);
+        assert!(active.is_empty(), "{active:?}");
+        assert_eq!(suppressed.len(), 2);
+    }
+
+    #[test]
+    fn walker_skips_fixture_and_target_dirs() {
+        let dir = std::env::temp_dir().join(format!("gopher-analyze-walk-{}", std::process::id()));
+        for sub in ["src", "fixtures", "target/debug"] {
+            std::fs::create_dir_all(dir.join(sub)).expect("mkdir");
+        }
+        std::fs::write(dir.join("src/ok.rs"), "fn main() {}\n").expect("write");
+        std::fs::write(dir.join("fixtures/bad.rs"), "bad\n").expect("write");
+        std::fs::write(dir.join("target/debug/gen.rs"), "generated\n").expect("write");
+        let files = collect_rs_files(&dir).expect("walk");
+        let names: Vec<String> = files
+            .iter()
+            .map(|p| p.strip_prefix(&dir).expect("prefix").display().to_string())
+            .collect();
+        assert_eq!(names, vec!["src/ok.rs".to_string()]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,525 @@
+//! A comment- and string-literal-aware Rust lexer.
+//!
+//! The rule engine works on token *sequences*, never on raw text, so a
+//! decoy like the string `".lock().unwrap()"` inside a test snippet, or a
+//! code sample quoted in a doc comment, can never trip a rule: string
+//! literals become single [`TokenKind::Str`] tokens and comments are
+//! diverted into a separate [`Comment`] stream (which the engine scans for
+//! `SAFETY:` documentation and `gopher-lint:` suppressions).
+//!
+//! This is a lexer, not a parser: it understands exactly enough Rust
+//! lexical structure to be reliable — nested block comments, raw strings
+//! with arbitrary `#` fences, byte/char literals, lifetimes vs chars, and
+//! numeric literals with method calls on them (`1.0.to_bits()` lexes as a
+//! number followed by `.` and an ident).
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`lock`, `unsafe`, `fn`, …).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `{`, …).
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `1.5e-3`, `0xff_u64`).
+    Num,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// The token's text. For [`TokenKind::Str`] this is the literal's
+    /// *content* (rules never match inside it; it is kept for diagnostics).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block), with the line span it occupies.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` framing (doc-comment `/` and
+    /// `!` markers are kept — callers trim what they care about).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` for line comments).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: code tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// literals or comments simply run to end of input (the analyzer lints
+/// code that already compiles, so this only matters for robustness).
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor::new(source);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            let mut text = String::new();
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        cur.bump();
+                        cur.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump();
+                        cur.bump();
+                        if depth > 0 {
+                            text.push_str("*/");
+                        }
+                    }
+                    (Some(ch), _) => {
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: cur.line,
+            });
+            continue;
+        }
+        // Raw strings and byte literals: r"…", r#"…"#, br"…", b"…", b'…'.
+        if c == 'r' || c == 'b' {
+            if let Some(token) = try_lex_prefixed_literal(&mut cur, line, col) {
+                out.tokens.push(token);
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == '"' {
+            cur.bump();
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text: lex_escaped_until(&mut cur, '"'),
+                line,
+                col,
+            });
+            continue;
+        }
+        // Lifetime/label vs char literal.
+        if c == '\'' {
+            let next = cur.peek(1);
+            let after = cur.peek(2);
+            let is_lifetime =
+                next.is_some_and(is_ident_start) && after != Some('\'') || next == Some('_');
+            cur.bump();
+            if is_lifetime {
+                let mut text = String::new();
+                while let Some(ch) = cur.peek(0) {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: lex_escaped_until(&mut cur, '\''),
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek(0) {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                text: lex_number(&mut cur),
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Consumes an escaped literal body up to the unescaped `close` delimiter,
+/// returning the content (delimiter consumed, not included).
+fn lex_escaped_until(cur: &mut Cursor, close: char) -> String {
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '\\' {
+            text.push(ch);
+            cur.bump();
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+            continue;
+        }
+        cur.bump();
+        if ch == close {
+            break;
+        }
+        text.push(ch);
+    }
+    text
+}
+
+/// Attempts to lex an `r`/`b`-prefixed literal at the cursor. Returns
+/// `None` (consuming nothing) when the prefix turns out to start a plain
+/// identifier like `rows` or `bits`.
+fn try_lex_prefixed_literal(cur: &mut Cursor, line: u32, col: u32) -> Option<Token> {
+    let c = cur.peek(0)?;
+    // Work out the shape by lookahead only; consume once decided.
+    let mut k = 1; // chars consumed by the prefix beyond the first
+    let mut raw = c == 'r';
+    if c == 'b' {
+        match cur.peek(1) {
+            Some('r') => {
+                raw = true;
+                k = 2;
+            }
+            Some('"') => {
+                // b"…": byte string with escapes.
+                cur.bump();
+                cur.bump();
+                return Some(Token {
+                    kind: TokenKind::Str,
+                    text: lex_escaped_until(cur, '"'),
+                    line,
+                    col,
+                });
+            }
+            Some('\'') => {
+                // b'…': byte char with escapes.
+                cur.bump();
+                cur.bump();
+                return Some(Token {
+                    kind: TokenKind::Char,
+                    text: lex_escaped_until(cur, '\''),
+                    line,
+                    col,
+                });
+            }
+            _ => return None,
+        }
+    }
+    if !raw {
+        return None;
+    }
+    // Count the `#` fence after the `r`.
+    let mut hashes = 0usize;
+    while cur.peek(k + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(k + hashes) != Some('"') {
+        return None; // `r` / `br` starting an identifier
+    }
+    for _ in 0..(k + hashes + 1) {
+        cur.bump();
+    }
+    // Scan for `"` followed by `hashes` hashes.
+    let mut text = String::new();
+    while let Some(ch) = cur.peek(0) {
+        if ch == '"' && (0..hashes).all(|h| cur.peek(1 + h) == Some('#')) {
+            for _ in 0..(hashes + 1) {
+                cur.bump();
+            }
+            return Some(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    Some(Token {
+        kind: TokenKind::Str,
+        text,
+        line,
+        col,
+    })
+}
+
+/// Lexes a numeric literal: decimal with optional fraction/exponent/suffix,
+/// or a `0x`/`0o`/`0b` radix literal. Stops before `..` (range) and before
+/// a `.` that starts a method call (`1.0.to_bits()`).
+fn lex_number(cur: &mut Cursor) -> String {
+    let mut text = String::new();
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b')) {
+        for _ in 0..2 {
+            text.push(cur.bump().expect("peeked"));
+        }
+        while let Some(ch) = cur.peek(0) {
+            if !is_ident_continue(ch) {
+                break;
+            }
+            text.push(ch);
+            cur.bump();
+        }
+        return text;
+    }
+    let consume_digits = |cur: &mut Cursor, text: &mut String| {
+        while let Some(ch) = cur.peek(0) {
+            if !ch.is_ascii_digit() && ch != '_' {
+                break;
+            }
+            text.push(ch);
+            cur.bump();
+        }
+    };
+    consume_digits(cur, &mut text);
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        cur.bump();
+        consume_digits(cur, &mut text);
+    }
+    if matches!(cur.peek(0), Some('e' | 'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || matches!(cur.peek(1), Some('+' | '-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit()))
+    {
+        text.push(cur.bump().expect("peeked"));
+        if matches!(cur.peek(0), Some('+' | '-')) {
+            text.push(cur.bump().expect("peeked"));
+        }
+        consume_digits(cur, &mut text);
+    }
+    // Type suffix (`u64`, `f32`, …).
+    while let Some(ch) = cur.peek(0) {
+        if !is_ident_continue(ch) {
+            break;
+        }
+        text.push(ch);
+        cur.bump();
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn decoys_in_strings_and_comments_never_become_idents() {
+        let src = r##"
+            // calling .lock().unwrap() here would be bad
+            /* and so would partial_cmp */
+            let a = ".lock().unwrap()";
+            let b = r#"sort_by(partial_cmp)"#;
+            let c = b"to_bits";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        for decoy in ["lock", "unwrap", "partial_cmp", "sort_by", "to_bits"] {
+            assert!(!ids.contains(&decoy.to_string()), "decoy leaked: {decoy}");
+        }
+    }
+
+    #[test]
+    fn comments_carry_text_and_line_spans() {
+        let src = "let x = 1; // trailing note\n/* multi\nline */ let y = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, " trailing note");
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert_eq!(lexed.comments[1].end_line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let src = "/* outer /* inner */ still comment */ token";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens.len(), 1);
+        assert!(lexed.tokens[0].is_ident("token"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let esc = '\\''; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn method_call_on_float_literal_splits_at_the_dot() {
+        let lexed = lex("let k = 1.5.to_bits();");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"1.5"));
+        assert!(texts.contains(&"to_bits"));
+    }
+
+    #[test]
+    fn raw_string_fences_respect_hash_count() {
+        let lexed = lex(r###"let s = r##"has "# inside"##; after"###);
+        let strs: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r##"has "# inside"##);
+        assert!(lexed.tokens.last().expect("tokens").is_ident("after"));
+    }
+
+    #[test]
+    fn line_and_col_are_one_based_and_accurate() {
+        let lexed = lex("ab cd\n  ef");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (1, 4));
+        assert_eq!((lexed.tokens[2].line, lexed.tokens[2].col), (2, 3));
+    }
+}

@@ -1,0 +1,36 @@
+//! **gopher-analyze** — the workspace invariant linter.
+//!
+//! Four of this repository's first six PRs shipped fixes for recurring,
+//! mechanically-detectable bug families: mutex-poisoning panics, NaN-unsafe
+//! `partial_cmp` sorts, the `-0.0` `f64::to_bits` cache-key collision, and
+//! a re-entrant-while-holding-a-guard deadlock. This crate turns each
+//! class into a deny-by-default static check so CI catches a
+//! reintroduction the moment it happens, not at the next review.
+//!
+//! In the same offline spirit as `criterion-shim`/`proptest-shim` it is
+//! **dependency-free**: a comment- and string-literal-aware Rust
+//! [`lexer`], a token-sequence [`rules`] engine, and an [`engine`] that
+//! walks the workspace, honors inline suppressions, and renders human or
+//! `--json` reports.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p gopher-analyze --release -- --deny-all
+//! ```
+//!
+//! Suppress a finding only with a reasoned inline allow (the reason is
+//! mandatory and suppressions stay counted in the report):
+//!
+//! ```text
+//! // gopher-lint: allow(raw-lock) — this test asserts the poison panic itself.
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_paths, analyze_source, collect_rs_files, Analysis, Violation};
+pub use rules::{Finding, RuleInfo, KNOWN_ENV_KNOBS, RULES};

@@ -1,0 +1,175 @@
+//! CLI for the workspace invariant linter. See `gopher-analyze --help`.
+
+#![forbid(unsafe_code)]
+
+use gopher_analyze::{analyze_paths, Analysis, RULES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+gopher-analyze — workspace invariant linter (deny-by-default)
+
+USAGE:
+    gopher-analyze [OPTIONS] [PATHS...]
+
+Scans every .rs file under PATHS (default: the workspace root, i.e. the
+current directory), skipping target/, hidden dirs, and fixtures/.
+Exits 0 when clean, 1 when any finding is active, 2 on usage errors.
+
+OPTIONS:
+    --deny-all        Enable every rule (the default; kept explicit for CI)
+    --rules <a,b>     Run only the named rules
+    --list            List the rules and the suppression syntax, then exit
+    --json            Machine-readable report on stdout
+    --root <DIR>      Directory findings are reported relative to, and the
+                      default scan target (default: current directory)
+    -h, --help        This help
+
+Suppressing a finding requires a reason, which is counted in the report:
+    // gopher-lint: allow(rule-id) — reason the invariant holds here
+";
+
+struct Options {
+    json: bool,
+    list: bool,
+    rules: Vec<String>,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        list: false,
+        rules: Vec::new(),
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--list" => opts.list = true,
+            "--deny-all" => opts.rules.clear(),
+            "--rules" => {
+                let list = it.next().ok_or("--rules needs a comma-separated list")?;
+                opts.rules = list.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
+            }
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    for id in &opts.rules {
+        if !gopher_analyze::rules::is_known_rule(id) {
+            return Err(format!("unknown rule {id:?} (see gopher-analyze --list)"));
+        }
+    }
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(analysis: &Analysis) -> String {
+    let render_list = |items: &[gopher_analyze::Violation]| {
+        let entries: Vec<String> = items
+            .iter()
+            .map(|v| {
+                format!(
+                    "{{\"file\": \"{}\", \"rule\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\"}}",
+                    json_escape(&v.file),
+                    json_escape(&v.rule),
+                    v.line,
+                    v.col,
+                    json_escape(&v.message)
+                )
+            })
+            .collect();
+        format!("[{}]", entries.join(", "))
+    };
+    format!(
+        "{{\"findings\": {}, \"suppressed\": {}, \"files_scanned\": {}, \"counts\": {{\"findings\": {}, \"suppressed\": {}}}}}",
+        render_list(&analysis.findings),
+        render_list(&analysis.suppressed),
+        analysis.files_scanned,
+        analysis.findings.len(),
+        analysis.suppressed.len()
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("gopher-analyze: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list {
+        println!("rules (all deny-by-default):");
+        for rule in RULES {
+            println!("  {:20} {}", rule.id, rule.summary);
+        }
+        println!("\nsuppression (reason mandatory, counted in the report):");
+        println!("  // gopher-lint: allow(<rule-id>) — <reason>");
+        return ExitCode::SUCCESS;
+    }
+    let enabled: Vec<&str> = if opts.rules.is_empty() {
+        RULES.iter().map(|r| r.id).collect()
+    } else {
+        opts.rules.iter().map(String::as_str).collect()
+    };
+    let targets = if opts.paths.is_empty() {
+        vec![opts.root.clone()]
+    } else {
+        opts.paths.clone()
+    };
+    let analysis = match analyze_paths(&targets, &opts.root, &enabled) {
+        Ok(analysis) => analysis,
+        Err(err) => {
+            eprintln!("gopher-analyze: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        println!("{}", render_json(&analysis));
+    } else {
+        for v in &analysis.findings {
+            println!("{}:{}:{}: {}: {}", v.file, v.line, v.col, v.rule, v.message);
+        }
+        println!(
+            "gopher-analyze: {} finding(s), {} suppressed (with reasons), {} file(s) scanned",
+            analysis.findings.len(),
+            analysis.suppressed.len(),
+            analysis.files_scanned
+        );
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,73 @@
+//! Each seeded bad-pattern fixture must trip exactly its rule: injecting
+//! any of these shapes into the workspace turns the gate red, naming the
+//! rule (the PR's acceptance criterion, also exercised over the real
+//! binary by CI's negative smoke step).
+
+use gopher_analyze::{analyze_paths, RULES};
+use std::path::{Path, PathBuf};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures/bad")
+        .join(name)
+}
+
+/// Runs all rules over one fixture; returns the distinct rule ids found.
+fn rules_hit(name: &str) -> Vec<String> {
+    let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    let path = fixture(name);
+    assert!(path.is_file(), "missing fixture {}", path.display());
+    let analysis =
+        analyze_paths(std::slice::from_ref(&path), &path, &enabled).expect("analyze fixture");
+    let mut rules: Vec<String> = analysis.findings.iter().map(|v| v.rule.clone()).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn raw_lock_fixture_trips_its_rule() {
+    // The PR 3 class: cache locks unwrapped, poison bricks the session.
+    assert_eq!(rules_hit("raw_lock.rs"), ["raw-lock"]);
+}
+
+#[test]
+fn nan_sort_fixture_trips_its_rule() {
+    // The PR 2 class: partial_cmp comparators fall over on NaN scores.
+    assert_eq!(rules_hit("nan_sort.rs"), ["nan-sort"]);
+}
+
+#[test]
+fn float_bits_key_fixture_trips_its_rule() {
+    // The PR 5 class: τ keyed by bit pattern, -0.0 duplicates artifacts.
+    assert_eq!(rules_hit("float_bits_key.rs"), ["float-bits-key"]);
+}
+
+#[test]
+fn undocumented_unsafe_fixture_trips_its_rule() {
+    assert_eq!(rules_hit("undocumented_unsafe.rs"), ["undocumented-unsafe"]);
+}
+
+#[test]
+fn guard_held_call_fixture_trips_its_rule() {
+    // The PR 3 deadlock: re-entering a lock-taking method under the guard.
+    assert_eq!(rules_hit("guard_held_call.rs"), ["guard-held-call"]);
+}
+
+#[test]
+fn env_literal_fixture_trips_its_rule() {
+    assert_eq!(rules_hit("env_literal.rs"), ["env-literal"]);
+}
+
+#[test]
+fn fixture_findings_carry_file_line_spans() {
+    let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    let path = fixture("raw_lock.rs");
+    let root = path.parent().expect("fixtures dir").to_path_buf();
+    let analysis = analyze_paths(&[path], &root, &enabled).expect("analyze fixture");
+    assert_eq!(analysis.findings.len(), 2, "{:?}", analysis.findings);
+    for v in &analysis.findings {
+        assert_eq!(v.file, "raw_lock.rs");
+        assert!(v.line > 0 && v.col > 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! The self-check: the analyzer runs over the real workspace inside
+//! `cargo test`, so tier-1 tests enforce the invariants even when CI's
+//! dedicated `gopher-analyze --deny-all` step is not in the loop.
+
+use gopher_analyze::{analyze_paths, RULES};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/analyze -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root above crates/analyze")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = workspace_root();
+    assert!(
+        root.join("Cargo.toml").is_file(),
+        "workspace root not found at {}",
+        root.display()
+    );
+    let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    let analysis =
+        analyze_paths(std::slice::from_ref(&root), &root, &enabled).expect("scan workspace");
+    assert!(
+        analysis.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the walker break?",
+        analysis.files_scanned
+    );
+    let rendered: Vec<String> = analysis
+        .findings
+        .iter()
+        .map(|v| format!("{}:{}:{}: {}: {}", v.file, v.line, v.col, v.rule, v.message))
+        .collect();
+    assert!(
+        analysis.findings.is_empty(),
+        "the workspace must carry zero findings — fix them or add a reasoned \
+         `gopher-lint: allow`:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn every_workspace_suppression_carries_a_reason() {
+    // `analyze_paths` already turns a reasonless allow into a `bare-allow`
+    // finding (covered above); this asserts the suppressions that *do*
+    // exist were parsed as reasoned, i.e. the counter works end to end.
+    let root = workspace_root();
+    let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+    let analysis =
+        analyze_paths(std::slice::from_ref(&root), &root, &enabled).expect("scan workspace");
+    for v in &analysis.suppressed {
+        assert!(
+            gopher_analyze::rules::is_known_rule(&v.rule),
+            "suppressed finding for unknown rule {:?}",
+            v.rule
+        );
+    }
+}

@@ -167,7 +167,7 @@ fn bench_cold_sweeps(c: &mut Criterion) {
             on_wins += usize::from(on_t < off_t);
             deltas.push(off_t - on_t);
         }
-        deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        deltas.sort_by(f64::total_cmp);
         let median = deltas[pairs / 2];
         println!(
             "{label}: paired prefilter delta: median {:+.3}ms (on faster in {on_wins}/{pairs} pairs)",

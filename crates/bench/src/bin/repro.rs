@@ -24,6 +24,8 @@
 //! `--scale small` (default) keeps every experiment interactive;
 //! `--scale paper` uses the paper's dataset sizes and lattice depth.
 
+#![forbid(unsafe_code)]
+
 use gopher_bench::experiments;
 use gopher_bench::{DatasetKind, Scale};
 use std::io::Write;

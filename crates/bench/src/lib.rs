@@ -6,6 +6,8 @@
 //! results: Figures 4–5, Table 7 timings). This library holds the workload
 //! builders both entry points share.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod workloads;
 

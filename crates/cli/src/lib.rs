@@ -9,4 +9,6 @@
 //!   wire format without depending on the CLI; this alias keeps every
 //!   existing `gopher_cli::json::…` caller working unchanged.
 
+#![forbid(unsafe_code)]
+
 pub use gopher_json as json;

@@ -19,6 +19,8 @@
 //!
 //! Run `gopher --help` for the full flag reference.
 
+#![forbid(unsafe_code)]
+
 use gopher_cli::json::{self, Json};
 use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
 use gopher_data::csv::{parse_protected_spec, read_csv_infer};

@@ -59,6 +59,8 @@
 //!   clusters vs. a LocalOutlierFactor baseline).
 //! * [`report`] — plain-text table rendering for the experiment harness.
 
+#![forbid(unsafe_code)]
+
 pub mod explainer;
 pub mod fo_tree;
 pub mod gmm;

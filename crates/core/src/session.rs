@@ -61,19 +61,15 @@ use gopher_patterns::{
 use std::collections::{HashMap, HashSet};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// Locks a session cache, recovering the guard if a panicking query thread
-/// poisoned it. Every session cache only ever stores fully-built values that
-/// are pure functions of the trained model (inserts happen after the value
-/// is complete), so the data behind a poisoned lock is always valid — a
-/// caught panic in one query must not brick the session for the next.
-fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+// Session caches lock via `gopher_par::lock_recover`: every cache only ever
+// stores fully-built values that are pure functions of the trained model
+// (inserts happen after the value is complete), so the data behind a
+// poisoned lock is always valid — a caught panic in one query must not
+// brick the session for the next.
+use gopher_par::lock_recover;
 
 /// Ground-truth responsibility `(F_old − F_new)/F_old` (Definition 3.2),
 /// shared by the solo and fanned-out retraining paths so they can never
@@ -463,12 +459,23 @@ impl SweepKey {
     }
 }
 
+/// Canonical bit pattern for an `f64` embedded in a cache key: `-0.0`
+/// normalizes to `0.0` first, so numerically equal configurations share one
+/// cache entry instead of silently duplicating artifacts (the structural
+/// τ-key bug fixed in PR 5 — now denied workspace-wide by `gopher-analyze`'s
+/// `float-bits-key` rule).
+fn canonical_f64_key_bits(x: f64) -> u64 {
+    let x = if x == 0.0 { 0.0 } else { x };
+    // gopher-lint: allow(float-bits-key) — the canonicalization helper itself
+    x.to_bits()
+}
+
 fn estimator_key(e: Estimator) -> (u8, u64) {
     match e {
         Estimator::FirstOrder => (0, 0),
         Estimator::SecondOrder => (1, 0),
         Estimator::NewtonStep => (2, 0),
-        Estimator::OneStepGd { learning_rate } => (3, learning_rate.to_bits()),
+        Estimator::OneStepGd { learning_rate } => (3, canonical_f64_key_bits(learning_rate)),
     }
 }
 

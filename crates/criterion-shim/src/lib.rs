@@ -14,6 +14,8 @@
 //! real criterion back in is a one-line `Cargo.toml` change: the bench
 //! sources compile unmodified against either.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint;
 use std::time::{Duration, Instant};

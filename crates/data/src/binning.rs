@@ -34,7 +34,7 @@ impl Bins {
             };
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len();
         let mut thresholds = Vec::with_capacity(max_bins - 1);
         for k in 1..max_bins {

@@ -17,6 +17,8 @@
 //! * an anchoring-style data-[`poison`]ing attack (paper §6.7);
 //! * minimal CSV import/export ([`csv`]).
 
+#![forbid(unsafe_code)]
+
 pub mod binning;
 pub mod csv;
 pub mod dataset;

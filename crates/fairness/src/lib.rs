@@ -23,6 +23,8 @@
 //! extensions ([`disparate_impact_ratio`], [`equalized_odds_gap`]) round out
 //! the audit surface.
 
+#![forbid(unsafe_code)]
+
 mod stats;
 
 pub use stats::{group_confusion, ConfusionCounts, GroupStats};

@@ -35,6 +35,8 @@
 //! [`BiasInfluence`] also supports re-evaluating the (hard or smooth) metric
 //! at `θ* + Δθ`, which is often more faithful than the linearization.
 
+#![forbid(unsafe_code)]
+
 mod bias;
 mod engine;
 mod retrain;

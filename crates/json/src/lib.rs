@@ -16,6 +16,8 @@
 //! huge body is rejected before any work is done. [`parse`] applies the
 //! defaults; [`parse_with_limits`] lets servers tighten them per endpoint.
 
+#![forbid(unsafe_code)]
+
 use std::collections::BTreeMap;
 use std::fmt;
 

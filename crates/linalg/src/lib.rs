@@ -5,6 +5,8 @@
 //! gradient is all the influence-function machinery needs. Everything is
 //! `f64`, allocation-conscious, and thoroughly unit- and property-tested.
 
+#![forbid(unsafe_code)]
+
 mod cg;
 mod cholesky;
 mod matrix;

@@ -20,6 +20,8 @@
 //!
 //! `J(θ) = (1/n) Σᵢ L(zᵢ, θ) + (λ/2)‖θ‖²`.
 
+#![forbid(unsafe_code)]
+
 mod logistic;
 mod mlp;
 mod svm;

@@ -25,9 +25,25 @@
 //! hold lock-based caches must therefore recover poisoned mutexes — see
 //! `ExplainSession` in `gopher-core`.
 
+#![forbid(unsafe_code)]
+
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard when a previous holder panicked instead
+/// of propagating the poison.
+///
+/// This is the workspace-wide lock idiom: a panicking sweep worker (see the
+/// poison-flag protocol above) must not brick a long-lived session by
+/// poisoning its caches. Recovery is sound here because every lock-guarded
+/// structure in the workspace is an insert-or-recompute cache — a
+/// half-written entry is at worst recomputed, never trusted. Raw
+/// `.lock().unwrap()` calls are denied by `gopher-analyze`'s `raw-lock`
+/// rule; call this instead.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Number of threads the host advertises (`std::thread::available_parallelism`),
 /// falling back to 1 when the query fails.
@@ -67,9 +83,7 @@ where
                 }
                 match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
                     // Uncontended: slot `i` is claimed by exactly one worker.
-                    Ok(result) => {
-                        *slots[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(result)
-                    }
+                    Ok(result) => *lock_recover(&slots[i]) = Some(result),
                     Err(payload) => {
                         poisoned.store(true, Ordering::Relaxed);
                         std::panic::resume_unwind(payload);
@@ -121,7 +135,7 @@ where
                 if i >= n {
                     break;
                 }
-                let mut item = cells[i].lock().unwrap_or_else(|e| e.into_inner());
+                let mut item = lock_recover(&cells[i]);
                 if let Err(payload) = std::panic::catch_unwind(AssertUnwindSafe(|| f(i, &mut item)))
                 {
                     poisoned.store(true, Ordering::Relaxed);
@@ -168,11 +182,11 @@ mod tests {
         par_map(4, &items, |_, _| {
             // A tiny sleep gives every worker a chance to claim work.
             std::thread::sleep(std::time::Duration::from_millis(1));
-            seen.lock().unwrap().insert(std::thread::current().id());
+            lock_recover(&seen).insert(std::thread::current().id());
         });
         // Workers only spawn when the host has >1 core; otherwise the OS may
         // still schedule all closures on one thread, so only assert spawning.
-        assert!(!seen.lock().unwrap().is_empty());
+        assert!(!lock_recover(&seen).is_empty());
     }
 
     #[test]

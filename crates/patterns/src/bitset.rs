@@ -78,8 +78,11 @@ mod avx2 {
         let mut acc = zero;
         let strides = a.len() / 4;
         for i in 0..strides {
-            let va = _mm256_loadu_si256(a.as_ptr().add(i * 4).cast());
-            let vb = _mm256_loadu_si256(b.as_ptr().add(i * 4).cast());
+            // SAFETY: i < a.len()/4, so words [i*4, i*4+4) are in bounds of
+            // both slices (callers pass equal-universe blocks, a.len() ==
+            // b.len()); loadu has no alignment requirement.
+            let va = unsafe { _mm256_loadu_si256(a.as_ptr().add(i * 4).cast()) };
+            let vb = unsafe { _mm256_loadu_si256(b.as_ptr().add(i * 4).cast()) };
             let v = _mm256_and_si256(va, vb);
             let lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low_mask));
             let hi = _mm256_shuffle_epi8(lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask));
@@ -87,7 +90,8 @@ mod avx2 {
             acc = _mm256_add_epi64(acc, _mm256_sad_epu8(bytes, zero));
         }
         let mut lanes = [0u64; 4];
-        _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc);
+        // SAFETY: `lanes` is exactly 32 bytes, the width of one store.
+        unsafe { _mm256_storeu_si256(lanes.as_mut_ptr().cast(), acc) };
         let mut total = (lanes[0] + lanes[1] + lanes[2] + lanes[3]) as usize;
         for i in strides * 4..a.len() {
             total += (a[i] & b[i]).count_ones() as usize;
@@ -101,9 +105,14 @@ mod avx2 {
     pub(super) unsafe fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
         let strides = a.len() / 4;
         for i in 0..strides {
-            let va = _mm256_loadu_si256(a.as_ptr().add(i * 4).cast());
-            let vb = _mm256_loadu_si256(b.as_ptr().add(i * 4).cast());
-            _mm256_storeu_si256(out.as_mut_ptr().add(i * 4).cast(), _mm256_and_si256(va, vb));
+            // SAFETY: i < a.len()/4, so words [i*4, i*4+4) are in bounds of
+            // all three slices (callers pass equal-universe blocks);
+            // loadu/storeu have no alignment requirement.
+            unsafe {
+                let va = _mm256_loadu_si256(a.as_ptr().add(i * 4).cast());
+                let vb = _mm256_loadu_si256(b.as_ptr().add(i * 4).cast());
+                _mm256_storeu_si256(out.as_mut_ptr().add(i * 4).cast(), _mm256_and_si256(va, vb));
+            }
         }
         for i in strides * 4..a.len() {
             out[i] = a[i] & b[i];

@@ -81,7 +81,7 @@ impl CoverageCache {
     /// built, so a panicking scorer thread can never leave one half-written
     /// — the data behind a poisoned guard is still valid.
     fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        gopher_par::lock_recover(&self.inner)
     }
 
     /// True if nothing is cached yet.

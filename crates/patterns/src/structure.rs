@@ -463,7 +463,7 @@ impl SweepStructure {
     /// Locks the merge map, recovering from poisoning (records are pure and
     /// inserted fully built; see `CoverageCache::lock` for the rationale).
     fn lock(&self) -> MutexGuard<'_, HashMap<Box<[u16]>, MergeRecord>> {
-        self.merges.lock().unwrap_or_else(|e| e.into_inner())
+        gopher_par::lock_recover(&self.merges)
     }
 
     /// The resolved record for a merged pattern, if any sweep has computed

@@ -12,6 +12,8 @@
 //! Bernoulli draws, normal deviates (Box–Muller), categorical sampling,
 //! Fisher–Yates shuffling and sampling without replacement.
 
+#![forbid(unsafe_code)]
+
 mod sampling;
 
 pub use sampling::Categorical;

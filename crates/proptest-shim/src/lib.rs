@@ -18,6 +18,8 @@
 //! failures reproduce), and there is **no shrinking** — a failing case is
 //! reported verbatim. Each test body runs [`CASES`] times.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 pub use gopher_prng::Rng as TestRng;

@@ -22,8 +22,9 @@
 
 use crate::registry::AnySession;
 use gopher_core::{ExplainRequest, ExplainResponse};
+use gopher_par::lock_recover;
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// A follower's seat in a forming batch.
@@ -74,11 +75,8 @@ impl Batcher {
         if self.window.is_zero() {
             return Ok(solo(session, request));
         }
-        fn lock(m: &Mutex<Option<Forming>>) -> std::sync::MutexGuard<'_, Option<Forming>> {
-            m.lock().unwrap_or_else(PoisonError::into_inner)
-        }
         {
-            let mut forming = lock(&self.forming);
+            let mut forming = lock_recover(&self.forming);
             match forming.as_mut() {
                 None => {
                     // Idle: become the leader and start collecting.
@@ -104,7 +102,7 @@ impl Batcher {
         }
         // Leader path. Sleep through the window, then take whatever joined.
         std::thread::sleep(self.window);
-        let waiters = lock(&self.forming)
+        let waiters = lock_recover(&self.forming)
             .take()
             .map(|f| f.waiters)
             .unwrap_or_default();

@@ -16,9 +16,10 @@ use gopher_data::generators::{adult, german, sqf};
 use gopher_data::Dataset;
 use gopher_json::Json;
 use gopher_models::{LinearSvm, LogisticRegression, Mlp};
+use gopher_par::lock_recover;
 use gopher_prng::Rng;
 use std::io::Cursor;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// An [`ExplainSession`] with the model family erased: the registry stores
 /// whatever family the upload asked for behind one type.
@@ -389,7 +390,7 @@ impl SessionRegistry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        lock_recover(&self.inner)
     }
 
     /// Registers a session. `Err` on a name collision (the HTTP layer's

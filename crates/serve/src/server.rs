@@ -24,12 +24,13 @@ use crate::http::{self, HttpConn, HttpError, Request};
 use crate::registry::{build_session, SessionConfig, SessionEntry, SessionRegistry};
 use gopher_core::ExplainRequest;
 use gopher_json::{Json, ParseLimits, DEFAULT_MAX_DEPTH};
+use gopher_par::lock_recover;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -219,7 +220,7 @@ fn worker_loop(state: &ServerState, rx: &Mutex<Receiver<TcpStream>>) {
         // stream arrives the holder dequeues and releases; peers queue on
         // the mutex, not on the channel.
         let stream = {
-            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            let guard = lock_recover(rx);
             guard.recv()
         };
         match stream {

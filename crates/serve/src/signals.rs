@@ -17,6 +17,9 @@ pub fn signalled() -> bool {
 /// Installs the flag-setting handler for SIGINT and SIGTERM. Idempotent.
 #[cfg(unix)]
 pub fn install() {
+    // SAFETY: runs in signal context, so the body must be async-signal-safe.
+    // A relaxed store to a static atomic is: no allocation, no locks, no
+    // reentrancy into non-reentrant libc.
     unsafe extern "C" fn handler(_signum: i32) {
         SIGNALLED.store(true, Ordering::Relaxed);
     }
@@ -29,6 +32,9 @@ pub fn install() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;
     let f: unsafe extern "C" fn(i32) = handler;
+    // SAFETY: `signal` is called with valid signal numbers and a function
+    // pointer of the exact prototype POSIX expects; `handler` itself is
+    // async-signal-safe (see above).
     unsafe {
         signal(SIGINT, f as usize);
         signal(SIGTERM, f as usize);

@@ -19,6 +19,8 @@
 //!   share;
 //! * [`gopher_linalg`] / [`gopher_prng`] — numeric substrate.
 
+#![forbid(unsafe_code)]
+
 pub use gopher_core;
 pub use gopher_data;
 pub use gopher_fairness;

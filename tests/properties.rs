@@ -136,7 +136,7 @@ proptest! {
         // Every value falls in a valid bin, monotonically with the value.
         let mut pairs: Vec<(f64, usize)> =
             values.iter().map(|&v| (v, bins.bin_of(v))).collect();
-        pairs.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap());
+        pairs.sort_by(|x, y| x.0.total_cmp(&y.0));
         for w in pairs.windows(2) {
             prop_assert!(w[0].1 <= w[1].1, "bin index must be monotone in the value");
         }

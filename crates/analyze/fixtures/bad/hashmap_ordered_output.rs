@@ -1,0 +1,29 @@
+//! Seeded bad fixture for the `hashmap-ordered-output` rule: the shape the
+//! incremental-update work had to dodge — iterating a HashMap-backed cache
+//! straight into a report, so the emitted order changes from run to run.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+use std::collections::HashMap;
+
+struct Registry {
+    entries: HashMap<String, u64>,
+}
+
+impl Registry {
+    fn report(&self) -> String {
+        // BAD: hash iteration order is seeded per process; this report's
+        // line order is different on every run.
+        let lines: Vec<String> = self.entries.keys().map(|k| format!("- {k}")).collect();
+        lines.join("\n")
+    }
+
+    fn survivors(&self) -> usize {
+        // Order-independent accumulation over the same map is fine.
+        let mut n = 0;
+        for _ in self.entries.values() {
+            n += 1;
+        }
+        n
+    }
+}

@@ -217,6 +217,7 @@ mod tests {
         "undocumented-unsafe",
         "guard-held-call",
         "env-literal",
+        "hashmap-ordered-output",
     ];
 
     #[test]

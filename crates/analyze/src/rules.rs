@@ -1,4 +1,4 @@
-//! The six project-invariant rules.
+//! The seven project-invariant rules.
 //!
 //! Each rule encodes a bug class this workspace has already shipped a fix
 //! for (see the README's rule catalog for the history). Rules operate on
@@ -60,6 +60,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "env-literal",
         summary: "`env::var` with a string outside the documented knob list",
     },
+    RuleInfo {
+        id: "hashmap-ordered-output",
+        summary: "HashMap/HashSet iteration flowing into ordered output without a sort",
+    },
 ];
 
 /// True if `id` names a rule in [`RULES`].
@@ -78,6 +82,7 @@ pub fn check_all(lexed: &Lexed, enabled: &[&str]) -> Vec<Finding> {
             "undocumented-unsafe" => undocumented_unsafe(&lexed.tokens, &lexed.comments),
             "guard-held-call" => guard_held_call(&lexed.tokens),
             "env-literal" => env_literal(&lexed.tokens),
+            "hashmap-ordered-output" => hashmap_ordered_output(&lexed.tokens),
             other => panic!("unknown rule id {other:?} (validate with is_known_rule)"),
         };
         findings.extend(rule_findings);
@@ -473,6 +478,137 @@ fn env_literal(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
+/// **hashmap-ordered-output** — a statement that iterates a `HashMap` /
+/// `HashSet` straight into order-sensitive output.
+///
+/// Hash iteration order is arbitrary and changes across runs (the seed is
+/// randomized per process), so a `map.keys().collect::<Vec<_>>()` that
+/// reaches a report, a JSON array, or printed lines makes the output
+/// nondeterministic — the bug class the incremental-update work had to dodge
+/// when patching cached artifacts. The rule tracks bindings declared as
+/// `HashMap`/`HashSet` in the file, then flags statements where such a
+/// binding is iterated (`keys`/`values`/`iter`/`into_iter`/`drain`) *and*
+/// the same statement funnels the order into a sink (`collect`, `push`,
+/// `extend`, `join`, `format!`/`write!`-family, `Json`). Statements that
+/// sort in place, mention a `BTree` container, or are immediately followed
+/// by a sorting statement (the collect-then-sort idiom) are exempt; plain
+/// `for` loops are out of scope because order-independent accumulation over
+/// a map is the workspace's bread and butter.
+fn hashmap_ordered_output(tokens: &[Token]) -> Vec<Finding> {
+    const ITERS: &[&str] = &["keys", "values", "iter", "into_iter", "drain"];
+    const SINKS: &[&str] = &[
+        "collect", "push", "extend", "join", "format", "write", "writeln", "print", "println",
+        "Json",
+    ];
+    const SORTS: &[&str] = &[
+        "sort",
+        "sort_by",
+        "sort_by_key",
+        "sort_unstable",
+        "sort_unstable_by",
+        "sort_unstable_by_key",
+    ];
+    // Pass 1: names declared as hash containers anywhere in the file —
+    // `let [mut] name = ... HashMap ...`, or a `name: HashMap<..>` field /
+    // parameter declaration.
+    let mut names: Vec<String> = Vec::new();
+    for i in 0..tokens.len() {
+        if !matches!(ident_at(tokens, i), Some("HashMap" | "HashSet")) {
+            continue;
+        }
+        let boundary = |t: &Token| t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
+        let start = (0..i)
+            .rev()
+            .find(|&j| boundary(&tokens[j]))
+            .map_or(0, |j| j + 1);
+        let mut named = None;
+        // A `let` in the statement wins; otherwise the nearest `name :`
+        // (single colon — `::` path segments don't count) before the type.
+        for j in start..i {
+            if ident_at(tokens, j) == Some("let") {
+                let mut k = j + 1;
+                if ident_at(tokens, k) == Some("mut") {
+                    k += 1;
+                }
+                named = ident_at(tokens, k).map(str::to_string);
+                break;
+            }
+        }
+        if named.is_none() {
+            for j in (start..i).rev() {
+                if punct_at(tokens, j, ':')
+                    && !punct_at(tokens, j + 1, ':')
+                    && (j == 0 || !punct_at(tokens, j - 1, ':'))
+                {
+                    if let Some(name) = (j > 0).then(|| ident_at(tokens, j - 1)).flatten() {
+                        named = Some(name.to_string());
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(name) = named {
+            if !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    // Pass 2: iteration of a known container whose statement also sinks the
+    // order somewhere ordered, with no sort in this or the next statement.
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !(punct_at(tokens, i, '.')
+            && matches!(ident_at(tokens, i + 1), Some(m) if ITERS.contains(&m))
+            && punct_at(tokens, i + 2, '('))
+        {
+            continue;
+        }
+        let Some(receiver) = (i > 0).then(|| ident_at(tokens, i - 1)).flatten() else {
+            continue;
+        };
+        if !names.iter().any(|n| n == receiver) {
+            continue;
+        }
+        let window: Vec<&Token> = statement_window(tokens, i).collect();
+        let has = |set: &[&str]| {
+            window
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && set.contains(&t.text.as_str()))
+        };
+        if !has(SINKS) || has(SORTS) || window.iter().any(|t| t.text.contains("BTree")) {
+            continue;
+        }
+        // Collect-then-sort: a sorting call in the immediately following
+        // statement sanctions the collected order.
+        let boundary = |t: &Token| t.is_punct(';') || t.is_punct('{') || t.is_punct('}');
+        let end = (i..tokens.len())
+            .find(|&j| boundary(&tokens[j]))
+            .unwrap_or(tokens.len());
+        let next_end = (end + 1..tokens.len())
+            .find(|&j| boundary(&tokens[j]))
+            .unwrap_or(tokens.len());
+        let next_sorts = tokens[(end + 1).min(tokens.len())..next_end]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && SORTS.contains(&t.text.as_str()));
+        if next_sorts {
+            continue;
+        }
+        let t = &tokens[i + 1];
+        out.push(Finding {
+            rule: "hashmap-ordered-output",
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{receiver}.{}()` iterates a hash container into ordered output — hash \
+                 iteration order is nondeterministic across runs; sort the collected items \
+                 or use a BTreeMap/BTreeSet",
+                t.text
+            ),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -599,6 +735,40 @@ mod tests {
         assert!(run("env-literal", "let v = std::env::var(THREADS_ENV);").is_empty());
         // Other env:: functions are fine.
         assert!(run("env-literal", "let d = std::env::temp_dir();").is_empty());
+    }
+
+    #[test]
+    fn hashmap_ordered_output_flags_unsorted_sinks_only() {
+        // A map iterated into a collected Vec that reaches output: flagged.
+        let bad = "fn f() {\n    let m: HashMap<String, u64> = HashMap::new();\n    let keys: Vec<&String> = m.keys().collect();\n    emit(&keys);\n}";
+        let found = run("hashmap-ordered-output", bad);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+        assert!(found[0].message.contains("m.keys()"));
+
+        // Collect-then-sort is the sanctioned idiom: not flagged.
+        let sorted = "fn f() {\n    let m: HashMap<String, u64> = HashMap::new();\n    let mut keys: Vec<&String> = m.keys().collect();\n    keys.sort();\n}";
+        assert!(run("hashmap-ordered-output", sorted).is_empty());
+
+        // A sort inside the same statement chain also sanctions it.
+        let inline = "fn f(m: &HashMap<u64, u64>) {\n    let mut v: Vec<u64> = m.values().copied().collect(); v.sort_unstable();\n}";
+        assert!(run("hashmap-ordered-output", inline).is_empty());
+
+        // Iterating into a counter (no ordered sink): order-independent, fine.
+        let counter = "fn f(m: &HashMap<u64, u64>) {\n    let mut n = 0;\n    for k in m.keys() { n += 1; }\n}";
+        assert!(run("hashmap-ordered-output", counter).is_empty());
+
+        // BTreeMap iteration is ordered by definition: fine.
+        let btree = "fn f(m: &BTreeMap<u64, u64>) {\n    let v: Vec<&u64> = m.keys().collect();\n    emit(&v);\n}";
+        assert!(run("hashmap-ordered-output", btree).is_empty());
+
+        // A Vec binding iterated into output is not this rule's business.
+        let vec_ok = "fn f() {\n    let v: Vec<u64> = Vec::new();\n    let out: Vec<&u64> = v.iter().collect();\n    emit(&out);\n}";
+        assert!(run("hashmap-ordered-output", vec_ok).is_empty());
+
+        // Struct fields declared as HashMap are tracked too.
+        let field = "struct S { entries: HashMap<u64, u64> }\nimpl S {\n    fn dump(&self) -> String {\n        let parts: Vec<String> = entries.values().map(|v| v.to_string()).collect();\n        parts.join(\",\")\n    }\n}";
+        assert_eq!(run("hashmap-ordered-output", field).len(), 1);
     }
 
     #[test]

@@ -60,6 +60,16 @@ fn env_literal_fixture_trips_its_rule() {
 }
 
 #[test]
+fn hashmap_ordered_output_fixture_trips_its_rule() {
+    // The incremental-update class: a HashMap-backed cache iterated
+    // straight into a report, reordering the output every run.
+    assert_eq!(
+        rules_hit("hashmap_ordered_output.rs"),
+        ["hashmap-ordered-output"]
+    );
+}
+
+#[test]
 fn fixture_findings_carry_file_line_spans() {
     let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
     let path = fixture("raw_lock.rs");

@@ -22,7 +22,7 @@
 #![forbid(unsafe_code)]
 
 use gopher_cli::json::{self, Json};
-use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder};
+use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, UpdateReport};
 use gopher_data::csv::{parse_protected_spec, read_csv_infer};
 use gopher_data::generators::{adult, german, sqf};
 use gopher_data::{Dataset, Encoder};
@@ -54,6 +54,8 @@ SUBCOMMANDS:
                session (implies --json); see --requests
     serve      HTTP daemon: named sessions from CSV uploads or generators,
                LRU registry, micro-batched explain calls; see SERVE OPTIONS
+    update     apply a training-data delta to a live session and compare the
+               incremental path against a cold rebuild; see UPDATE OPTIONS
 
 COMMON OPTIONS:
     --data <NAME>           dataset generator: german | adult | sqf [german]
@@ -104,6 +106,13 @@ EXPLAIN/QUERY OPTIONS:
                             metric-independent tier), and coverage
                             hit/miss/eviction rates
 
+UPDATE OPTIONS:
+    --delta-remove <N>      training rows to remove (seeded random sample of
+                            distinct indices) [1]
+    --delta-add <N>         rows to add: fresh generator rows (seed-offset
+                            stream) for generator data, duplicated training
+                            rows for --csv data [1]
+
 SERVE OPTIONS:
     --addr <HOST>           address to bind [127.0.0.1]
     --port <N>              port to bind; 0 = OS-assigned, printed on the
@@ -126,6 +135,7 @@ EXAMPLES:
     echo '[{\"metric\":\"statistical-parity\"},{\"metric\":\"equal-opportunity\"}]' \\
         | gopher query --requests - --data german
     gopher serve --port 7979 --batch-window-ms 2
+    gopher update --data german --rows 10000 --delta-remove 1 --delta-add 1
 ";
 
 fn main() -> ExitCode {
@@ -176,6 +186,8 @@ struct Opts {
     estimator: Estimator,
     learning_rate: f64,
     ground_truth: bool,
+    delta_remove: usize,
+    delta_add: usize,
     addr: String,
     port: u16,
     batch_window_ms: u64,
@@ -209,6 +221,8 @@ impl Default for Opts {
             estimator: Estimator::SecondOrder,
             learning_rate: 1.0,
             ground_truth: false,
+            delta_remove: 1,
+            delta_add: 1,
             addr: "127.0.0.1".into(),
             port: 7979,
             batch_window_ms: 2,
@@ -266,6 +280,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, UsageError> {
                 opts.prefilter_sample =
                     parse_num(value("--prefilter-sample")?, "--prefilter-sample")?
             }
+            "--delta-remove" => {
+                opts.delta_remove = parse_num(value("--delta-remove")?, "--delta-remove")?
+            }
+            "--delta-add" => opts.delta_add = parse_num(value("--delta-add")?, "--delta-add")?,
             "--learning-rate" => {
                 opts.learning_rate = parse_num(value("--learning-rate")?, "--learning-rate")?
             }
@@ -327,6 +345,7 @@ fn run(args: &[String]) -> Result<(), UsageError> {
         "audit" => dispatch(&mut opts, Action::Audit),
         "report" => dispatch(&mut opts, Action::Report),
         "query" => dispatch(&mut opts, Action::Query),
+        "update" => dispatch(&mut opts, Action::Update),
         "serve" => serve(&opts),
         other => Err(bad(format!("unknown subcommand `{other}`"))),
     }
@@ -337,6 +356,7 @@ enum Action {
     Audit,
     Report,
     Query,
+    Update,
 }
 
 /// Loads the dataset: a synthetic generator, or a schema-inferred CSV when
@@ -393,9 +413,11 @@ fn dispatch(opts: &mut Opts, action: Action) -> Result<(), UsageError> {
         }),
         "svm" => exec(opts, action, &train, &test, |n| LinearSvm::new(n, l2)),
         "mlp" => {
-            let mut model_rng = rng.fork();
+            // Cloning the forked stream per call keeps the constructor `Fn`
+            // (and deterministic), so `update` can rebuild the same model.
+            let model_rng = rng.fork();
             exec(opts, action, &train, &test, move |n| {
-                Mlp::new(n, 10, l2, &mut model_rng)
+                Mlp::new(n, 10, l2, &mut model_rng.clone())
             })
         }
         other => Err(bad(format!("unknown model `{other}`"))),
@@ -407,7 +429,7 @@ fn exec<M: Model>(
     action: Action,
     train: &Dataset,
     test: &Dataset,
-    make_model: impl FnOnce(usize) -> M,
+    make_model: impl Fn(usize) -> M,
 ) -> Result<(), UsageError> {
     let output = match action {
         Action::Audit => {
@@ -452,9 +474,159 @@ fn exec<M: Model>(
                 format!("{}\n", Json::Arr(array))
             }
         }
+        Action::Update => {
+            if opts.delta_remove == 0 && opts.delta_add == 0 {
+                return Err(bad("update needs --delta-remove or --delta-add above zero"));
+            }
+            if opts.delta_remove >= train.n_rows() {
+                return Err(bad(format!(
+                    "--delta-remove {} would empty the {}-row training split",
+                    opts.delta_remove,
+                    train.n_rows()
+                )));
+            }
+            let mut session = fit_session(opts, train, test, &make_model);
+            let request = base_request(opts);
+            // Warm the structural tier so the delta has artifacts to patch.
+            session.explain(&request);
+            let mut removal_rng = Rng::new(opts.seed ^ 0x517c_c1b7);
+            let removed = removal_rng.sample_indices(train.n_rows(), opts.delta_remove);
+            let added = delta_rows(opts, train)?;
+            let report = session.update(&removed, &added);
+            let after = session.explain(&request);
+            let rebuild_start = std::time::Instant::now();
+            let cold = session.cold_rebuild(&make_model);
+            let rebuild_time = rebuild_start.elapsed();
+            let cold_answer = cold.explain(&request);
+            let matches_cold = explanations_match(&after, &cold_answer);
+            let json = update_json(opts, &report, &after, matches_cold, rebuild_time);
+            if opts.json {
+                format!("{json}\n")
+            } else {
+                render_update_text(&json)
+            }
+        }
     };
     emit(&output);
     Ok(())
+}
+
+// ----------------------------------------------------------------- update
+
+/// The rows an `update` adds: a fresh seed-offset slice of the generator
+/// stream, or (for CSV data) a seeded sample of duplicated training rows —
+/// either way the schema matches the session's by construction.
+fn delta_rows(opts: &Opts, train: &Dataset) -> Result<Dataset, UsageError> {
+    if opts.delta_add == 0 {
+        return Ok(train.select_rows(&[]));
+    }
+    if opts.csv.is_some() {
+        let mut rng = Rng::new(opts.seed ^ 0x9e37_79b9);
+        let picked = rng.sample_indices(train.n_rows(), opts.delta_add.min(train.n_rows()));
+        return Ok(train.select_rows(&picked));
+    }
+    let generate = match opts.data.as_str() {
+        "german" => german,
+        "adult" => adult,
+        "sqf" => sqf,
+        other => return Err(bad(format!("unknown dataset `{other}`"))),
+    };
+    Ok(generate(opts.delta_add, opts.seed ^ 0x9e37_79b9))
+}
+
+/// Post-update answers must match a cold rebuild on the same data: pattern
+/// text and support exactly, responsibilities within the engine's drift
+/// bound, base bias to float noise.
+fn explanations_match(incremental: &ExplainResponse, cold: &ExplainResponse) -> bool {
+    let a = &incremental.report.explanations;
+    let b = &cold.report.explanations;
+    a.len() == b.len()
+        && (incremental.report.base_bias - cold.report.base_bias).abs() <= 1e-6
+        && a.iter().zip(b).all(|(x, y)| {
+            let scale = x.est_responsibility.abs().max(y.est_responsibility.abs());
+            x.pattern_text == y.pattern_text
+                && x.support == y.support
+                && (x.est_responsibility - y.est_responsibility).abs() <= 1e-2 * scale.max(1e-12)
+        })
+}
+
+fn update_json(
+    opts: &Opts,
+    report: &UpdateReport,
+    after: &ExplainResponse,
+    matches_cold: bool,
+    rebuild_time: std::time::Duration,
+) -> Json {
+    let update_ms = report.update_time.as_secs_f64() * 1e3;
+    let rebuild_ms = rebuild_time.as_secs_f64() * 1e3;
+    let Json::Obj(mut fields) = explain_json(opts, after) else {
+        unreachable!("explain_json returns an object");
+    };
+    fields.insert("command".into(), Json::str("update"));
+    fields.insert("rows_removed".into(), Json::num(report.rows_removed as f64));
+    fields.insert("rows_added".into(), Json::num(report.rows_added as f64));
+    fields.insert("train_rows".into(), Json::num(report.n_rows as f64));
+    fields.insert("refactored".into(), Json::Bool(report.engine.refactored));
+    fields.insert(
+        "full_rebuild".into(),
+        Json::Bool(report.engine.full_rebuild),
+    );
+    fields.insert("fell_back".into(), Json::Bool(report.engine.fell_back()));
+    fields.insert(
+        "artifacts_survived".into(),
+        Json::num(report.artifacts_survived as f64),
+    );
+    fields.insert(
+        "artifacts_invalidated".into(),
+        Json::num(report.artifacts_invalidated as f64),
+    );
+    fields.insert("update_ms".into(), Json::num(update_ms));
+    fields.insert("rebuild_ms".into(), Json::num(rebuild_ms));
+    fields.insert(
+        "speedup".into(),
+        Json::num(rebuild_ms / update_ms.max(1e-9)),
+    );
+    fields.insert("matches_cold_rebuild".into(), Json::Bool(matches_cold));
+    Json::Obj(fields)
+}
+
+fn render_update_text(report: &Json) -> String {
+    let get_f = |k: &str| report.get(k).and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let get_b = |k: &str| matches!(report.get(k), Some(Json::Bool(true)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "update · removed {} · added {} · {} train rows now",
+        get_f("rows_removed"),
+        get_f("rows_added"),
+        get_f("train_rows"),
+    );
+    let path = if get_b("full_rebuild") {
+        "full retrain fallback"
+    } else if get_b("refactored") {
+        "refactorized (drift guard)"
+    } else {
+        "incremental factor patch"
+    };
+    let _ = writeln!(
+        out,
+        "engine path: {path} · caches: {} survived, {} invalidated",
+        get_f("artifacts_survived"),
+        get_f("artifacts_invalidated"),
+    );
+    let _ = writeln!(
+        out,
+        "update {:.1} ms vs cold rebuild {:.1} ms ({:.1}x) · answers match: {}",
+        get_f("update_ms"),
+        get_f("rebuild_ms"),
+        get_f("speedup"),
+        if get_b("matches_cold_rebuild") {
+            "yes"
+        } else {
+            "NO"
+        },
+    );
+    out
 }
 
 /// Writes to stdout, swallowing `BrokenPipe` so `gopher ... | head` exits

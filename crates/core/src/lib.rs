@@ -77,6 +77,7 @@ pub use explainer::Gopher;
 pub use explainer::{Explanation, ExplanationReport, GopherConfig, PatternProfile};
 pub use mitigate::{mitigate, MitigationConfig, MitigationReport};
 pub use session::{
-    ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, SessionStats, THREADS_ENV,
+    ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, SessionStats, UpdateReport,
+    THREADS_ENV,
 };
 pub use update::{FeatureChange, UpdateConfig, UpdateExplanation};

@@ -48,8 +48,8 @@ use crate::explainer::{Explanation, ExplanationReport, PatternProfile};
 use gopher_data::{Dataset, Encoded, Encoder};
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{
-    retrain_without, retrain_without_many, BiasEval, BiasInfluence, BiasPrecomp, Estimator,
-    InfluenceConfig, InfluenceEngine,
+    retrain_without, retrain_without_many, BiasEval, BiasInfluence, BiasPrecomp,
+    EngineUpdateReport, Estimator, InfluenceConfig, InfluenceEngine,
 };
 use gopher_models::train::fit_default;
 use gopher_models::Model;
@@ -264,6 +264,11 @@ impl SessionBuilder {
             requests_served: AtomicU64::new(0),
             batches_served: AtomicU64::new(0),
             max_batch_requests: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            artifacts_survived: AtomicU64::new(0),
+            artifacts_invalidated: AtomicU64::new(0),
+            factor_fallbacks: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
         }
     }
 
@@ -381,6 +386,28 @@ pub struct ExplainResponse {
     /// only its own selection and ground-truth time — near zero with ground
     /// truth off.
     pub query_time: Duration,
+}
+
+/// What one [`ExplainSession::update`] did: the delta's shape, the
+/// influence-engine path taken, and how the structural cache fared.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Rows removed from the training set.
+    pub rows_removed: usize,
+    /// Rows appended to the training set.
+    pub rows_added: usize,
+    /// Training rows after the delta.
+    pub n_rows: usize,
+    /// The influence-engine delta report: whether the Cholesky patch held,
+    /// whether the engine fell back to a full rebuild, and the warm-retrain
+    /// diagnostics.
+    pub engine: EngineUpdateReport,
+    /// Structural artifacts re-anchored in place by the frontier check.
+    pub artifacts_survived: usize,
+    /// Structural artifacts invalidated (level-1 frontier flipped).
+    pub artifacts_invalidated: usize,
+    /// Wall-clock cost of applying the delta end to end.
+    pub update_time: Duration,
 }
 
 /// Hashable identity of the *structural* half of a lattice sweep: the
@@ -587,6 +614,13 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
         })
     }
 
+    /// Drops every cached value while preserving the hit/miss/eviction
+    /// counters and the recency clock: a data update invalidates *values*,
+    /// not the session's serving history.
+    fn clear_values(&mut self) {
+        self.entries.clear();
+    }
+
     /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
     /// if the cache is at capacity. With `cap == 0` nothing is retained.
     fn insert(&mut self, key: K, value: V) {
@@ -612,6 +646,60 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
                 last_used: self.tick,
             },
         );
+    }
+}
+
+/// Number of geometric latency buckets: bucket `i` covers `[2^(i−1), 2^i)`
+/// microseconds (bucket 0 is `< 1 µs`), so the last bucket's lower bound is
+/// `2^38 µs` ≈ 3 days — effectively open-ended for an explain request.
+const LATENCY_BUCKETS: usize = 40;
+
+/// Lock-free fixed-boundary histogram of per-request explain latency.
+///
+/// Recording is one relaxed atomic increment fed from the `query_time` each
+/// request already measures — the scored paths gain **no** new clock reads —
+/// and the boundaries are fixed powers of two, so concurrent recording never
+/// contends or rebalances. Quantiles are answered as the *upper* boundary of
+/// the bucket containing the target rank: conservative, and exact to within
+/// the 2× bucket width (plenty for the p50/p99 a deployment alerts on).
+struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: (0..LATENCY_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = (64 - us.leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Upper boundary (µs) of the bucket holding quantile `q` of everything
+    /// recorded so far; 0 when nothing has been recorded.
+    fn quantile_upper_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (LATENCY_BUCKETS - 1)
     }
 }
 
@@ -675,6 +763,24 @@ pub struct SessionStats {
     pub batches_served: u64,
     /// Largest single batch answered so far.
     pub max_batch_requests: u64,
+    /// Data deltas applied via [`ExplainSession::update`].
+    pub updates_applied: u64,
+    /// Structural artifacts that survived updates via the frontier-flip
+    /// check (re-anchored in place instead of rebuilt).
+    pub artifacts_survived: u64,
+    /// Structural artifacts dropped by updates because a level-1 single
+    /// crossed the support frontier.
+    pub artifacts_invalidated: u64,
+    /// Updates whose influence-engine delta fell back — a refactorization
+    /// after a failed factor patch, or a full engine rebuild (drift bound,
+    /// warm-retrain stall, non-analytic model). Fallbacks trade the speedup
+    /// for exactness; a high rate means deltas are too large relative to n.
+    pub factor_fallbacks: u64,
+    /// Median per-request explain latency in µs (upper bucket boundary of
+    /// the session's fixed power-of-two histogram; 0 until a request runs).
+    pub explain_p50_us: u64,
+    /// 99th-percentile per-request explain latency in µs (same histogram).
+    pub explain_p99_us: u64,
 }
 
 /// A long-lived explainer bound to one trained model.
@@ -718,6 +824,16 @@ pub struct ExplainSession<M: Model> {
     batches_served: AtomicU64,
     /// Largest single batch answered so far.
     max_batch_requests: AtomicU64,
+    /// Data deltas applied via [`Self::update`].
+    updates_applied: AtomicU64,
+    /// Structural artifacts carried across updates by the frontier check.
+    artifacts_survived: AtomicU64,
+    /// Structural artifacts dropped by updates (frontier flip).
+    artifacts_invalidated: AtomicU64,
+    /// Updates whose engine delta refactored or fully rebuilt.
+    factor_fallbacks: AtomicU64,
+    /// Per-request explain latency, fed from each response's `query_time`.
+    latency: LatencyHistogram,
 }
 
 impl<M: Model> ExplainSession<M> {
@@ -799,6 +915,12 @@ impl<M: Model> ExplainSession<M> {
             requests_served: self.requests_served.load(Ordering::Relaxed),
             batches_served: self.batches_served.load(Ordering::Relaxed),
             max_batch_requests: self.max_batch_requests.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            artifacts_survived: self.artifacts_survived.load(Ordering::Relaxed),
+            artifacts_invalidated: self.artifacts_invalidated.load(Ordering::Relaxed),
+            factor_fallbacks: self.factor_fallbacks.load(Ordering::Relaxed),
+            explain_p50_us: self.latency.quantile_upper_us(0.50),
+            explain_p99_us: self.latency.quantile_upper_us(0.99),
         }
     }
 
@@ -947,7 +1069,11 @@ impl<M: Model> ExplainSession<M> {
                         recomputed
                     }
                 };
-                self.answer(&sweep, req, fresh.remove(key))
+                let response = self.answer(&sweep, req, fresh.remove(key));
+                // Feed the latency histogram from the duration the response
+                // already carries — no extra clock reads on the scored path.
+                self.latency.record(response.query_time);
+                response
             })
             .collect()
     }
@@ -1241,6 +1367,196 @@ impl<M: Model> ExplainSession<M> {
         let new_bias = gopher_fairness::bias(metric, &outcome.model, &self.test);
         let base = gopher_fairness::bias(metric, self.engine.model(), &self.test);
         (gt_responsibility(base, new_bias), new_bias)
+    }
+
+    /// Applies a training-data delta — `removed` row indices dropped,
+    /// `added` rows (same schema) appended — **incrementally**, without
+    /// re-paying the session build.
+    ///
+    /// Featurization is *frozen*: the encoder's statistics and the predicate
+    /// thresholds/bins fixed at session build stay as they are, so
+    /// explanations before and after a delta range over the same predicate
+    /// space and the same feature scaling (re-binning under the analyst
+    /// would silently change what patterns mean). Under that contract the
+    /// updated session is equivalent to [`Self::cold_rebuild`] — a
+    /// from-scratch session over the new data with the same frozen
+    /// featurization:
+    ///
+    /// * the **model** is warm-retrained to the same convergence tolerance
+    ///   on the true post-delta gradient, its Hessian re-assembled
+    ///   incrementally and its Cholesky factor patched by rank-1
+    ///   updates/downdates (falling back to a verified refactorization or a
+    ///   full engine rebuild when the patch drifts — see
+    ///   [`EngineUpdateReport`]), so parameters match a cold fit within the
+    ///   trainer's tolerance;
+    /// * **predicate coverages** are bitset-patched (prefix-sum remap +
+    ///   matching only the appended rows), bit-identical to re-evaluating
+    ///   the frozen predicates;
+    /// * **structural artifacts** survive when their level-1 support
+    ///   frontier provably did not flip, re-anchored onto the new coverages;
+    ///   flipped ones are dropped for lazy rebuild;
+    /// * **scored sweeps and bias gradients** are invalidated wholesale
+    ///   (they depend on the model's parameters, which moved).
+    ///
+    /// # Panics
+    /// If a removed index is out of range or listed twice, if `added`'s
+    /// schema differs from the training schema, or if the delta would leave
+    /// the training set empty.
+    pub fn update(&mut self, removed: &[usize], added: &Dataset) -> UpdateReport {
+        let t0 = Instant::now();
+        let n_old = self.train_raw.n_rows();
+        let mut mask = vec![false; n_old];
+        for &r in removed {
+            assert!(r < n_old, "update: removed row {r} out of range ({n_old})");
+            assert!(!mask[r], "update: removed row {r} listed twice");
+            mask[r] = true;
+        }
+        let new_raw = self.train_raw.patched(&mask, added);
+        assert!(
+            new_raw.n_rows() > 0,
+            "update: delta would leave the training set empty"
+        );
+        // Encoding is row-wise under the frozen layout, so patching the
+        // encoded matrix (drop removed rows, append the transformed delta)
+        // is bit-identical to `self.encoder.transform(&new_raw)` without
+        // re-encoding the unchanged rows.
+        let new_train = self.train.patched(&mask, &self.encoder.transform(added));
+        let keep = n_old - removed.len();
+
+        // Engine delta. Removed rows are read from the *old* encoded train;
+        // the frozen encoder guarantees they equal what `transform` produced
+        // for those raw rows, so the engine's incremental Hessian subtracts
+        // exactly what was once added.
+        let removed_pairs: Vec<(&[f64], f64)> = removed
+            .iter()
+            .map(|&r| (self.train.x.row(r), self.train.y[r]))
+            .collect();
+        let added_pairs: Vec<(&[f64], f64)> = (keep..new_train.n_rows())
+            .map(|r| (new_train.x.row(r), new_train.y[r]))
+            .collect();
+        let engine = self.engine.update(&new_train, &removed_pairs, &added_pairs);
+
+        // Coverage layer: prefix-sum bitset patch over the frozen predicate
+        // set, then a fresh index + coverage cache over the new universe
+        // (old cached merge coverages range over the old row space and can
+        // never be served again).
+        let table = self.table.patch(&new_raw, removed);
+        let coverage = CoverageCache::with_capacity_cap(self.coverage.cap());
+        let index = PredicateIndex::build(&table, &coverage);
+        let prefilter = self
+            .prefilter
+            .as_ref()
+            .map(|p| Arc::new(SupportPrefilter::new(new_raw.n_rows(), p.sample_rows())));
+
+        // Structure tier: re-anchor artifacts whose frontier held, drop the
+        // rest. Keys stay as they are — they are integer min-counts, and a
+        // surviving artifact still answers them (and τ-monotone range
+        // lookups) exactly.
+        let (survived, invalidated) = {
+            let mut cache = lock_recover(&self.structure_cache);
+            let keys: Vec<StructuralKey> = cache.keys().cloned().collect();
+            let mut survived = 0usize;
+            let mut invalidated = 0usize;
+            for key in keys {
+                let artifact = cache
+                    .get_quiet(&key)
+                    .expect("key enumerated under this lock");
+                match artifact.patched(&index, &coverage, prefilter.clone()) {
+                    Some(patched) => {
+                        cache.insert(key, Arc::new(patched));
+                        survived += 1;
+                    }
+                    None => {
+                        cache.entries.remove(&key);
+                        invalidated += 1;
+                    }
+                }
+            }
+            (survived, invalidated)
+        };
+
+        // Scored sweeps and bias gradients are functions of the parameters,
+        // which just moved: invalid wholesale.
+        lock_recover(&self.sweep_cache).clear_values();
+        lock_recover(&self.bias_cache).clear();
+
+        self.train_raw = new_raw;
+        self.train = new_train;
+        self.table = table;
+        self.index = index;
+        self.coverage = coverage;
+        self.prefilter = prefilter;
+        self.accuracy = gopher_models::train::accuracy(self.engine.model(), &self.test);
+
+        self.updates_applied.fetch_add(1, Ordering::Relaxed);
+        self.artifacts_survived
+            .fetch_add(survived as u64, Ordering::Relaxed);
+        self.artifacts_invalidated
+            .fetch_add(invalidated as u64, Ordering::Relaxed);
+        if engine.fell_back() {
+            self.factor_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
+
+        UpdateReport {
+            rows_removed: removed.len(),
+            rows_added: added.n_rows(),
+            n_rows: self.train_raw.n_rows(),
+            engine,
+            artifacts_survived: survived,
+            artifacts_invalidated: invalidated,
+            update_time: t0.elapsed(),
+        }
+    }
+
+    /// The from-scratch reference for [`Self::update`]: a fresh session over
+    /// this session's *current* training data under the same frozen
+    /// featurization (encoder statistics, predicate set, cache caps, thread
+    /// count). `make_model` supplies an untrained model of the original
+    /// shape; it is trained to convergence from its own initialization, so
+    /// the oracle carries none of the updated session's warm state.
+    ///
+    /// Identity contract (documented in the README): predicate coverages
+    /// and pattern supports match **bit for bit**; model parameters match
+    /// within the trainer's convergence tolerance; estimator
+    /// responsibilities match within the engine's drift bound (exactly when
+    /// the update path fell back to a full rebuild).
+    pub fn cold_rebuild(&self, make_model: impl FnOnce(usize) -> M) -> ExplainSession<M> {
+        let train = self.encoder.transform(&self.train_raw);
+        let mut model = make_model(train.n_cols());
+        fit_default(&mut model, &train);
+        let engine = InfluenceEngine::new(model, &train, self.engine.config().clone());
+        let table = self.table.rebuild_on(&self.train_raw);
+        let coverage = CoverageCache::with_capacity_cap(self.coverage.cap());
+        let index = PredicateIndex::build(&table, &coverage);
+        let accuracy = gopher_models::train::accuracy(engine.model(), &self.test);
+        let prefilter = self
+            .prefilter
+            .as_ref()
+            .map(|p| Arc::new(SupportPrefilter::new(train.n_rows(), p.sample_rows())));
+        ExplainSession {
+            train_raw: self.train_raw.clone(),
+            encoder: self.encoder.clone(),
+            train,
+            test: self.test.clone(),
+            engine,
+            table,
+            index,
+            accuracy,
+            threads: self.threads,
+            coverage,
+            bias_cache: Mutex::new(HashMap::new()),
+            sweep_cache: Mutex::new(LruCache::new(lock_recover(&self.sweep_cache).cap)),
+            structure_cache: Mutex::new(LruCache::new(lock_recover(&self.structure_cache).cap)),
+            prefilter,
+            requests_served: AtomicU64::new(0),
+            batches_served: AtomicU64::new(0),
+            max_batch_requests: AtomicU64::new(0),
+            updates_applied: AtomicU64::new(0),
+            artifacts_survived: AtomicU64::new(0),
+            artifacts_invalidated: AtomicU64::new(0),
+            factor_fallbacks: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
     }
 
     /// The per-metric bias precomputation (gradient + baselines), cached.
@@ -1689,5 +2005,179 @@ mod tests {
         assert_eq!(stats.requests_served, 4, "1 solo + 3 batched");
         assert_eq!(stats.batches_served, 2, "empty batches are not counted");
         assert_eq!(stats.max_batch_requests, 3);
+    }
+
+    /// Drift-aware variant of [`assert_reports_equal`] for comparing an
+    /// incrementally updated session against its cold-rebuild oracle:
+    /// pattern identity and supports are bit-exact (the coverage layer is),
+    /// while model-dependent scores match within the documented bounds (both
+    /// models converge on the same gradient, from different starts).
+    fn assert_reports_match(a: &ExplanationReport, b: &ExplanationReport) {
+        assert_eq!(a.metric, b.metric);
+        assert!(
+            (a.base_bias - b.base_bias).abs() <= 1e-6,
+            "base bias drift: {} vs {}",
+            a.base_bias,
+            b.base_bias
+        );
+        assert_eq!(a.explanations.len(), b.explanations.len());
+        for (x, y) in a.explanations.iter().zip(&b.explanations) {
+            assert_eq!(x.pattern_text, y.pattern_text);
+            assert_eq!(x.support, y.support);
+            let scale = x.est_responsibility.abs().max(y.est_responsibility.abs());
+            let rel = (x.est_responsibility - y.est_responsibility).abs() / scale.max(1e-12);
+            assert!(
+                rel <= 1e-2,
+                "responsibility drift on {}: {} vs {} (rel {rel})",
+                x.pattern_text,
+                x.est_responsibility,
+                y.est_responsibility
+            );
+        }
+    }
+
+    /// The tentpole identity: after a small balanced delta, `update()`
+    /// answers like a from-scratch session over the new data — patterns and
+    /// supports bit-exact, scores within the drift bound — without a
+    /// fallback refactorization (the delta is small enough for the rank-1
+    /// patch path).
+    #[test]
+    fn update_then_explain_matches_cold_rebuild() {
+        let mut s = session(4000, 60);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let _ = s.explain(&req); // warm the structural tier pre-delta
+
+        let added = german(1, 61);
+        let report = s.update(&[388], &added);
+        assert_eq!(report.rows_removed, 1);
+        assert_eq!(report.rows_added, 1);
+        assert_eq!(report.n_rows, s.train().n_rows());
+        assert!(
+            !report.engine.fell_back(),
+            "a single-row balanced delta at n=2800 must stay incremental: {:?}",
+            report.engine
+        );
+
+        let oracle = s.cold_rebuild(|cols| LogisticRegression::new(cols, 1e-3));
+        let warm = s.explain(&req);
+        let cold = oracle.explain(&req);
+        // Pattern identities and supports are bit-exact against the oracle —
+        // stale supports over the old universe would show up right here.
+        // (`total_scored` is *not* compared: responsibility pruning takes
+        // hard `<=` branches on scores that only match within the drift
+        // bound, so near-tie candidates may prune differently.)
+        assert_reports_match(&warm.report, &cold.report);
+    }
+
+    /// Counters and cache hygiene across an update: scored sweeps and bias
+    /// gradients are dropped wholesale (the parameters moved), structural
+    /// artifacts survive by frontier proof, and the stats surface reports
+    /// exactly what happened.
+    #[test]
+    fn update_invalidates_scored_tier_and_counts_survivors() {
+        let mut s = session(1000, 62);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let _ = s.explain(&req);
+        let _ = s.explain(&req.clone().with_metric(FairnessMetric::EqualOpportunity));
+        let before = s.stats();
+        assert_eq!(before.sweep_entries, 2);
+        assert_eq!(before.structure_entries, 1);
+        assert_eq!(before.updates_applied, 0);
+
+        let report = s.update(&[17], &german(1, 63));
+        let after = s.stats();
+        assert_eq!(after.updates_applied, 1);
+        assert_eq!(after.sweep_entries, 0, "scored sweeps are stale wholesale");
+        assert_eq!(
+            after.artifacts_survived + after.artifacts_invalidated,
+            1,
+            "every cached artifact is either re-anchored or dropped"
+        );
+        assert_eq!(report.artifacts_survived as u64, after.artifacts_survived);
+        assert_eq!(
+            report.artifacts_invalidated as u64,
+            after.artifacts_invalidated
+        );
+        // A one-in, one-out delta on n=700 leaves every support frontier
+        // intact for this seed: the artifact must survive, and the next
+        // query must reuse it (a structure hit, not a rebuild).
+        assert_eq!(after.artifacts_survived, 1);
+        let _ = s.explain(&req);
+        let warm = s.stats();
+        assert_eq!(warm.structure_hits, before.structure_hits + 1);
+        assert_eq!(warm.structure_misses, before.structure_misses);
+        assert_eq!(warm.sweep_misses, before.sweep_misses + 1);
+    }
+
+    /// An adversarial delta — a fifth of the training set removed at once —
+    /// must trip the drift bound (counted as a factor fallback) and *still*
+    /// answer like the cold oracle: fallbacks trade speed, never
+    /// correctness.
+    #[test]
+    fn adversarial_delta_falls_back_and_still_matches() {
+        let mut s = session(500, 64);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        let _ = s.explain(&req);
+
+        let n = s.train().n_rows();
+        let removed: Vec<usize> = (0..n / 5).map(|i| i * 5).collect();
+        let report = s.update(&removed, &german(4, 65));
+        assert!(
+            report.engine.fell_back(),
+            "a 20% removal must not survive the drift bound: {:?}",
+            report.engine
+        );
+        assert_eq!(s.stats().factor_fallbacks, 1);
+
+        let oracle = s.cold_rebuild(|cols| LogisticRegression::new(cols, 1e-3));
+        assert_reports_match(&s.explain(&req).report, &oracle.explain(&req).report);
+    }
+
+    /// Repeated updates compose: three consecutive small deltas leave the
+    /// session equivalent to one cold rebuild over the final data, and the
+    /// update counter tallies each application.
+    #[test]
+    fn consecutive_updates_compose() {
+        let mut s = session(900, 66);
+        let req = ExplainRequest::default().with_ground_truth(false);
+        for (i, seed) in [67u64, 68, 69].iter().enumerate() {
+            let _ = s.update(&[i * 3], &german(1, *seed));
+        }
+        assert_eq!(s.stats().updates_applied, 3);
+        let oracle = s.cold_rebuild(|cols| LogisticRegression::new(cols, 1e-3));
+        assert_reports_match(&s.explain(&req).report, &oracle.explain(&req).report);
+    }
+
+    /// The explain-latency histogram: quantiles are zero before any query,
+    /// populated after, and ordered (p99 upper bound ≥ p50 upper bound). The
+    /// histogram reads the already-measured `query_time` — this asserts the
+    /// wiring, not the clock.
+    #[test]
+    fn latency_quantiles_populate_from_queries() {
+        let s = session(400, 70);
+        let stats = s.stats();
+        assert_eq!((stats.explain_p50_us, stats.explain_p99_us), (0, 0));
+        let req = ExplainRequest::default().with_ground_truth(false);
+        for _ in 0..5 {
+            let _ = s.explain(&req);
+        }
+        let stats = s.stats();
+        assert!(stats.explain_p50_us > 0, "p50 must populate: {stats:?}");
+        assert!(stats.explain_p99_us >= stats.explain_p50_us);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn update_rejects_duplicate_removals() {
+        let mut s = session(300, 71);
+        let _ = s.update(&[4, 4], &german(1, 72));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn update_rejects_out_of_range_removal() {
+        let mut s = session(300, 73);
+        let n = s.train().n_rows();
+        let _ = s.update(&[n], &german(1, 74));
     }
 }

@@ -260,6 +260,68 @@ impl Dataset {
         self.select_rows(&keep)
     }
 
+    /// One-pass delta patch: drops the rows whose mask entry is true and
+    /// appends `added`'s rows, equivalent to
+    /// `self.remove_rows(remove).concat(added)` without the intermediate
+    /// copy.
+    ///
+    /// # Panics
+    /// If the mask length, schemas, or protected specs mismatch.
+    pub fn patched(&self, remove: &[bool], added: &Dataset) -> Dataset {
+        assert_eq!(remove.len(), self.n_rows(), "patched: mask length mismatch");
+        assert_eq!(self.schema, added.schema, "patched: schema mismatch");
+        assert_eq!(
+            self.protected, added.protected,
+            "patched: protected mismatch"
+        );
+        let n_new = self.n_rows() - remove.iter().filter(|&&r| r).count() + added.n_rows();
+        let columns = self
+            .columns
+            .iter()
+            .zip(&added.columns)
+            .map(|(col, add)| match (col, add) {
+                (Column::Categorical(v), Column::Categorical(a)) => {
+                    let mut out = Vec::with_capacity(n_new);
+                    out.extend(
+                        v.iter()
+                            .zip(remove)
+                            .filter(|(_, &gone)| !gone)
+                            .map(|(&x, _)| x),
+                    );
+                    out.extend_from_slice(a);
+                    Column::Categorical(out)
+                }
+                (Column::Numeric(v), Column::Numeric(a)) => {
+                    let mut out = Vec::with_capacity(n_new);
+                    out.extend(
+                        v.iter()
+                            .zip(remove)
+                            .filter(|(_, &gone)| !gone)
+                            .map(|(&x, _)| x),
+                    );
+                    out.extend_from_slice(a);
+                    Column::Numeric(out)
+                }
+                _ => unreachable!("schemas match"),
+            })
+            .collect();
+        let mut labels = Vec::with_capacity(n_new);
+        labels.extend(
+            self.labels
+                .iter()
+                .zip(remove)
+                .filter(|(_, &gone)| !gone)
+                .map(|(&y, _)| y),
+        );
+        labels.extend_from_slice(&added.labels);
+        Dataset {
+            schema: self.schema.clone(),
+            columns,
+            labels,
+            protected: self.protected.clone(),
+        }
+    }
+
     /// Splits into `(train, test)` with `test_fraction` of rows (rounded
     /// down) going to the test set, after a seeded shuffle.
     ///

@@ -135,6 +135,43 @@ impl Encoded {
         let keep: Vec<usize> = (0..self.n_rows()).filter(|&r| !remove[r]).collect();
         self.select_rows(&keep)
     }
+
+    /// One-pass delta patch: drops the rows whose mask entry is true and
+    /// appends `added`'s rows. Because encoding is row-wise under a frozen
+    /// layout, this is bit-identical to re-encoding the patched raw dataset
+    /// — without touching the unchanged rows' features again.
+    ///
+    /// # Panics
+    /// If the mask length or column counts mismatch.
+    pub fn patched(&self, remove: &[bool], added: &Encoded) -> Encoded {
+        assert_eq!(remove.len(), self.n_rows(), "patched: mask length mismatch");
+        assert_eq!(self.n_cols(), added.n_cols(), "patched: column mismatch");
+        let p = self.n_cols();
+        let kept = remove.iter().filter(|&&r| !r).count();
+        let n_new = kept + added.n_rows();
+        let mut data = Vec::with_capacity(n_new * p);
+        for (r, &gone) in remove.iter().enumerate() {
+            if !gone {
+                data.extend_from_slice(self.x.row(r));
+            }
+        }
+        data.extend_from_slice(added.x.as_slice());
+        let mut y = Vec::with_capacity(n_new);
+        let mut privileged = Vec::with_capacity(n_new);
+        for (r, &gone) in remove.iter().enumerate() {
+            if !gone {
+                y.push(self.y[r]);
+                privileged.push(self.privileged[r]);
+            }
+        }
+        y.extend_from_slice(&added.y);
+        privileged.extend_from_slice(&added.privileged);
+        Encoded {
+            x: Matrix::from_vec(n_new, p, data),
+            y,
+            privileged,
+        }
+    }
 }
 
 impl Encoder {

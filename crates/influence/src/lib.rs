@@ -42,5 +42,8 @@ mod engine;
 mod retrain;
 
 pub use bias::{BiasEval, BiasInfluence, BiasPrecomp};
-pub use engine::{Estimator, InfluenceConfig, InfluenceEngine};
-pub use retrain::{retrain_updated, retrain_without, retrain_without_many, RetrainOutcome};
+pub use engine::{EngineUpdateReport, Estimator, InfluenceConfig, InfluenceEngine};
+pub use retrain::{
+    retrain_updated, retrain_without, retrain_without_incremental, retrain_without_many,
+    retrain_without_many_incremental, RetrainOutcome,
+};

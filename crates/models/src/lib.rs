@@ -68,6 +68,17 @@ pub trait Model: Clone + Send + Sync {
     /// Accumulates `∇θ L(z, θ)` into `out` (`out += grad`).
     fn accumulate_grad(&self, x: &[f64], y: f64, out: &mut [f64]);
 
+    /// Accumulates `∇θ L(z, θ)` into `out` and returns `L(z, θ)` from the
+    /// same pass. The default evaluates gradient and loss separately;
+    /// models whose gradient and loss share a decision value should
+    /// override to compute it once. Implementations must return exactly
+    /// [`loss`](Self::loss) — callers rely on the fused pass being
+    /// bit-identical to the two-pass form.
+    fn accumulate_grad_and_loss(&self, x: &[f64], y: f64, out: &mut [f64]) -> f64 {
+        self.accumulate_grad(x, y, out);
+        self.loss(x, y)
+    }
+
     /// Accumulates `∇θ p(x; θ)` into `out`.
     fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]);
 
@@ -106,6 +117,21 @@ pub trait Model: Clone + Send + Sync {
             }
             basis[j] = 0.0;
         }
+    }
+
+    /// Exposes the rank-1 structure of the per-example Hessian, when the
+    /// model has one: writes the augmented feature vector `x̃` (length
+    /// `n_params`) into `aug` and returns the weight `w` such that
+    /// `∇²θ L(z, θ) = w · x̃ x̃ᵀ`. Returns `None` for models without that
+    /// structure (the finite-difference / full-assembly paths apply); a
+    /// returned weight may be `0.0` (e.g. a non-support vector), in which
+    /// case the contribution is the zero matrix and `aug` may be ignored.
+    ///
+    /// This is what lets the influence engine patch its Hessian factor with
+    /// rank-1 Cholesky updates and Woodbury solves instead of refactoring.
+    fn hessian_rank_one(&self, x: &[f64], y: f64, aug: &mut [f64]) -> Option<f64> {
+        let _ = (x, y, aug);
+        None
     }
 
     /// Hard prediction with the conventional 0.5 threshold.

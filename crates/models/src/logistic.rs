@@ -81,6 +81,27 @@ impl Model for LogisticRegression {
         out[self.n_inputs] += residual;
     }
 
+    fn accumulate_grad_and_loss(&self, x: &[f64], y: f64, out: &mut [f64]) -> f64 {
+        // One decision evaluation serves both: `sigmoid(z)` drives the
+        // gradient residual, `log_sigmoid(±z)` the cross-entropy. Matches
+        // `accumulate_grad` + `loss` bit for bit (identical `z`).
+        let z = self.decision(x);
+        let residual = sigmoid(z) - y;
+        vecops::axpy(residual, x, &mut out[..self.n_inputs]);
+        out[self.n_inputs] += residual;
+        -(y * log_sigmoid(z) + (1.0 - y) * log_sigmoid(-z))
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        // `sigmoid(z) >= 0.5` iff `z >= 0`: threshold the raw decision and
+        // skip the exponential.
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
     fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]) {
         let p = self.predict_proba(x);
         let w = p * (1.0 - p);
@@ -119,6 +140,15 @@ impl Model for LogisticRegression {
         let last = out.row_mut(d);
         vecops::axpy(w, x, &mut last[..d]);
         last[d] += w;
+    }
+
+    fn hessian_rank_one(&self, x: &[f64], _y: f64, aug: &mut [f64]) -> Option<f64> {
+        let d = self.n_inputs;
+        debug_assert_eq!(aug.len(), d + 1);
+        aug[..d].copy_from_slice(x);
+        aug[d] = 1.0;
+        let p = self.predict_proba(x);
+        Some(p * (1.0 - p))
     }
 }
 
@@ -224,6 +254,24 @@ mod tests {
             assert!(h[(i, i)] >= 0.0, "diagonal must be non-negative");
             for j in 0..3 {
                 assert!((h[(i, j)] - h[(j, i)]).abs() < 1e-12, "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_structure_matches_full_hessian() {
+        let m = model();
+        let x = [0.7, -1.3];
+        let mut aug = vec![0.0; 3];
+        let w = m.hessian_rank_one(&x, 1.0, &mut aug).expect("LR is rank-1");
+        assert_eq!(aug, vec![0.7, -1.3, 1.0]);
+        let mut h = Matrix::zeros(3, 3);
+        m.accumulate_hessian(&x, 1.0, &mut h);
+        let mut outer = Matrix::zeros(3, 3);
+        outer.rank1_update(w, &aug);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((h[(i, j)] - outer[(i, j)]).abs() < 1e-12);
             }
         }
     }

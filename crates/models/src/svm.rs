@@ -135,6 +135,15 @@ impl Model for LinearSvm {
         vecops::axpy(2.0, x, &mut last[..d]);
         last[d] += 2.0;
     }
+
+    fn hessian_rank_one(&self, x: &[f64], y: f64, aug: &mut [f64]) -> Option<f64> {
+        let d = self.n_inputs;
+        debug_assert_eq!(aug.len(), d + 1);
+        aug[..d].copy_from_slice(x);
+        aug[d] = 1.0;
+        let (slack, _) = self.slack(x, y);
+        Some(if slack > 0.0 { 2.0 } else { 0.0 })
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +215,30 @@ mod tests {
         let mut h = Matrix::zeros(3, 3);
         m.accumulate_hessian(&x, 1.0, &mut h);
         assert_eq!(h.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn rank_one_structure_matches_full_hessian() {
+        let m = model();
+        let mut aug = vec![0.0; 3];
+        // Inside the margin: weight 2, x̃ = [x, 1].
+        let x = [0.3, 0.4];
+        let w = m
+            .hessian_rank_one(&x, 0.0, &mut aug)
+            .expect("SVM is rank-1");
+        assert_eq!(w, 2.0);
+        let mut h = Matrix::zeros(3, 3);
+        m.accumulate_hessian(&x, 0.0, &mut h);
+        let mut outer = Matrix::zeros(3, 3);
+        outer.rank1_update(w, &aug);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((h[(i, j)] - outer[(i, j)]).abs() < 1e-12);
+            }
+        }
+        // Beyond the margin: zero weight matches the zero Hessian.
+        let far = [3.0, 0.2];
+        assert_eq!(m.hessian_rank_one(&far, 1.0, &mut aug), Some(0.0));
     }
 
     #[test]

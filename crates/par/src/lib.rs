@@ -29,7 +29,7 @@
 
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Locks `m`, recovering the guard when a previous holder panicked instead
 /// of propagating the poison.
@@ -43,6 +43,17 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 /// rule; call this instead.
 pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for a reader on an [`RwLock`]: a panicking writer must
+/// not brick every subsequent reader of a long-lived shared session.
+pub fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for a writer on an [`RwLock`].
+pub fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Number of threads the host advertises (`std::thread::available_parallelism`),

@@ -321,6 +321,51 @@ impl BitSet {
         (kernels().and_count)(&self.words[lo..hi], &other.words[lo..hi])
     }
 
+    /// Order-preserving bit compaction: a new set over `n_new` rows holding
+    /// this set's members at *kept* positions, renumbered by the prefix sum
+    /// of `keep` (the j-th kept position maps to output bit j). This is the
+    /// delta-patch primitive: removing rows from a coverage bitset is
+    /// exactly "compact by the kept-row mask, then grow the universe to the
+    /// post-delta row count".
+    ///
+    /// Runs word-at-a-time: words whose keep mask is saturated (the
+    /// overwhelming case for small deltas) are shifted into place whole;
+    /// only words actually containing removed rows take the per-bit
+    /// extraction path.
+    ///
+    /// # Panics
+    /// If universe sizes differ or `n_new` cannot hold all kept positions.
+    pub fn compact(&self, keep: &BitSet, n_new: usize) -> BitSet {
+        assert_eq!(self.len, keep.len, "bitset: universe mismatch");
+        let kept_total: usize = keep.words.iter().map(|w| w.count_ones() as usize).sum();
+        assert!(
+            n_new >= kept_total,
+            "bitset: compact target {n_new} cannot hold {kept_total} kept rows"
+        );
+        let mut out = BitSet::new(n_new);
+        let mut out_pos = 0usize;
+        for (&cov, &km) in self.words.iter().zip(&keep.words) {
+            let (packed, bits) = if km == u64::MAX {
+                (cov, 64u32)
+            } else {
+                (pext_fallback(cov & km, km), km.count_ones())
+            };
+            if packed != 0 {
+                let wi = out_pos / 64;
+                let off = out_pos % 64;
+                out.words[wi] |= packed << off;
+                if off != 0 {
+                    let hi = packed >> (64 - off);
+                    if hi != 0 {
+                        out.words[wi + 1] |= hi;
+                    }
+                }
+            }
+            out_pos += bits as usize;
+        }
+        out
+    }
+
     /// Members as sorted row ids.
     pub fn to_indices(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.count());
@@ -351,6 +396,25 @@ impl BitSet {
     }
 }
 
+/// Portable parallel-bit-extract: gathers the bits of `x` at `mask`'s set
+/// positions into the low `popcount(mask)` bits, preserving order. Walks
+/// `mask`'s set bits, so it costs `O(popcount(mask))` — [`BitSet::compact`]
+/// only routes words that actually contain removed rows here.
+#[inline]
+fn pext_fallback(x: u64, mut mask: u64) -> u64 {
+    let mut out = 0u64;
+    let mut j = 0u32;
+    while mask != 0 {
+        let lsb = mask & mask.wrapping_neg();
+        if x & lsb != 0 {
+            out |= 1u64 << j;
+        }
+        j += 1;
+        mask &= mask - 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -367,6 +431,43 @@ mod tests {
         assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
         assert!(!s.contains(1));
         assert!(!s.contains(500), "out of range is simply absent");
+    }
+
+    /// `compact` against the naive per-bit remap, across word boundaries,
+    /// removal patterns (none, sparse, whole-word runs, tail), and universe
+    /// growth — the exact shapes `PredicateTable::patch` feeds it.
+    #[test]
+    fn compact_matches_naive_remap() {
+        for len in [1usize, 63, 64, 65, 130, 256, 320, 449] {
+            let members: Vec<u32> = (0..len as u32).filter(|i| i % 3 != 0).collect();
+            let set = BitSet::from_indices(len, &members);
+            for removed_stride in [0usize, 2, 5, 64, len] {
+                let mut keep = BitSet::new(len);
+                let mut remap = vec![None; len];
+                let mut next = 0usize;
+                for r in 0..len {
+                    let gone = removed_stride != 0 && r % removed_stride == 0;
+                    if !gone {
+                        keep.insert(r);
+                        remap[r] = Some(next);
+                        next += 1;
+                    }
+                }
+                for n_new in [next, next + 7, next + 64] {
+                    let got = set.compact(&keep, n_new);
+                    let want: Vec<u32> = members
+                        .iter()
+                        .filter_map(|&m| remap[m as usize].map(|i| i as u32))
+                        .collect();
+                    assert_eq!(
+                        got.to_indices(),
+                        want,
+                        "len={len} stride={removed_stride} n_new={n_new}"
+                    );
+                    assert_eq!(got.len(), n_new);
+                }
+            }
+        }
     }
 
     #[test]

@@ -57,6 +57,94 @@ impl PredicateTable {
             .enumerate()
             .map(|(i, p)| (i as u16, p))
     }
+
+    /// Incrementally re-anchors this table onto a post-delta dataset whose
+    /// first rows are the *kept* old rows in their original order and whose
+    /// tail is the appended delta: every surviving set bit is remapped by a
+    /// prefix-sum shift (`new = old − #removed ≤ old`) instead of
+    /// re-evaluating the predicate, and only the appended rows are matched
+    /// from scratch. The predicate set itself — ids, thresholds, levels —
+    /// is **frozen**: deltas never re-bin, and predicates that drift to
+    /// empty or full coverage are kept so ids stay stable across updates
+    /// (exactly the [`PredicateTable::rebuild_on`] contract, making the two
+    /// bit-identical).
+    ///
+    /// Cost: `O(preds · words + |added| · preds)` — a word-at-a-time bit
+    /// compaction per predicate (only words containing removed rows take a
+    /// per-bit path) plus a predicate match per appended row, never
+    /// `|removed| · len` predicate re-evaluations over the full table.
+    ///
+    /// # Panics
+    /// If a removed index is out of range or `new_data` has fewer rows than
+    /// the kept prefix implies.
+    pub fn patch(&self, new_data: &Dataset, removed: &[usize]) -> PredicateTable {
+        let n_old = self.n_rows;
+        let n_new = new_data.n_rows();
+        let mut removed_mask = vec![false; n_old];
+        for &r in removed {
+            assert!(r < n_old, "patch: removed row {r} out of range ({n_old})");
+            removed_mask[r] = true;
+        }
+        let n_removed = removed_mask.iter().filter(|&&m| m).count();
+        let keep = n_old - n_removed;
+        assert!(
+            n_new >= keep,
+            "patch: new data has {n_new} rows but {keep} old rows were kept"
+        );
+        // Prefix-sum remap (old row r, if kept, lands at r − #removed ≤ r)
+        // as a word-level bit compaction against the kept-row mask.
+        let mut keep_set = BitSet::new(n_old);
+        for (r, &gone) in removed_mask.iter().enumerate() {
+            if !gone {
+                keep_set.insert(r);
+            }
+        }
+        let coverage = self
+            .coverage
+            .iter()
+            .zip(&self.predicates)
+            .map(|(cov, pred)| {
+                let mut fresh = cov.compact(&keep_set, n_new);
+                for a in keep..n_new {
+                    if pred.matches(new_data, a) {
+                        fresh.insert(a);
+                    }
+                }
+                fresh
+            })
+            .collect();
+        PredicateTable {
+            predicates: self.predicates.clone(),
+            coverage,
+            n_rows: n_new,
+        }
+    }
+
+    /// Cold-path oracle for [`PredicateTable::patch`]: re-evaluates this
+    /// table's **frozen** predicate set (same ids, same thresholds — no
+    /// re-binning, no empty/full filtering) against `data` from scratch.
+    /// `patch` must be bit-identical to this for the same post-delta data.
+    pub fn rebuild_on(&self, data: &Dataset) -> PredicateTable {
+        let n = data.n_rows();
+        let coverage = self
+            .predicates
+            .iter()
+            .map(|pred| {
+                let mut cov = BitSet::new(n);
+                for r in 0..n {
+                    if pred.matches(data, r) {
+                        cov.insert(r);
+                    }
+                }
+                cov
+            })
+            .collect();
+        PredicateTable {
+            predicates: self.predicates.clone(),
+            coverage,
+            n_rows: n,
+        }
+    }
 }
 
 /// Generates the candidate predicates for a dataset, binning numeric
@@ -273,6 +361,77 @@ mod tests {
         let table = generate_predicates(&d, 4);
         // Only the two occurring levels produce predicates.
         assert_eq!(table.len(), 2);
+    }
+
+    /// `patch` against a removed-plus-appended delta must agree bit for bit
+    /// with re-evaluating the frozen predicates on the new data.
+    #[test]
+    fn patch_is_bit_identical_to_rebuild_on() {
+        let d = german(500, 54);
+        let table = generate_predicates(&d, 4);
+        let removed = vec![0usize, 7, 123, 499];
+        let added = german(20, 99); // same generator → same schema
+        let mut mask = vec![false; d.n_rows()];
+        removed.iter().for_each(|&r| mask[r] = true);
+        let new_data = d.remove_rows(&mask).concat(&added);
+
+        let patched = table.patch(&new_data, &removed);
+        let rebuilt = table.rebuild_on(&new_data);
+        assert_eq!(patched.len(), rebuilt.len());
+        assert_eq!(patched.n_rows(), new_data.n_rows());
+        for (id, pred) in table.iter() {
+            assert_eq!(
+                patched.coverage(id),
+                rebuilt.coverage(id),
+                "coverage diverged for {pred:?}"
+            );
+        }
+    }
+
+    /// Removal-only and append-only deltas are the degenerate cases of the
+    /// remap; both must still match the cold path.
+    #[test]
+    fn patch_handles_one_sided_deltas() {
+        let d = german(300, 55);
+        let table = generate_predicates(&d, 4);
+
+        let removed = vec![299usize, 0, 150];
+        let mut mask = vec![false; d.n_rows()];
+        removed.iter().for_each(|&r| mask[r] = true);
+        let shrunk = d.remove_rows(&mask);
+        let patched = table.patch(&shrunk, &removed);
+        let rebuilt = table.rebuild_on(&shrunk);
+        for (id, _) in table.iter() {
+            assert_eq!(patched.coverage(id), rebuilt.coverage(id));
+        }
+
+        let grown = d.concat(&german(15, 56));
+        let patched = table.patch(&grown, &[]);
+        let rebuilt = table.rebuild_on(&grown);
+        for (id, _) in table.iter() {
+            assert_eq!(patched.coverage(id), rebuilt.coverage(id));
+        }
+    }
+
+    /// The frozen-predicate contract: a delta that drives a predicate's
+    /// coverage empty keeps the predicate (and every id) in place.
+    #[test]
+    fn patch_keeps_ids_stable_when_coverage_empties() {
+        let d = german(120, 57);
+        let table = generate_predicates(&d, 4);
+        // Remove every row a chosen predicate covers.
+        let (victim, _) = table.iter().next().expect("german generates predicates");
+        let removed: Vec<usize> = table.coverage(victim).iter().map(|r| r as usize).collect();
+        let mut mask = vec![false; d.n_rows()];
+        removed.iter().for_each(|&r| mask[r] = true);
+        let shrunk = d.remove_rows(&mask);
+
+        let patched = table.patch(&shrunk, &removed);
+        assert_eq!(patched.len(), table.len(), "ids must stay stable");
+        assert_eq!(patched.coverage(victim).count(), 0);
+        for (id, p) in table.iter() {
+            assert_eq!(patched.predicate(id), p);
+        }
     }
 
     #[test]

@@ -76,6 +76,13 @@ impl CoverageCache {
         self.lock().entries.len()
     }
 
+    /// The retention cap this cache was built with (entries past it are
+    /// computed but not stored). Session updates read it to size the
+    /// replacement cache identically.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Locks the cache, recovering from poisoning: entries are pure
     /// functions of the predicate table and are only ever inserted fully
     /// built, so a panicking scorer thread can never leave one half-written

@@ -625,6 +625,121 @@ impl SweepStructure {
             .collect()
     }
 
+    /// Attempts to carry this artifact across a data delta: re-anchors it
+    /// onto a post-delta predicate `index` (same frozen predicate ids, new
+    /// coverages and row count) at the **same** `min_count`, or reports that
+    /// it must be rebuilt.
+    ///
+    /// Survival is decided by an exact **frontier-flip test**: the artifact
+    /// survives iff the set of supported level-1 ids under the new counts
+    /// equals the old one — i.e. no single-predicate pattern crossed the
+    /// `min_count` boundary in either direction. (A delta of `|Δ|` rows can
+    /// move any count by at most `|Δ|`, so artifacts whose singles all clear
+    /// the threshold by more than `|Δ|` always survive; the test is exact
+    /// rather than margin-based, so tight-margin artifacts that happen not
+    /// to flip survive too.) On a flip the level-1 candidate set a cold
+    /// build would produce differs, and the caller must invalidate.
+    ///
+    /// A surviving artifact is returned with:
+    /// * singles re-read from the patched index (fresh coverages/counts,
+    ///   identical filter to a cold [`SweepStructure::build`]);
+    /// * every *exact, materialized* merge record re-intersected from the
+    ///   patched predicate coverages (routed through `cache` exactly like a
+    ///   cold resolve, shedding the coverage when the fresh count falls
+    ///   below `min_count` — precisely the record a cold sweep would write);
+    /// * count-only and prefilter-bounded records dropped — their stale
+    ///   counts are cheaper to lazily re-resolve (bit-identically) than to
+    ///   eagerly re-intersect across the mostly-unsupported pair space.
+    ///
+    /// The bounded re-check therefore costs `O(predicates)` count
+    /// comparisons plus one fused AND per *supported* resolved merge — never
+    /// a full sweep.
+    pub fn patched(
+        &self,
+        index: &PredicateIndex,
+        cache: &CoverageCache,
+        prefilter: Option<Arc<SupportPrefilter>>,
+    ) -> Option<SweepStructure> {
+        // Frontier-flip test. Entries and singles are both in table order,
+        // so the supported-id sequences compare positionally.
+        let new_frontier: Vec<u16> = index
+            .entries()
+            .iter()
+            .filter(|e| e.count >= self.min_count)
+            .map(|e| e.id)
+            .collect();
+        if new_frontier.len() != self.singles.len()
+            || new_frontier
+                .iter()
+                .zip(&self.singles)
+                .any(|(&id, s)| id != s.id)
+        {
+            return None;
+        }
+        let singles = index
+            .entries()
+            .iter()
+            .filter(|e| e.count >= self.min_count)
+            .map(|e| StructSingle {
+                id: e.id,
+                coverage: Arc::clone(&e.coverage),
+                count: e.count,
+            })
+            .collect();
+        // Predicate ids are dense in table order (entry `i` carries id `i`),
+        // so coverage lookup is a direct index instead of a hash map; an id
+        // past the index (impossible for a same-table patch, but the
+        // invalidation contract covers it) drops the artifact.
+        let entries = index.entries();
+        let cov_of = |id: u16| -> Option<&Arc<BitSet>> {
+            let e = entries.get(id as usize)?;
+            debug_assert_eq!(e.id, id, "predicate index must stay in id order");
+            Some(&e.coverage)
+        };
+        let source = self.lock();
+        let mut merges = HashMap::with_capacity(source.len());
+        for (ids, record) in source.iter() {
+            if !record.exact || record.coverage.is_none() {
+                continue;
+            }
+            // These records were all supported before the delta, so the
+            // intersection is almost always re-materialized anyway:
+            // computing it once and popcounting the result beats the
+            // count-then-intersect double pass the cold sweep uses (where
+            // most candidate pairs *fail* the support check).
+            let fresh = match ids.as_ref() {
+                [i, j] => cov_of(*i)?.and(cov_of(*j)?),
+                [i, j, rest @ ..] => {
+                    let mut acc = cov_of(*i)?.and(cov_of(*j)?);
+                    for r in rest {
+                        acc = acc.and(cov_of(*r)?);
+                    }
+                    acc
+                }
+                _ => unreachable!("merge records have at least two ids"),
+            };
+            let count = fresh.count();
+            let coverage =
+                (count >= self.min_count).then(|| cache.get_or_insert_with(ids, || fresh));
+            merges.insert(
+                ids.clone(),
+                MergeRecord {
+                    coverage,
+                    count,
+                    exact: true,
+                },
+            );
+        }
+        Some(SweepStructure {
+            singles,
+            merges: Mutex::new(merges),
+            min_count: self.min_count,
+            n_rows: index.n_rows(),
+            build_time: self.build_time,
+            prefilter,
+        })
+    }
+
     /// A tightened copy of this artifact for a higher support threshold:
     /// the τ-monotone serve. Support counts only shrink as predicates are
     /// added, so an artifact built at a looser threshold already contains
@@ -966,6 +1081,118 @@ mod tests {
                 assert!(r.count < view.min_count());
             }
         }
+    }
+
+    /// A small delta that flips no single across the support frontier must
+    /// yield a surviving artifact whose singles and re-patched merges agree
+    /// exactly with fresh resolution over the post-delta index.
+    #[test]
+    fn patched_artifact_matches_fresh_resolution_after_small_delta() {
+        let d = german(400, 93);
+        let table = generate_predicates(&d, 4);
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        let config = LatticeConfig {
+            support_threshold: 0.1,
+            ..Default::default()
+        };
+        let structure = SweepStructure::build(&index, &config);
+        let mut resolved: Vec<[u16; 2]> = Vec::new();
+        for i in 0..8 {
+            let (a, b) = (&index.entries()[i], &index.entries()[i + 1]);
+            let _ = structure.resolve(&[a.id, b.id], &cache, &a.coverage, &b.coverage);
+            resolved.push([a.id, b.id]);
+        }
+
+        // Delta: two rows out, five rows in (same generator, same schema).
+        let removed = vec![3usize, 377];
+        let mut mask = vec![false; d.n_rows()];
+        removed.iter().for_each(|&r| mask[r] = true);
+        let new_data = d.remove_rows(&mask).concat(&german(5, 94));
+        let new_table = table.patch(&new_data, &removed);
+        let new_cache = CoverageCache::new();
+        let new_index = PredicateIndex::build(&new_table, &new_cache);
+
+        let patched = structure
+            .patched(&new_index, &new_cache, None)
+            .expect("a 7-row delta must not flip a min-count-40 frontier here");
+        assert_eq!(patched.min_count(), structure.min_count());
+        assert_eq!(patched.n_rows(), new_data.n_rows());
+
+        // Singles: identical to filtering the post-delta index cold.
+        let expected: Vec<_> = new_index
+            .entries()
+            .iter()
+            .filter(|e| e.count >= patched.min_count())
+            .collect();
+        assert_eq!(patched.singles().len(), expected.len());
+        for (s, e) in patched.singles().iter().zip(expected) {
+            assert_eq!(s.id, e.id);
+            assert_eq!(s.count, e.count);
+            assert_eq!(*s.coverage, *e.coverage);
+        }
+
+        // Re-patched merges: supported source records carry over eagerly,
+        // count-only ones drop for lazy re-resolution — and either way the
+        // record served post-delta equals a fresh compute over the new
+        // coverages.
+        let mut carried = 0usize;
+        for ids in &resolved {
+            let a = &new_index.entries()[ids[0] as usize];
+            let b = &new_index.entries()[ids[1] as usize];
+            assert_eq!(a.id, ids[0], "index entries stay in id order");
+            let was_supported = structure.lookup(ids).unwrap().coverage.is_some();
+            assert_eq!(patched.contains(ids), was_supported);
+            carried += usize::from(was_supported);
+            let truth = patched.compute_record(ids, &new_cache, &a.coverage, &b.coverage);
+            let record = patched.resolve(ids, &new_cache, &a.coverage, &b.coverage);
+            assert_eq!(record.count, truth.count);
+            assert!(record.exact);
+            assert_eq!(record.coverage.is_some(), truth.coverage.is_some());
+            if let (Some(r), Some(t)) = (&record.coverage, &truth.coverage) {
+                assert_eq!(**r, **t);
+            }
+        }
+        assert!(carried > 0, "τ = 0.1 must leave some supported merges");
+    }
+
+    /// A delta that pushes a borderline single below the support frontier
+    /// must invalidate the artifact (the cold level-1 candidate set differs).
+    #[test]
+    fn patched_artifact_invalidates_on_frontier_flip() {
+        let d = german(400, 95);
+        let table = generate_predicates(&d, 4);
+        let cache = CoverageCache::new();
+        let index = PredicateIndex::build(&table, &cache);
+        let config = LatticeConfig {
+            support_threshold: 0.1,
+            ..Default::default()
+        };
+        let structure = SweepStructure::build(&index, &config);
+        // Remove exactly enough covered rows of the tightest-margin single
+        // to push it below min_count.
+        let borderline = structure
+            .singles()
+            .iter()
+            .min_by_key(|s| s.count)
+            .expect("german has supported singles");
+        let excess = borderline.count - structure.min_count() + 1;
+        let removed: Vec<usize> = borderline
+            .coverage
+            .iter()
+            .take(excess)
+            .map(|r| r as usize)
+            .collect();
+        let mut mask = vec![false; d.n_rows()];
+        removed.iter().for_each(|&r| mask[r] = true);
+        let new_data = d.remove_rows(&mask);
+        let new_table = table.patch(&new_data, &removed);
+        let new_cache = CoverageCache::new();
+        let new_index = PredicateIndex::build(&new_table, &new_cache);
+        assert!(
+            structure.patched(&new_index, &new_cache, None).is_none(),
+            "a flipped frontier must invalidate"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! verbatim against `POST /sessions/{name}/explain`, and the response
 //! shapes match field for field.
 
-use gopher_core::{ExplainRequest, ExplainResponse, SessionStats};
+use gopher_core::{ExplainRequest, ExplainResponse, SessionStats, UpdateReport};
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{BiasEval, Estimator};
 use gopher_json::Json;
@@ -258,5 +258,50 @@ pub fn session_stats_json(stats: &SessionStats) -> Json {
         ),
         ("prefilter_probes", Json::num(stats.prefilter_probes as f64)),
         ("prefilter_skips", Json::num(stats.prefilter_skips as f64)),
+        ("updates_applied", Json::num(stats.updates_applied as f64)),
+        (
+            "artifacts_survived",
+            Json::num(stats.artifacts_survived as f64),
+        ),
+        (
+            "artifacts_invalidated",
+            Json::num(stats.artifacts_invalidated as f64),
+        ),
+        ("factor_fallbacks", Json::num(stats.factor_fallbacks as f64)),
+        ("explain_p50_us", Json::num(stats.explain_p50_us as f64)),
+        ("explain_p99_us", Json::num(stats.explain_p99_us as f64)),
+    ])
+}
+
+/// The `POST /sessions/{name}/update` response: what the delta did, which
+/// path the influence engine took (incremental patch vs fallback), and how
+/// the structural cache fared. `updates_applied` is the session's cumulative
+/// counter *after* this update.
+pub fn update_report_json(report: &UpdateReport, updates_applied: u64, name: &str) -> Json {
+    Json::obj([
+        ("name", Json::str(name)),
+        ("rows_removed", Json::num(report.rows_removed as f64)),
+        ("rows_added", Json::num(report.rows_added as f64)),
+        ("train_rows", Json::num(report.n_rows as f64)),
+        (
+            "artifacts_survived",
+            Json::num(report.artifacts_survived as f64),
+        ),
+        (
+            "artifacts_invalidated",
+            Json::num(report.artifacts_invalidated as f64),
+        ),
+        ("refactored", Json::Bool(report.engine.refactored)),
+        ("full_rebuild", Json::Bool(report.engine.full_rebuild)),
+        ("fell_back", Json::Bool(report.engine.fell_back())),
+        (
+            "retrain_converged",
+            Json::Bool(report.engine.retrain.converged),
+        ),
+        (
+            "update_ms",
+            Json::num(report.update_time.as_secs_f64() * 1e3),
+        ),
+        ("updates_applied", Json::num(updates_applied as f64)),
     ])
 }

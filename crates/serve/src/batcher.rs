@@ -22,9 +22,9 @@
 
 use crate::registry::AnySession;
 use gopher_core::{ExplainRequest, ExplainResponse};
-use gopher_par::lock_recover;
+use gopher_par::{lock_recover, read_recover};
 use std::sync::mpsc::{channel, Sender};
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::time::Duration;
 
 /// A follower's seat in a forming batch.
@@ -67,9 +67,14 @@ impl Batcher {
     /// Answers one request, possibly as part of a coalesced batch. `Err`
     /// only when this caller was a follower and its leader died before
     /// delivering (the HTTP layer's `500`).
+    ///
+    /// The session's read lock is taken only when a batch actually runs —
+    /// a leader sleeping through its collection window holds no lock, so a
+    /// concurrent `update` (the write side) interleaves with forming
+    /// batches instead of stalling behind them.
     pub fn explain(
         &self,
-        session: &AnySession,
+        session: &RwLock<AnySession>,
         request: ExplainRequest,
     ) -> Result<ExplainResponse, String> {
         if self.window.is_zero() {
@@ -114,7 +119,7 @@ impl Batcher {
             requests.push(w.request);
             replies.push(w.reply);
         }
-        let mut responses = session.explain_batch(&requests);
+        let mut responses = read_recover(session).explain_batch(&requests);
         // Deliver follower responses in join order; responses[0] is ours.
         // A disconnected receiver (client gave up) is fine to ignore.
         let followers: Vec<ExplainResponse> = responses.drain(1..).collect();
@@ -127,8 +132,8 @@ impl Batcher {
     }
 }
 
-fn solo(session: &AnySession, request: ExplainRequest) -> ExplainResponse {
-    session
+fn solo(session: &RwLock<AnySession>, request: ExplainRequest) -> ExplainResponse {
+    read_recover(session)
         .explain_batch(std::slice::from_ref(&request))
         .pop()
         .expect("explain_batch returns one response per request")

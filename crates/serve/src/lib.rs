@@ -37,5 +37,7 @@ pub mod server;
 pub mod signals;
 
 pub use batcher::Batcher;
-pub use registry::{build_session, AnySession, SessionConfig, SessionRegistry};
+pub use registry::{
+    build_session, AnySession, SessionConfig, SessionRegistry, UpdateSpec, UPDATE_FIELDS,
+};
 pub use server::{ServeConfig, Server};

@@ -10,7 +10,9 @@
 //! session finish unharmed.
 
 use crate::batcher::Batcher;
-use gopher_core::{ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, SessionStats};
+use gopher_core::{
+    ExplainRequest, ExplainResponse, ExplainSession, SessionBuilder, SessionStats, UpdateReport,
+};
 use gopher_data::csv::{parse_protected_spec, read_csv_infer};
 use gopher_data::generators::{adult, german, sqf};
 use gopher_data::Dataset;
@@ -19,7 +21,7 @@ use gopher_models::{LinearSvm, LogisticRegression, Mlp};
 use gopher_par::lock_recover;
 use gopher_prng::Rng;
 use std::io::Cursor;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// An [`ExplainSession`] with the model family erased: the registry stores
 /// whatever family the upload asked for behind one type.
@@ -58,6 +60,52 @@ impl AnySession {
             Self::Lr(s) => s.accuracy(),
             Self::Svm(s) => s.accuracy(),
             Self::Mlp(s) => s.accuracy(),
+        }
+    }
+
+    /// Rows in the session's current training set — the universe `update`'s
+    /// removal indices address.
+    pub fn train_rows(&self) -> usize {
+        match self {
+            Self::Lr(s) => s.train_raw().n_rows(),
+            Self::Svm(s) => s.train_raw().n_rows(),
+            Self::Mlp(s) => s.train_raw().n_rows(),
+        }
+    }
+
+    /// Whether `added` can be concatenated onto the session's training data
+    /// (same schema). Checked before `update` so a mismatched upload is a
+    /// `400`, not a panic.
+    pub fn accepts(&self, added: &Dataset) -> bool {
+        let schema = match self {
+            Self::Lr(s) => s.train_raw().schema(),
+            Self::Svm(s) => s.train_raw().schema(),
+            Self::Mlp(s) => s.train_raw().schema(),
+        };
+        schema == added.schema()
+    }
+
+    /// Applies a training-data delta to the underlying session (see
+    /// [`ExplainSession::update`]): removal indices address the current
+    /// training set, `added` is appended (`None` = remove-only).
+    pub fn update(&mut self, removed: &[usize], added: Option<&Dataset>) -> UpdateReport {
+        fn go<M: gopher_models::Model + Clone + Send + Sync>(
+            s: &mut ExplainSession<M>,
+            removed: &[usize],
+            added: Option<&Dataset>,
+        ) -> UpdateReport {
+            match added {
+                Some(added) => s.update(removed, added),
+                None => {
+                    let empty = s.train_raw().select_rows(&[]);
+                    s.update(removed, &empty)
+                }
+            }
+        }
+        match self {
+            Self::Lr(s) => go(s, removed, added),
+            Self::Svm(s) => go(s, removed, added),
+            Self::Mlp(s) => go(s, removed, added),
         }
     }
 }
@@ -276,6 +324,170 @@ impl SessionConfig {
     }
 }
 
+/// The JSON fields `POST /sessions/{name}/update` understands. Unknown keys
+/// are hard errors, same policy as session creation.
+pub const UPDATE_FIELDS: [&str; 4] = ["remove", "add_rows", "add_csv", "seed"];
+
+/// Which training rows a delta removes.
+#[derive(Debug, Clone)]
+pub enum RemoveSpec {
+    /// Explicit training-row indices.
+    Indices(Vec<usize>),
+    /// A count of seeded-random distinct rows, picked server-side.
+    Random(usize),
+}
+
+/// A parsed `POST /sessions/{name}/update` body: what to remove from and
+/// append to the session's training set.
+#[derive(Debug, Clone)]
+pub struct UpdateSpec {
+    /// Rows to remove.
+    pub remove: RemoveSpec,
+    /// Rows to generate and append (generator-backed sessions only).
+    pub add_rows: usize,
+    /// Inline CSV rows to append (CSV-backed sessions only; parsed with the
+    /// session's original label/protected spec).
+    pub add_csv: Option<String>,
+    /// Seed for the random removal pick and the generated rows.
+    pub seed: u64,
+}
+
+impl UpdateSpec {
+    /// Parses an update body. The delta must do *something*: all-empty
+    /// bodies are rejected rather than counted as a no-op update.
+    pub fn from_json(body: &Json) -> Result<UpdateSpec, String> {
+        let Json::Obj(fields) = body else {
+            return Err("update body must be a JSON object".into());
+        };
+        for key in fields.keys() {
+            if !UPDATE_FIELDS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown field {key:?} (expected one of: {})",
+                    UPDATE_FIELDS.join(", ")
+                ));
+            }
+        }
+        let as_count = |v: &Json, key: &str| -> Result<usize, String> {
+            match v.as_f64() {
+                Some(n) if n >= 0.0 && n.fract() == 0.0 => Ok(n as usize),
+                _ => Err(format!("field {key:?} must be a non-negative integer")),
+            }
+        };
+        let remove = match body.get("remove") {
+            None => RemoveSpec::Random(0),
+            Some(Json::Arr(items)) => {
+                let mut indices = Vec::with_capacity(items.len());
+                for item in items {
+                    indices.push(as_count(item, "remove")?);
+                }
+                RemoveSpec::Indices(indices)
+            }
+            Some(other) => RemoveSpec::Random(as_count(other, "remove")?),
+        };
+        let add_rows = match body.get("add_rows") {
+            None => 0,
+            Some(v) => as_count(v, "add_rows")?,
+        };
+        let add_csv = match body.get("add_csv") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "field \"add_csv\" must be a string".to_string())?
+                    .to_string(),
+            ),
+        };
+        let seed = match body.get("seed") {
+            None => 1,
+            Some(v) => as_count(v, "seed")? as u64,
+        };
+        if add_rows > 0 && add_csv.is_some() {
+            return Err("\"add_rows\" conflicts with \"add_csv\"".into());
+        }
+        let removes_nothing = matches!(&remove, RemoveSpec::Random(0))
+            || matches!(&remove, RemoveSpec::Indices(v) if v.is_empty());
+        if removes_nothing && add_rows == 0 && add_csv.is_none() {
+            return Err("empty delta: set \"remove\", \"add_rows\", or \"add_csv\"".into());
+        }
+        Ok(UpdateSpec {
+            remove,
+            add_rows,
+            add_csv,
+            seed,
+        })
+    }
+
+    /// Resolves the removal spec against the current training-row count:
+    /// explicit indices are bounds- and duplicate-checked, a random count is
+    /// drawn (distinct, seeded) server-side. Errors are `400`s.
+    pub fn resolve_removals(&self, n_rows: usize) -> Result<Vec<usize>, String> {
+        match &self.remove {
+            RemoveSpec::Indices(indices) => {
+                let mut seen = vec![false; n_rows];
+                for &idx in indices {
+                    if idx >= n_rows {
+                        return Err(format!(
+                            "remove index {idx} out of range (training set has {n_rows} rows)"
+                        ));
+                    }
+                    if seen[idx] {
+                        return Err(format!("remove index {idx} listed twice"));
+                    }
+                    seen[idx] = true;
+                }
+                Ok(indices.clone())
+            }
+            RemoveSpec::Random(count) => {
+                if *count >= n_rows {
+                    return Err(format!("cannot remove {count} of {n_rows} training rows"));
+                }
+                Ok(Rng::new(self.seed).sample_indices(n_rows, *count))
+            }
+        }
+    }
+
+    /// Builds the rows this delta appends, according to the session's
+    /// original data source: generated rows for generator sessions, parsed
+    /// CSV rows (same label/protected spec) for CSV sessions. `None` for a
+    /// remove-only delta.
+    pub fn build_added(&self, config: &SessionConfig) -> Result<Option<Dataset>, String> {
+        if let Some(text) = &self.add_csv {
+            let DataSource::Csv {
+                label, protected, ..
+            } = &config.source
+            else {
+                return Err(
+                    "\"add_csv\" requires a CSV-backed session (use \"add_rows\" \
+                            for generator-backed sessions)"
+                        .into(),
+                );
+            };
+            let (column, rule) = parse_protected_spec(protected)?;
+            let added = read_csv_infer(Cursor::new(text.as_bytes()), label, column, &rule)
+                .map_err(|e| e.to_string())?;
+            return Ok(Some(added));
+        }
+        if self.add_rows == 0 {
+            return Ok(None);
+        }
+        let DataSource::Generator { name, .. } = &config.source else {
+            return Err(
+                "\"add_rows\" requires a generator-backed session (use \"add_csv\" \
+                        for CSV-backed sessions)"
+                    .into(),
+            );
+        };
+        let generate = match name.as_str() {
+            "german" => german,
+            "adult" => adult,
+            "sqf" => sqf,
+            other => return Err(format!("unknown generator {other:?}")),
+        };
+        // A seed offset keeps the delta rows distinct from the session's
+        // original draw even when the caller reuses the session seed.
+        Ok(Some(generate(self.add_rows, self.seed ^ 0x9e37_79b9)))
+    }
+}
+
 /// Builds the dataset a config describes. CSV errors keep their line numbers
 /// (`csv parse error at line N: …`) so a bad upload turns into an actionable
 /// `400`.
@@ -349,6 +561,12 @@ pub fn build_session(config: &SessionConfig) -> Result<(AnySession, usize), Stri
 
 /// One registered session: the erased session, its per-session
 /// micro-batcher, and the listing metadata.
+///
+/// The session sits behind an `RwLock` so `POST .../update` can take `&mut`
+/// while every read path (explain, stats, listings) shares read guards.
+/// Queries hold the read lock only for the duration of one batch; an update
+/// waits for in-flight batches, applies, and the next query sees the new
+/// data.
 pub struct SessionEntry {
     /// Registry key.
     pub name: String,
@@ -358,8 +576,12 @@ pub struct SessionEntry {
     pub source: String,
     /// Dataset rows (before the train/test split).
     pub rows: usize,
-    /// The session itself.
-    pub session: AnySession,
+    /// The upload that built this session; `POST .../update` re-reads it to
+    /// generate delta rows (same generator, or the CSV's label/protected
+    /// spec for `add_csv`).
+    pub config: SessionConfig,
+    /// The session itself (write-locked only by updates).
+    pub session: RwLock<AnySession>,
     /// Coalesces concurrent explain calls against this session.
     pub batcher: Batcher,
 }

@@ -5,6 +5,7 @@
 //! GET    /sessions                 list registered sessions
 //! GET    /sessions/{name}/stats    cache + traffic counters for one session
 //! POST   /sessions/{name}/explain  answer one explain request (micro-batched)
+//! POST   /sessions/{name}/update   apply a training-data delta in place
 //! DELETE /sessions/{name}          drop a session
 //! GET    /healthz                  liveness + registry occupancy
 //! POST   /shutdown                 begin graceful shutdown
@@ -21,10 +22,10 @@
 use crate::api;
 use crate::batcher::Batcher;
 use crate::http::{self, HttpConn, HttpError, Request};
-use crate::registry::{build_session, SessionConfig, SessionEntry, SessionRegistry};
+use crate::registry::{build_session, SessionConfig, SessionEntry, SessionRegistry, UpdateSpec};
 use gopher_core::ExplainRequest;
 use gopher_json::{Json, ParseLimits, DEFAULT_MAX_DEPTH};
-use gopher_par::lock_recover;
+use gopher_par::{lock_recover, read_recover, write_recover};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -302,6 +303,7 @@ fn route(state: &ServerState, request: &Request) -> (u16, Json) {
         ("POST", ["sessions"]) => create_session(state, request),
         ("GET", ["sessions", name, "stats"]) => session_stats(state, name),
         ("POST", ["sessions", name, "explain"]) => explain(state, name, request),
+        ("POST", ["sessions", name, "update"]) => update_session(state, name, request),
         ("DELETE", ["sessions", name]) => {
             if state.registry.remove(name) {
                 (200, Json::obj([("deleted", Json::str(*name))]))
@@ -347,7 +349,7 @@ fn list_sessions(state: &ServerState) -> Json {
                 ("rows", Json::num(e.rows as f64)),
                 (
                     "requests_served",
-                    Json::num(e.session.stats().requests_served as f64),
+                    Json::num(read_recover(&e.session).stats().requests_served as f64),
                 ),
             ])
         })
@@ -392,7 +394,8 @@ fn create_session(state: &ServerState, request: &Request) -> (u16, Json) {
         model: config.model.clone(),
         source: config.source_text(),
         rows,
-        session,
+        config: config.clone(),
+        session: std::sync::RwLock::new(session),
         batcher: Batcher::new(state.config.batch_window, state.config.max_batch),
     });
     if let Err(e) = state.registry.insert(entry) {
@@ -413,15 +416,68 @@ fn session_stats(state: &ServerState, name: &str) -> (u16, Json) {
     let Some(entry) = state.registry.get(name) else {
         return (404, error_json(&format!("no session named {name:?}")));
     };
-    let Json::Obj(mut fields) = api::session_stats_json(&entry.session.stats()) else {
+    let session = read_recover(&entry.session);
+    let Json::Obj(mut fields) = api::session_stats_json(&session.stats()) else {
         unreachable!("session_stats_json returns an object");
     };
     fields.insert("name".into(), Json::str(&entry.name));
     fields.insert("model".into(), Json::str(&entry.model));
     fields.insert("source".into(), Json::str(&entry.source));
     fields.insert("rows".into(), Json::num(entry.rows as f64));
-    fields.insert("accuracy".into(), Json::num(entry.session.accuracy()));
+    fields.insert("train_rows".into(), Json::num(session.train_rows() as f64));
+    fields.insert("accuracy".into(), Json::num(session.accuracy()));
     (200, Json::Obj(fields))
+}
+
+/// `POST /sessions/{name}/update`: apply a training-data delta in place.
+///
+/// The body names rows to remove (explicit indices or a seeded-random
+/// count) and rows to append (generated for generator-backed sessions,
+/// inline CSV for CSV-backed ones). Everything is validated *before* the
+/// write lock is taken — bad indices, schema mismatches, and empty deltas
+/// are `400`s and never touch the session. The update itself runs under the
+/// session's write lock: in-flight explain batches finish first, the next
+/// query answers over the new data.
+fn update_session(state: &ServerState, name: &str, request: &Request) -> (u16, Json) {
+    let Some(entry) = state.registry.get(name) else {
+        return (404, error_json(&format!("no session named {name:?}")));
+    };
+    let parsed = match parse_body(state, &request.body) {
+        Ok(json) => json,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let spec = match UpdateSpec::from_json(&parsed) {
+        Ok(spec) => spec,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let added = match spec.build_added(&entry.config) {
+        Ok(added) => added,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let mut session = write_recover(&entry.session);
+    let n_rows = session.train_rows();
+    let removed = match spec.resolve_removals(n_rows) {
+        Ok(removed) => removed,
+        Err(e) => return (400, error_json(&e)),
+    };
+    if removed.len() >= n_rows + added.as_ref().map_or(0, |d| d.n_rows()) {
+        return (400, error_json("delta would leave the training set empty"));
+    }
+    if let Some(added) = &added {
+        if !session.accepts(added) {
+            return (
+                400,
+                error_json("added rows do not match the session's schema"),
+            );
+        }
+    }
+    let report = session.update(&removed, added.as_ref());
+    let stats = session.stats();
+    drop(session);
+    (
+        200,
+        api::update_report_json(&report, stats.updates_applied, name),
+    )
 }
 
 /// The server-side default request: like [`ExplainRequest::default`] but

@@ -336,6 +336,144 @@ fn shutdown_drains_in_flight_requests() {
 }
 
 #[test]
+fn update_endpoint_patches_the_session_and_matches_an_in_process_delta() {
+    let (server, addr) = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let created = request_once(addr, "POST", "/sessions", Some(GERMAN_300)).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    // Warm the structural tier so the update has artifacts to patch.
+    let warm = request_once(
+        addr,
+        "POST",
+        "/sessions/german/explain",
+        Some(r#"{"metric":"statistical-parity"}"#),
+    )
+    .unwrap();
+    assert_eq!(warm.status, 200, "{}", warm.body);
+
+    let delta = r#"{"remove":[5], "add_rows":1, "seed":13}"#;
+    let updated = request_once(addr, "POST", "/sessions/german/update", Some(delta)).unwrap();
+    assert_eq!(updated.status, 200, "{}", updated.body);
+    let updated_json = parse(&updated.body);
+    assert_eq!(
+        updated_json.get("rows_removed").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        updated_json.get("rows_added").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    assert_eq!(
+        updated_json.get("updates_applied").and_then(Json::as_f64),
+        Some(1.0)
+    );
+    let survived = updated_json
+        .get("artifacts_survived")
+        .and_then(Json::as_f64)
+        .unwrap();
+    let invalidated = updated_json
+        .get("artifacts_invalidated")
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(
+        survived + invalidated,
+        1.0,
+        "the one warmed structure artifact must be accounted for"
+    );
+
+    // The post-update HTTP answer must be bit-identical to an in-process
+    // session that applied the very same delta through the same spec.
+    let config = german_300_config();
+    let (mut reference, _rows) = build_session(&config).unwrap();
+    let spec = gopher_serve::UpdateSpec::from_json(&parse(delta)).unwrap();
+    let removed = spec.resolve_removals(reference.train_rows()).unwrap();
+    let added = spec.build_added(&config).unwrap();
+    reference.update(&removed, added.as_ref());
+
+    let body = r#"{"metric":"equal-opportunity"}"#;
+    let over_http = request_once(addr, "POST", "/sessions/german/explain", Some(body)).unwrap();
+    assert_eq!(over_http.status, 200, "{}", over_http.body);
+    let request = api::parse_explain_request(&parse(body), &default_request(), 1.0).unwrap();
+    let in_process = reference.explain_batch(&[request]).pop().unwrap();
+    assert_eq!(
+        stripped(&over_http.body),
+        stripped(&format!("{}", api::explain_response_json(&in_process))),
+        "post-update HTTP answer diverged from the in-process delta"
+    );
+
+    // Live stats reflect the applied update.
+    let stats = parse(
+        &request_once(addr, "GET", "/sessions/german/stats", None)
+            .unwrap()
+            .body,
+    );
+    assert_eq!(
+        stats.get("updates_applied").and_then(Json::as_f64),
+        Some(1.0)
+    );
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
+fn update_endpoint_rejects_bad_deltas_with_400s() {
+    let (server, addr) = start(ServeConfig {
+        batch_window: Duration::ZERO,
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let created = request_once(addr, "POST", "/sessions", Some(GERMAN_300)).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let reject = |body: &str, needle: &str| {
+        let response = request_once(addr, "POST", "/sessions/german/update", Some(body)).unwrap();
+        assert_eq!(response.status, 400, "{body} -> {}", response.body);
+        let message = parse(&response.body)
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string();
+        assert!(
+            message.contains(needle),
+            "error for {body} must mention {needle:?}: {message}"
+        );
+    };
+
+    // Unknown session is a 404, not a 400.
+    let missing = request_once(addr, "POST", "/sessions/nope/update", Some("{}")).unwrap();
+    assert_eq!(missing.status, 404);
+
+    reject("{}", "empty");
+    reject(r#"{"remove":[1], "frobnicate":2}"#, "frobnicate");
+    // German has 300 rows -> 210 train rows; index 5000 is out of range.
+    reject(r#"{"remove":[5000]}"#, "out of range");
+    reject(r#"{"remove":[3, 3]}"#, "twice");
+    // This session was built from a generator, so CSV deltas don't apply.
+    reject(r#"{"add_csv":"a,b\n1,2\n"}"#, "CSV");
+    // add_rows and add_csv are mutually exclusive delta sources.
+    reject(r#"{"add_rows":2, "add_csv":"a,b\n1,2\n"}"#, "add_csv");
+
+    // Nothing above may have mutated the session.
+    let stats = parse(
+        &request_once(addr, "GET", "/sessions/german/stats", None)
+            .unwrap()
+            .body,
+    );
+    assert_eq!(
+        stats.get("updates_applied").and_then(Json::as_f64),
+        Some(0.0)
+    );
+
+    server.trigger_shutdown();
+    server.join();
+}
+
+#[test]
 fn registry_eviction_under_live_traffic_never_panics() {
     let (server, addr) = start(ServeConfig {
         batch_window: Duration::from_millis(1),

@@ -117,7 +117,7 @@ fn batched_answers_match_solo_answers() {
         .map(|r| canonical(&reference.explain(r)))
         .collect();
 
-    let shared = gopher_serve::AnySession::Lr(session(320));
+    let shared = std::sync::RwLock::new(gopher_serve::AnySession::Lr(session(320)));
     let batcher = Batcher::new(Duration::from_millis(100), 16);
     std::thread::scope(|scope| {
         let handles: Vec<_> = requests
@@ -141,7 +141,7 @@ fn batched_answers_match_solo_answers() {
             h.join().unwrap();
         }
     });
-    let stats = shared.stats();
+    let stats = gopher_par::read_recover(&shared).stats();
     assert_eq!(stats.requests_served, requests.len() as u64);
     assert!(
         stats.batches_served < stats.requests_served,
@@ -171,7 +171,8 @@ fn registry_eviction_mid_traffic_is_panic_free() {
             model: "lr".into(),
             source: config.source_text(),
             rows,
-            session,
+            config: config.clone(),
+            session: std::sync::RwLock::new(session),
             batcher: Batcher::new(Duration::ZERO, 4),
         })
     };

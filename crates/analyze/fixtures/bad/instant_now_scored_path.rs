@@ -1,0 +1,27 @@
+//! Seeded bad fixture for the `instant-now-scored-path` rule: wall-clock
+//! reads leaking into a responsibility score and into a cached record —
+//! both make "the same query" produce bit-different artifacts run to run.
+//! (Not compiled into the workspace; consumed by the analyzer's tests and
+//! the CI negative smoke.)
+
+use std::time::Instant;
+
+struct Scorer {
+    cache: std::collections::HashMap<u64, (f64, Instant)>,
+}
+
+impl Scorer {
+    // BAD: a scoring fn reading the clock — the returned responsibility
+    // depends on when it ran, not only on the data and the knobs.
+    fn score_subset(&self, rows: &[u32]) -> f64 {
+        let started = Instant::now();
+        let raw = rows.len() as f64;
+        raw / started.elapsed().as_secs_f64().max(1e-9)
+    }
+
+    // BAD: a timestamp recorded into a keyed cache entry — two runs that
+    // compute identical scores store unequal records.
+    fn remember(&mut self, key: u64, score: f64) {
+        self.cache.insert(key, (score, Instant::now()));
+    }
+}

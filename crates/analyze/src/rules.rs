@@ -1,4 +1,4 @@
-//! The seven project-invariant rules.
+//! The eight project-invariant rules.
 //!
 //! Each rule encodes a bug class this workspace has already shipped a fix
 //! for (see the README's rule catalog for the history). Rules operate on
@@ -64,6 +64,10 @@ pub const RULES: &[RuleInfo] = &[
         id: "hashmap-ordered-output",
         summary: "HashMap/HashSet iteration flowing into ordered output without a sort",
     },
+    RuleInfo {
+        id: "instant-now-scored-path",
+        summary: "`Instant::now()` inside a scoring fn or a cache-insert statement",
+    },
 ];
 
 /// True if `id` names a rule in [`RULES`].
@@ -83,6 +87,7 @@ pub fn check_all(lexed: &Lexed, enabled: &[&str]) -> Vec<Finding> {
             "guard-held-call" => guard_held_call(&lexed.tokens),
             "env-literal" => env_literal(&lexed.tokens),
             "hashmap-ordered-output" => hashmap_ordered_output(&lexed.tokens),
+            "instant-now-scored-path" => instant_now_scored_path(&lexed.tokens),
             other => panic!("unknown rule id {other:?} (validate with is_known_rule)"),
         };
         findings.extend(rule_findings);
@@ -609,6 +614,96 @@ fn hashmap_ordered_output(tokens: &[Token]) -> Vec<Finding> {
     out
 }
 
+/// **instant-now-scored-path** — `Instant::now()` inside a scored or cached
+/// computation path.
+///
+/// Responsibility scores and cached artifacts must be pure functions of the
+/// data and the knobs: a wall-clock read inside the computation makes the
+/// value (or the cached record it lands in) differ run to run — the
+/// timing-nondeterminism cousin of `hashmap-ordered-output`. Two "scored
+/// path" signals, both token-local like the other rules:
+///
+/// * the call sits inside a fn whose name mentions scoring
+///   (`score`/`responsibility`/`rank`), where the clock can leak into the
+///   returned value;
+/// * the call's own statement also writes a cache
+///   (`insert`/`entry`/`get_or_insert*`/`or_insert*`), i.e. a timestamp is
+///   being recorded into a keyed artifact at insert time.
+///
+/// Timing *around* a pass — `let t0 = Instant::now();` in a build or query
+/// fn, with `t0.elapsed()` stored as diagnostic metadata — stays legal:
+/// those statements neither live in a scoring fn nor touch a cache.
+fn instant_now_scored_path(tokens: &[Token]) -> Vec<Finding> {
+    const SCORED_NAMES: &[&str] = &["score", "responsibility", "rank"];
+    const CACHE_MARKERS: &[&str] = &[
+        "insert",
+        "entry",
+        "get_or_insert",
+        "get_or_insert_with",
+        "or_insert",
+        "or_insert_with",
+    ];
+    // Scope stack: true while inside a fn whose name looks like scoring.
+    let mut scopes: Vec<bool> = Vec::new();
+    let mut pending_scored_fn = false;
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokenKind::Ident if t.text == "fn" => {
+                if let Some(name) = ident_at(tokens, i + 1) {
+                    let lower = name.to_ascii_lowercase();
+                    pending_scored_fn = SCORED_NAMES.iter().any(|m| lower.contains(m));
+                }
+            }
+            TokenKind::Punct if t.text == "{" => {
+                let inherited = scopes.last().copied().unwrap_or(false);
+                scopes.push(inherited || pending_scored_fn);
+                pending_scored_fn = false;
+            }
+            TokenKind::Punct if t.text == "}" => {
+                scopes.pop();
+            }
+            TokenKind::Punct if t.text == ";" => {
+                // A bodiless declaration never opened its scope.
+                pending_scored_fn = false;
+            }
+            TokenKind::Ident
+                if t.text == "Instant"
+                    && punct_at(tokens, i + 1, ':')
+                    && punct_at(tokens, i + 2, ':')
+                    && ident_at(tokens, i + 3) == Some("now")
+                    && punct_at(tokens, i + 4, '(') =>
+            {
+                let in_scored_fn = scopes.last().copied().unwrap_or(false);
+                let in_cache_stmt = statement_window(tokens, i).any(|w| {
+                    w.kind == TokenKind::Ident && CACHE_MARKERS.contains(&w.text.as_str())
+                });
+                if in_scored_fn || in_cache_stmt {
+                    out.push(Finding {
+                        rule: "instant-now-scored-path",
+                        line: t.line,
+                        col: t.col,
+                        message: if in_cache_stmt {
+                            "Instant::now() recorded into a cache entry: the stored artifact \
+                             differs run to run; keep timestamps out of keyed records (store \
+                             them beside the cache, or drop them)"
+                                .to_string()
+                        } else {
+                            "Instant::now() inside a scoring path: responsibility values must \
+                             be pure functions of data and knobs, never of wall-clock; hoist \
+                             the timing to the caller"
+                                .to_string()
+                        },
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,6 +864,35 @@ mod tests {
         // Struct fields declared as HashMap are tracked too.
         let field = "struct S { entries: HashMap<u64, u64> }\nimpl S {\n    fn dump(&self) -> String {\n        let parts: Vec<String> = entries.values().map(|v| v.to_string()).collect();\n        parts.join(\",\")\n    }\n}";
         assert_eq!(run("hashmap-ordered-output", field).len(), 1);
+    }
+
+    #[test]
+    fn instant_now_scored_path_needs_a_scored_or_cached_context() {
+        // Inside a fn whose name says "score": flagged.
+        let in_scorer = "fn score_subset(&self, rows: &[u32]) -> f64 {\n    let t0 = Instant::now();\n    self.eval(rows)\n}";
+        let found = run("instant-now-scored-path", in_scorer);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].line, 2);
+        // "responsibility" and "rank" count as scoring vocabulary too.
+        let in_resp = "fn responsibility(&self) -> f64 { let t = Instant::now(); 0.0 }";
+        assert_eq!(run("instant-now-scored-path", in_resp).len(), 1);
+        // A timestamp written into a cache entry: flagged regardless of fn name.
+        let in_insert = "fn record(&self) { self.cache.insert(key, Instant::now()); }";
+        assert_eq!(run("instant-now-scored-path", in_insert).len(), 1);
+        let in_or_insert = "fn record(&self) { map.entry(key).or_insert_with(|| Instant::now()); }";
+        assert_eq!(run("instant-now-scored-path", in_or_insert).len(), 1);
+        // Timing *around* a build pass, stored as diagnostic metadata: legal.
+        let around = "fn build(&self) -> Artifact {\n    let t0 = Instant::now();\n    let a = self.sweep();\n    Artifact { build_time: t0.elapsed(), a }\n}";
+        assert!(run("instant-now-scored-path", around).is_empty());
+        // A query fn timing its own phases: legal.
+        let query = "fn answer(&self, req: &Req) -> Resp {\n    let t_query = Instant::now();\n    self.run(req)\n}";
+        assert!(run("instant-now-scored-path", query).is_empty());
+        // Decoy in a comment.
+        assert!(run(
+            "instant-now-scored-path",
+            "// fn score() { Instant::now() }\nfn build() { let t = Instant::now(); }"
+        )
+        .is_empty());
     }
 
     #[test]

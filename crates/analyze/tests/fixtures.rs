@@ -70,6 +70,16 @@ fn hashmap_ordered_output_fixture_trips_its_rule() {
 }
 
 #[test]
+fn instant_now_scored_path_fixture_trips_its_rule() {
+    // The timing-nondeterminism class: wall-clock reads inside a scorer or
+    // a cached record make identical queries produce unequal artifacts.
+    assert_eq!(
+        rules_hit("instant_now_scored_path.rs"),
+        ["instant-now-scored-path"]
+    );
+}
+
+#[test]
 fn fixture_findings_carry_file_line_spans() {
     let enabled: Vec<&str> = RULES.iter().map(|r| r.id).collect();
     let path = fixture("raw_lock.rs");

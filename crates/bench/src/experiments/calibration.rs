@@ -1,79 +1,125 @@
-//! Estimator-fidelity calibration: second-order influence vs. ground-truth
-//! retraining across dataset sizes (the ROADMAP's open item).
+//! Estimator-fidelity calibration: cheap influence estimates vs.
+//! ground-truth retraining across dataset sizes (the ROADMAP's open item).
 //!
 //! At small n the second-order estimator can rank a pattern whose
 //! ground-truth Δbias is negative (observed at n = 300 during PR 1
-//! verification). This experiment quantifies that: for each n ∈ {300, 1k,
-//! 3k}, explain German credit with the second-order estimator and report,
-//! for every top-k pattern, the estimated responsibility next to the
-//! retraining ground truth — plus the per-n mean absolute error and
+//! verification). This experiment quantifies that for **both estimator
+//! families**: for each n ∈ {300, 1k, 3k}, explain German credit and
+//! report, for every top-k pattern, the estimated responsibility next to
+//! the retraining ground truth — plus the per-n mean absolute error and
 //! sign-agreement rate an analyst needs to decide whether the cheap
 //! estimate can be trusted at their data scale.
+//!
+//! * `lr / second-order` — the Hessian backend's group-influence estimate
+//!   vs. warm-started convex retraining (the paper's setting).
+//! * `forest / unlearning` — the unlearning backend's leaf-level exact
+//!   unlearning of each pattern's rows from the frozen bootstraps vs. a
+//!   scratch forest refit on the reduced data (the tree-ensemble
+//!   extension). Acceptance: sign agreement on ≥ 90% of the top-5 at
+//!   n = 1000.
 
 use crate::workloads::{prepare, DatasetKind};
 use gopher_core::report::TextTable;
 use gopher_core::{ExplainRequest, SessionBuilder};
-use gopher_models::LogisticRegression;
+use gopher_influence::{BiasEval, ModelFamily};
+use gopher_models::{Forest, ForestConfig, LogisticRegression};
 
 /// Rows per explanation request (top-k of the calibration sweeps).
 const K: usize = 5;
 
-/// Runs the calibration table across n ∈ {300, 1000, 3000}.
+/// Per-n calibration numbers for one model family.
+struct FamilyRow {
+    n: usize,
+    mean_abs_err: f64,
+    sign_matches: usize,
+    patterns: usize,
+    base_bias: f64,
+}
+
+/// Explains `n`-row German credit through `make_model`'s family and
+/// tabulates estimate vs. ground truth for the top-k patterns.
+fn calibrate_family<M: ModelFamily>(
+    label: &str,
+    table: &mut TextTable,
+    n: usize,
+    seed: u64,
+    bias_eval: BiasEval,
+    make_model: impl Fn(usize) -> M,
+) -> FamilyRow {
+    let p = prepare(DatasetKind::German, n, seed);
+    let session = SessionBuilder::new().fit(make_model, &p.train_raw, &p.test_raw);
+    let mut req = ExplainRequest::default().with_k(K).with_ground_truth(true);
+    req.bias_eval = bias_eval;
+    let response = session.explain(&req);
+    let mut abs_err_sum = 0.0;
+    let mut sign_matches = 0usize;
+    let explanations = &response.report.explanations;
+    for (rank, e) in explanations.iter().enumerate() {
+        let gt = e
+            .ground_truth_responsibility
+            .expect("ground truth requested");
+        let err = (e.est_responsibility - gt).abs();
+        abs_err_sum += err;
+        let agree = e.est_responsibility.signum() == gt.signum();
+        sign_matches += usize::from(agree);
+        table.row_owned(vec![
+            label.to_string(),
+            n.to_string(),
+            (rank + 1).to_string(),
+            e.pattern_text.clone(),
+            format!("{:+.4}", e.est_responsibility),
+            format!("{gt:+.4}"),
+            format!("{err:.4}"),
+            if agree { "ok".into() } else { "FLIP".into() },
+        ]);
+    }
+    FamilyRow {
+        n,
+        mean_abs_err: abs_err_sum / explanations.len().max(1) as f64,
+        sign_matches,
+        patterns: explanations.len(),
+        base_bias: response.report.base_bias,
+    }
+}
+
+/// Runs the calibration table across n ∈ {300, 1000, 3000} for both
+/// estimator families.
 pub fn calibration(seed: u64) -> String {
     let mut out = String::new();
-    out.push_str("== Estimator-fidelity calibration: second-order vs ground truth ==\n");
-    out.push_str("(German credit, logistic regression, statistical parity; top-5\n");
-    out.push_str(" patterns per n; ground truth = responsibility after retraining\n");
-    out.push_str(" without the pattern's rows)\n\n");
+    out.push_str("== Estimator-fidelity calibration: estimate vs ground truth ==\n");
+    out.push_str("(German credit, statistical parity; top-5 patterns per n; ground\n");
+    out.push_str(" truth = responsibility after retraining without the pattern's\n");
+    out.push_str(" rows — warm convex retrain for lr, scratch refit for forest)\n\n");
 
     let mut table = TextTable::new(&[
+        "family",
         "n",
         "rank",
         "pattern",
-        "SO estimate",
+        "estimate",
         "ground truth",
         "abs err",
         "sign",
     ]);
     let mut summaries: Vec<String> = Vec::new();
     for &n in &[300usize, 1_000, 3_000] {
-        let p = prepare(DatasetKind::German, n, seed);
-        let session = SessionBuilder::new().fit(
-            |cols| LogisticRegression::new(cols, 1e-3),
-            &p.train_raw,
-            &p.test_raw,
+        let row = calibrate_family("lr/so", &mut table, n, seed, BiasEval::ChainRule, |cols| {
+            LogisticRegression::new(cols, 1e-3)
+        });
+        summaries.push(summary_line("lr/so", &row));
+    }
+    for &n in &[300usize, 1_000, 3_000] {
+        // Hard bias is a step function of the forest vote; smooth re-eval
+        // keeps small-pattern deltas from rounding to exactly zero.
+        let row = calibrate_family(
+            "forest/unlearn",
+            &mut table,
+            n,
+            seed,
+            BiasEval::ReEvalSmooth,
+            |cols| Forest::new(cols, ForestConfig::default()),
         );
-        let response =
-            session.explain(&ExplainRequest::default().with_k(K).with_ground_truth(true));
-        let mut abs_err_sum = 0.0;
-        let mut sign_matches = 0usize;
-        let explanations = &response.report.explanations;
-        for (rank, e) in explanations.iter().enumerate() {
-            let gt = e
-                .ground_truth_responsibility
-                .expect("ground truth requested");
-            let err = (e.est_responsibility - gt).abs();
-            abs_err_sum += err;
-            let agree = e.est_responsibility.signum() == gt.signum();
-            sign_matches += usize::from(agree);
-            table.row_owned(vec![
-                n.to_string(),
-                (rank + 1).to_string(),
-                e.pattern_text.clone(),
-                format!("{:+.4}", e.est_responsibility),
-                format!("{gt:+.4}"),
-                format!("{err:.4}"),
-                if agree { "ok".into() } else { "FLIP".into() },
-            ]);
-        }
-        let count = explanations.len().max(1);
-        summaries.push(format!(
-            "n={n}: mean |err| {:.4}, sign agreement {}/{} (base bias {:+.4})",
-            abs_err_sum / count as f64,
-            sign_matches,
-            explanations.len(),
-            response.report.base_bias,
-        ));
+        summaries.push(summary_line("forest/unlearn", &row));
     }
     out.push_str(&table.render());
     out.push('\n');
@@ -82,12 +128,22 @@ pub fn calibration(seed: u64) -> String {
         out.push('\n');
     }
     out.push_str(
-        "\nReading: the second-order estimate is conservative — it consistently \
-         understates how much retraining without a top pattern reduces bias — \
-         so treat it as a ranking signal, not a magnitude; a sign FLIP marks a \
-         pattern whose removal would actually move bias the other way (seen \
-         at small n / marginal patterns), which only a ground-truth retrain \
-         (`--ground-truth`) rules out.\n",
+        "\nReading: both estimates are conservative — they understate how much \
+         retraining without a top pattern reduces bias — so treat them as a \
+         ranking signal, not a magnitude; a sign FLIP marks a pattern whose \
+         removal would actually move bias the other way (seen at small n / \
+         marginal patterns), which only a ground-truth retrain \
+         (`--ground-truth`) rules out. The forest rows compare leaf-level \
+         unlearning of the *frozen* bootstraps against a scratch refit that \
+         redraws them, so residual error mixes estimator bias with bootstrap \
+         resampling noise.\n",
     );
     out
+}
+
+fn summary_line(label: &str, row: &FamilyRow) -> String {
+    format!(
+        "{label} n={}: mean |err| {:.4}, sign agreement {}/{} (base bias {:+.4})",
+        row.n, row.mean_abs_err, row.sign_matches, row.patterns, row.base_bias,
+    )
 }

@@ -14,7 +14,7 @@ use gopher_fairness::FairnessMetric;
 use gopher_influence::{
     retrain_without, BiasEval, BiasInfluence, Estimator, InfluenceConfig, InfluenceEngine,
 };
-use gopher_models::Model;
+use gopher_models::Differentiable;
 use gopher_prng::Rng;
 
 /// Per-bucket error accumulator.
@@ -73,7 +73,7 @@ fn fig3_for_model(kind: ModelKind, n_rows: usize, n_subsets: usize, seed: u64) -
     }
 }
 
-fn fig3_generic<M: Model>(
+fn fig3_generic<M: Differentiable>(
     kind: ModelKind,
     model: M,
     p: &crate::workloads::Prepared,

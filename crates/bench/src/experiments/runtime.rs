@@ -12,7 +12,7 @@ use crate::workloads::{prepare, random_subset, train_lr, train_mlp, train_svm, D
 use gopher_core::report::{fmt_duration, TextTable};
 use gopher_data::Encoder;
 use gopher_influence::{retrain_without, Estimator, InfluenceConfig, InfluenceEngine};
-use gopher_models::Model;
+use gopher_models::Differentiable;
 use gopher_prng::Rng;
 
 /// Runs the Figure 4 experiment.
@@ -34,7 +34,12 @@ pub fn fig4(n_rows: usize, seed: u64, include_mlp: bool) -> String {
     out
 }
 
-fn fig4_model<M: Model>(name: &str, model: M, p: &crate::workloads::Prepared, seed: u64) -> String {
+fn fig4_model<M: Differentiable>(
+    name: &str,
+    model: M,
+    p: &crate::workloads::Prepared,
+    seed: u64,
+) -> String {
     let engine = InfluenceEngine::new(model, &p.train, InfluenceConfig::default());
     let mut rng = Rng::new(seed ^ 0xF164);
     let mut table = TextTable::new(&[

@@ -30,9 +30,10 @@ use gopher_fairness::{
     bias, disparate_impact_ratio, equalized_odds_gap, group_confusion, smooth_bias,
     ConfusionCounts, FairnessMetric,
 };
+use gopher_influence::ModelFamily;
 use gopher_influence::{BiasEval, Estimator};
-use gopher_models::train::{accuracy, fit_default};
-use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
+use gopher_models::train::accuracy;
+use gopher_models::{Forest, ForestConfig, LinearSvm, LogisticRegression, Mlp, Model};
 use gopher_prng::Rng;
 use gopher_serve::api;
 use gopher_serve::{ServeConfig, Server};
@@ -67,7 +68,7 @@ COMMON OPTIONS:
                             (categorical) or `col>=cutoff` (numeric),
                             e.g. gender=F or age>=45
     --rows <N>              rows to generate [1000] (ignored with --csv)
-    --model <NAME>          model family: lr | svm | mlp [lr]
+    --model <NAME>          model family: lr | svm | mlp | forest [lr]
     --metric <NAME>         statistical-parity | equal-opportunity |
                             predictive-parity | average-odds [statistical-parity]
     --seed <N>              RNG seed for generation, split and training [42]
@@ -420,11 +421,20 @@ fn dispatch(opts: &mut Opts, action: Action) -> Result<(), UsageError> {
                 Mlp::new(n, 10, l2, &mut model_rng.clone())
             })
         }
+        "forest" => {
+            let config = ForestConfig {
+                seed: opts.seed,
+                ..ForestConfig::default()
+            };
+            exec(opts, action, &train, &test, move |n| {
+                Forest::new(n, config.clone())
+            })
+        }
         other => Err(bad(format!("unknown model `{other}`"))),
     }
 }
 
-fn exec<M: Model>(
+fn exec<M: ModelFamily>(
     opts: &Opts,
     action: Action,
     train: &Dataset,
@@ -643,7 +653,7 @@ fn emit(text: &str) {
     }
 }
 
-fn fit_session<M: Model>(
+fn fit_session<M: ModelFamily>(
     opts: &Opts,
     train: &Dataset,
     test: &Dataset,
@@ -825,7 +835,7 @@ fn render_explain_text(report: &Json) -> String {
 
 // ------------------------------------------------------------------ audit
 
-fn audit_json<M: Model>(
+fn audit_json<M: ModelFamily>(
     opts: &Opts,
     train: &Dataset,
     test: &Dataset,
@@ -834,7 +844,7 @@ fn audit_json<M: Model>(
     let encoder = Encoder::fit(train);
     let encoded_train = encoder.transform(train);
     let mut model = make_model(encoded_train.n_cols());
-    fit_default(&mut model, &encoded_train);
+    ModelFamily::fit(&mut model, &encoded_train);
     audit_model(opts, &model, &encoder, test)
 }
 

@@ -12,8 +12,9 @@
 use crate::session::{ExplainRequest, ExplainSession, SessionBuilder};
 use gopher_data::{Dataset, Encoded, Encoder};
 use gopher_fairness::FairnessMetric;
-use gopher_influence::{BiasEval, Estimator, InfluenceConfig, InfluenceEngine};
-use gopher_models::Model;
+use gopher_influence::{
+    BiasEval, Estimator, HessianBackend, InfluenceConfig, InfluenceEngine, ModelFamily,
+};
 use gopher_patterns::{Candidate, LatticeConfig, PredicateTable, SearchStats};
 use std::time::Duration;
 
@@ -156,13 +157,13 @@ pub struct PatternProfile {
     note = "build an ExplainSession via SessionBuilder and pass ExplainRequests; \
             see the README migration note"
 )]
-pub struct Gopher<M: Model> {
+pub struct Gopher<M: ModelFamily> {
     session: ExplainSession<M>,
     config: GopherConfig,
 }
 
 #[allow(deprecated)]
-impl<M: Model> Gopher<M> {
+impl<M: ModelFamily> Gopher<M> {
     /// Builds an explainer around an **already trained** model. The model
     /// must have been trained on `Encoder::fit(train_raw)`-encoded data;
     /// influence functions assume its parameters are a stationary point.
@@ -217,8 +218,12 @@ impl<M: Model> Gopher<M> {
         self.session.train_raw()
     }
 
-    /// The influence engine (for advanced queries).
-    pub fn engine(&self) -> &InfluenceEngine<M> {
+    /// The influence engine (for advanced queries). Hessian-backed
+    /// families only — non-differentiable families fail to type-check here.
+    pub fn engine(&self) -> &InfluenceEngine<M>
+    where
+        M: ModelFamily<Backend = HessianBackend<M>> + gopher_models::Differentiable,
+    {
         self.session.engine()
     }
 

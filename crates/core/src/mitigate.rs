@@ -10,7 +10,7 @@
 
 use crate::explainer::GopherConfig;
 use gopher_data::Dataset;
-use gopher_models::Model;
+use gopher_influence::ModelFamily;
 
 /// Stopping rules for the mitigation loop.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ pub struct MitigationReport {
 /// `make_model` is invoked once per round (the model is retrained from
 /// scratch on the shrinking data). Ground-truth verification inside the
 /// explainer is disabled — the loop retrains anyway.
-pub fn mitigate<M: Model>(
+pub fn mitigate<M: ModelFamily>(
     mut make_model: impl FnMut(usize) -> M,
     train_raw: &Dataset,
     test_raw: &Dataset,

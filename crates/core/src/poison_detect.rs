@@ -13,7 +13,7 @@ use crate::lof::local_outlier_factor;
 use gopher_data::Encoded;
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{BiasEval, BiasInfluence, Estimator, InfluenceEngine};
-use gopher_models::Model;
+use gopher_models::Differentiable;
 use gopher_prng::Rng;
 
 /// Which clustering backend the detector uses (the paper evaluates both).
@@ -107,7 +107,7 @@ pub struct PoisonDetectionOutcome {
 /// `engine` must be built on a model *trained on the contaminated data* —
 /// the attack is detected through its influence on that model's bias.
 /// `is_poison` is the ground-truth contamination mask used for scoring.
-pub fn detect_poison<M: Model>(
+pub fn detect_poison<M: Differentiable>(
     engine: &InfluenceEngine<M>,
     train: &Encoded,
     test: &Encoded,

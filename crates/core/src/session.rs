@@ -48,11 +48,10 @@ use crate::explainer::{Explanation, ExplanationReport, PatternProfile};
 use gopher_data::{Dataset, Encoded, Encoder};
 use gopher_fairness::FairnessMetric;
 use gopher_influence::{
-    retrain_without, retrain_without_many, BiasEval, BiasInfluence, BiasPrecomp,
-    EngineUpdateReport, Estimator, InfluenceConfig, InfluenceEngine,
+    BiasEval, BiasPrecomp, EngineUpdateReport, Estimator, HessianBackend, InfluenceBackend,
+    InfluenceConfig, InfluenceEngine, ModelFamily,
 };
-use gopher_models::train::fit_default;
-use gopher_models::Model;
+use gopher_models::Differentiable;
 use gopher_patterns::{
     generate_predicates, lattice, min_count_for, topk, BitSet, Candidate, CoverageCache,
     LatticeConfig, PredicateIndex, PredicateTable, ScoreFn, SearchStats, SupportPrefilter,
@@ -223,7 +222,7 @@ impl SessionBuilder {
     ///
     /// # Panics
     /// If the model's input width does not match the encoded data.
-    pub fn build<M: Model>(
+    pub fn build<M: ModelFamily>(
         self,
         model: M,
         train_raw: &Dataset,
@@ -237,13 +236,13 @@ impl SessionBuilder {
             train.n_cols(),
             "model input width must match the encoded data"
         );
-        let engine = InfluenceEngine::new(model, &train, self.influence.clone());
+        let backend = M::Backend::build(model, &train, self.influence.clone());
         let table = generate_predicates(train_raw, self.max_bins);
         let coverage = CoverageCache::with_capacity_cap(self.coverage_cache_cap);
         // Materialize every predicate's coverage once, up front: sweeps at
         // any support threshold or metric start from these shared bitsets.
         let index = PredicateIndex::build(&table, &coverage);
-        let accuracy = gopher_models::train::accuracy(engine.model(), &test);
+        let accuracy = gopher_models::train::accuracy(backend.model(), &test);
         let prefilter = (self.prefilter_sample > 0)
             .then(|| Arc::new(SupportPrefilter::new(table.n_rows(), self.prefilter_sample)));
         ExplainSession {
@@ -251,7 +250,7 @@ impl SessionBuilder {
             encoder,
             train,
             test,
-            engine,
+            backend,
             table,
             index,
             accuracy,
@@ -274,7 +273,7 @@ impl SessionBuilder {
 
     /// Convenience constructor that encodes the data, builds the model via
     /// `make_model(n_encoded_cols)`, trains it to convergence, and wraps it.
-    pub fn fit<M: Model>(
+    pub fn fit<M: ModelFamily>(
         self,
         make_model: impl FnOnce(usize) -> M,
         train_raw: &Dataset,
@@ -283,7 +282,7 @@ impl SessionBuilder {
         let encoder = Encoder::fit(train_raw);
         let train = encoder.transform(train_raw);
         let mut model = make_model(train.n_cols());
-        fit_default(&mut model, &train);
+        ModelFamily::fit(&mut model, &train);
         self.build(model, train_raw, test_raw)
     }
 }
@@ -791,12 +790,12 @@ pub struct SessionStats {
 /// precomputations, and finished sweeps — and answers [`ExplainRequest`]s
 /// against that state. All caches sit behind mutexes, so a session is `Sync`
 /// and can serve concurrent `&self` queries.
-pub struct ExplainSession<M: Model> {
+pub struct ExplainSession<M: ModelFamily> {
     train_raw: Dataset,
     encoder: Encoder,
     train: Encoded,
     test: Encoded,
-    engine: InfluenceEngine<M>,
+    backend: M::Backend,
     table: PredicateTable,
     /// Every predicate's coverage bitset, materialized once at build.
     index: PredicateIndex,
@@ -836,10 +835,10 @@ pub struct ExplainSession<M: Model> {
     latency: LatencyHistogram,
 }
 
-impl<M: Model> ExplainSession<M> {
+impl<M: ModelFamily> ExplainSession<M> {
     /// The trained model.
     pub fn model(&self) -> &M {
-        self.engine.model()
+        self.backend.model()
     }
 
     /// The fitted encoder.
@@ -862,9 +861,20 @@ impl<M: Model> ExplainSession<M> {
         &self.train_raw
     }
 
-    /// The influence engine (for advanced queries).
-    pub fn engine(&self) -> &InfluenceEngine<M> {
-        &self.engine
+    /// The influence backend behind this session (family-generic).
+    pub fn backend(&self) -> &M::Backend {
+        &self.backend
+    }
+
+    /// The influence engine (for advanced Hessian-side queries: per-row
+    /// gradients, parameter changes, the factored Hessian). Only available
+    /// when the session's family is Hessian-backed — a forest session fails
+    /// to *type-check* here instead of panicking at runtime.
+    pub fn engine(&self) -> &InfluenceEngine<M>
+    where
+        M: ModelFamily<Backend = HessianBackend<M>> + Differentiable,
+    {
+        self.backend.engine()
     }
 
     /// The candidate predicate table.
@@ -1165,28 +1175,18 @@ impl<M: Model> ExplainSession<M> {
         threads: usize,
         structure: &Arc<SweepStructure>,
     ) -> Vec<(SweepKey, Arc<SweepResult>)> {
-        let bis: Vec<BiasInfluence<'_, M>> = members
-            .iter()
-            .map(|(_, req)| {
-                BiasInfluence::from_precomp(
-                    &self.engine,
-                    req.metric,
-                    &self.test,
-                    self.bias_precomp(req.metric),
-                )
-            })
-            .collect();
         let mut scorers: Vec<ScoreFn<'_>> = members
             .iter()
-            .zip(&bis)
-            .map(|((_, req), bi)| {
-                let estimator = req.estimator;
-                let bias_eval = req.bias_eval;
-                let train = &self.train;
-                Box::new(move |cov: &BitSet| {
-                    let rows = cov.to_indices();
-                    bi.responsibility(train, &rows, estimator, bias_eval)
-                }) as ScoreFn<'_>
+            .map(|(_, req)| {
+                let scorer = self.backend.scorer(
+                    &self.train,
+                    &self.test,
+                    req.metric,
+                    self.bias_precomp(req.metric),
+                    req.estimator,
+                    req.bias_eval,
+                );
+                Box::new(move |cov: &BitSet| scorer(&cov.to_indices())) as ScoreFn<'_>
             })
             .collect();
         let results = lattice::compute_candidates_multi(
@@ -1226,12 +1226,17 @@ impl<M: Model> ExplainSession<M> {
         let t_select = Instant::now();
         let mut selected = topk::top_k(&sweep.candidates, req.k, req.containment_threshold);
         if req.rescore_top_with_so {
-            let bi =
-                BiasInfluence::from_precomp(&self.engine, req.metric, &self.test, precomp.clone());
+            let scorer = self.backend.scorer(
+                &self.train,
+                &self.test,
+                req.metric,
+                precomp.clone(),
+                Estimator::SecondOrder,
+                req.bias_eval,
+            );
             for cand in &mut selected {
                 let rows = cand.coverage.to_indices();
-                cand.responsibility =
-                    bi.responsibility(&self.train, &rows, Estimator::SecondOrder, req.bias_eval);
+                cand.responsibility = scorer(&rows);
                 cand.interestingness = cand.responsibility / cand.support;
             }
             selected.sort_by(|a, b| b.interestingness.total_cmp(&a.interestingness));
@@ -1246,19 +1251,18 @@ impl<M: Model> ExplainSession<M> {
                 .iter()
                 .map(|candidate| candidate.coverage.to_indices())
                 .collect();
-            let outcomes = retrain_without_many(
-                self.engine.model(),
+            let models = self.backend.ground_truth_models(
                 &self.train,
                 &subsets,
                 self.threads.min(subsets.len()),
             );
             // The baseline bias never changes within an answer.
-            let base = gopher_fairness::bias(req.metric, self.engine.model(), &self.test);
+            let base = gopher_fairness::bias(req.metric, self.backend.model(), &self.test);
             selected
                 .into_iter()
-                .zip(outcomes)
-                .map(|(candidate, outcome)| {
-                    let new_bias = gopher_fairness::bias(req.metric, &outcome.model, &self.test);
+                .zip(models)
+                .map(|(candidate, model)| {
+                    let new_bias = gopher_fairness::bias(req.metric, &model, &self.test);
                     let resp = gt_responsibility(base, new_bias);
                     Explanation {
                         pattern_text: candidate
@@ -1363,9 +1367,9 @@ impl<M: Model> ExplainSession<M> {
     /// Ground-truth responsibility of an arbitrary row subset under
     /// `metric` (retrains without the subset).
     pub fn ground_truth_responsibility(&self, metric: FairnessMetric, rows: &[u32]) -> (f64, f64) {
-        let outcome = retrain_without(self.engine.model(), &self.train, rows);
-        let new_bias = gopher_fairness::bias(metric, &outcome.model, &self.test);
-        let base = gopher_fairness::bias(metric, self.engine.model(), &self.test);
+        let model = self.backend.ground_truth_model(&self.train, rows);
+        let new_bias = gopher_fairness::bias(metric, &model, &self.test);
+        let base = gopher_fairness::bias(metric, self.backend.model(), &self.test);
         (gt_responsibility(base, new_bias), new_bias)
     }
 
@@ -1434,7 +1438,13 @@ impl<M: Model> ExplainSession<M> {
         let added_pairs: Vec<(&[f64], f64)> = (keep..new_train.n_rows())
             .map(|r| (new_train.x.row(r), new_train.y[r]))
             .collect();
-        let engine = self.engine.update(&new_train, &removed_pairs, &added_pairs);
+        let engine = self.backend.update(
+            &self.train,
+            &new_train,
+            removed,
+            &removed_pairs,
+            &added_pairs,
+        );
 
         // Coverage layer: prefix-sum bitset patch over the frozen predicate
         // set, then a fresh index + coverage cache over the new universe
@@ -1486,7 +1496,7 @@ impl<M: Model> ExplainSession<M> {
         self.index = index;
         self.coverage = coverage;
         self.prefilter = prefilter;
-        self.accuracy = gopher_models::train::accuracy(self.engine.model(), &self.test);
+        self.accuracy = gopher_models::train::accuracy(self.backend.model(), &self.test);
 
         self.updates_applied.fetch_add(1, Ordering::Relaxed);
         self.artifacts_survived
@@ -1523,12 +1533,12 @@ impl<M: Model> ExplainSession<M> {
     pub fn cold_rebuild(&self, make_model: impl FnOnce(usize) -> M) -> ExplainSession<M> {
         let train = self.encoder.transform(&self.train_raw);
         let mut model = make_model(train.n_cols());
-        fit_default(&mut model, &train);
-        let engine = InfluenceEngine::new(model, &train, self.engine.config().clone());
+        ModelFamily::fit(&mut model, &train);
+        let backend = M::Backend::build(model, &train, self.backend.config().clone());
         let table = self.table.rebuild_on(&self.train_raw);
         let coverage = CoverageCache::with_capacity_cap(self.coverage.cap());
         let index = PredicateIndex::build(&table, &coverage);
-        let accuracy = gopher_models::train::accuracy(engine.model(), &self.test);
+        let accuracy = gopher_models::train::accuracy(backend.model(), &self.test);
         let prefilter = self
             .prefilter
             .as_ref()
@@ -1538,7 +1548,7 @@ impl<M: Model> ExplainSession<M> {
             encoder: self.encoder.clone(),
             train,
             test: self.test.clone(),
-            engine,
+            backend,
             table,
             index,
             accuracy,
@@ -1567,7 +1577,7 @@ impl<M: Model> ExplainSession<M> {
         let mut cache = lock_recover(&self.bias_cache);
         cache
             .entry(metric)
-            .or_insert_with(|| BiasPrecomp::compute(metric, self.engine.model(), &self.test))
+            .or_insert_with(|| self.backend.precompute(metric, &self.test))
             .clone()
     }
 }
@@ -1576,7 +1586,7 @@ impl<M: Model> ExplainSession<M> {
 mod tests {
     use super::*;
     use gopher_data::generators::german;
-    use gopher_models::LogisticRegression;
+    use gopher_models::{LogisticRegression, Model};
     use gopher_prng::Rng;
 
     fn session(n: usize, seed: u64) -> ExplainSession<LogisticRegression> {
@@ -1661,11 +1671,21 @@ mod tests {
     }
 
     impl Model for PanickyModel {
-        fn n_params(&self) -> usize {
-            self.inner.n_params()
-        }
         fn n_inputs(&self) -> usize {
             self.inner.n_inputs()
+        }
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            assert!(
+                !self.armed.load(std::sync::atomic::Ordering::Relaxed),
+                "injected query panic"
+            );
+            self.inner.predict_proba(x)
+        }
+    }
+
+    impl Differentiable for PanickyModel {
+        fn n_params(&self) -> usize {
+            self.inner.n_params()
         }
         fn params(&self) -> &[f64] {
             self.inner.params()
@@ -1675,13 +1695,6 @@ mod tests {
         }
         fn l2(&self) -> f64 {
             self.inner.l2()
-        }
-        fn predict_proba(&self, x: &[f64]) -> f64 {
-            assert!(
-                !self.armed.load(std::sync::atomic::Ordering::Relaxed),
-                "injected query panic"
-            );
-            self.inner.predict_proba(x)
         }
         fn loss(&self, x: &[f64], y: f64) -> f64 {
             self.inner.loss(x, y)
@@ -1700,6 +1713,13 @@ mod tests {
         }
         fn accumulate_hessian(&self, x: &[f64], y: f64, out: &mut gopher_linalg::Matrix) {
             self.inner.accumulate_hessian(x, y, out);
+        }
+    }
+
+    impl ModelFamily for PanickyModel {
+        type Backend = HessianBackend<Self>;
+        fn fit(&mut self, train: &Encoded) -> gopher_models::train::TrainReport {
+            gopher_models::train::fit_default(self, train)
         }
     }
 

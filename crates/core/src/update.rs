@@ -17,9 +17,9 @@ use crate::explainer::{Explanation, ExplanationReport};
 use crate::session::{ExplainRequest, ExplainSession};
 use gopher_data::{Encoded, EncodedGroup, Value};
 use gopher_fairness::{bias_gradient, FairnessMetric};
-use gopher_influence::retrain_updated;
+use gopher_influence::{retrain_updated, HessianBackend, ModelFamily};
 use gopher_linalg::vecops;
-use gopher_models::Model;
+use gopher_models::Differentiable;
 use gopher_patterns::Candidate;
 
 /// Projected-gradient-descent configuration for the update search.
@@ -128,7 +128,10 @@ pub struct UpdateExplanation {
     pub ground_truth_responsibility: Option<f64>,
 }
 
-impl<M: Model> ExplainSession<M> {
+impl<M> ExplainSession<M>
+where
+    M: ModelFamily<Backend = HessianBackend<M>> + Differentiable,
+{
     /// Computes the best homogeneous update for one candidate pattern,
     /// optimizing the given metric's one-step-GD bias surrogate.
     pub fn update_explanation(
@@ -410,7 +413,10 @@ impl<M: Model> ExplainSession<M> {
 }
 
 #[allow(deprecated)]
-impl<M: Model> crate::explainer::Gopher<M> {
+impl<M> crate::explainer::Gopher<M>
+where
+    M: ModelFamily<Backend = HessianBackend<M>> + Differentiable,
+{
     /// Computes the best homogeneous update for one candidate pattern
     /// (façade for [`ExplainSession::update_explanation`] under the
     /// configured metric).

@@ -30,7 +30,7 @@ mod stats;
 pub use stats::{group_confusion, ConfusionCounts, GroupStats};
 
 use gopher_data::Encoded;
-use gopher_models::Model;
+use gopher_models::{Differentiable, Model};
 
 /// The fairness definitions from the paper (Section 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,7 +178,11 @@ pub fn smooth_bias<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) 
 }
 
 /// The gradient `∇θ F(θ, D_test)` of the smooth bias.
-pub fn bias_gradient<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) -> Vec<f64> {
+pub fn bias_gradient<M: Differentiable>(
+    metric: FairnessMetric,
+    model: &M,
+    test: &Encoded,
+) -> Vec<f64> {
     let p = model.n_params();
     match metric {
         FairnessMetric::AverageOdds => {

@@ -4,7 +4,7 @@ use crate::engine::{Estimator, InfluenceEngine};
 use gopher_data::Encoded;
 use gopher_fairness::FairnessMetric;
 use gopher_linalg::vecops;
-use gopher_models::Model;
+use gopher_models::Differentiable;
 
 /// How to turn an estimated parameter change into an estimated bias change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,7 +37,7 @@ pub struct BiasPrecomp {
 impl BiasPrecomp {
     /// Computes the gradient and baselines for one metric/model/test-set
     /// triple.
-    pub fn compute<M: Model>(metric: FairnessMetric, model: &M, test: &Encoded) -> Self {
+    pub fn compute<M: Differentiable>(metric: FairnessMetric, model: &M, test: &Encoded) -> Self {
         Self {
             grad_f: gopher_fairness::bias_gradient(metric, model, test),
             base_hard: gopher_fairness::bias(metric, model, test),
@@ -51,7 +51,7 @@ impl BiasPrecomp {
 /// Precomputes the bias gradient `∇θF(θ*, D_test)` and the baseline bias so
 /// each query costs one parameter-change estimate plus a dot product (chain
 /// rule) or one metric evaluation (re-eval modes).
-pub struct BiasInfluence<'a, M: Model> {
+pub struct BiasInfluence<'a, M: Differentiable> {
     engine: &'a InfluenceEngine<M>,
     metric: FairnessMetric,
     test: &'a Encoded,
@@ -60,7 +60,7 @@ pub struct BiasInfluence<'a, M: Model> {
     base_smooth: f64,
 }
 
-impl<'a, M: Model> BiasInfluence<'a, M> {
+impl<'a, M: Differentiable> BiasInfluence<'a, M> {
     /// Builds the query object, computing the precomputation inline.
     pub fn new(engine: &'a InfluenceEngine<M>, metric: FairnessMetric, test: &'a Encoded) -> Self {
         let precomp = BiasPrecomp::compute(metric, engine.model(), test);

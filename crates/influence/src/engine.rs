@@ -3,7 +3,7 @@
 use gopher_data::Encoded;
 use gopher_linalg::{conjugate_gradient, vecops, Cholesky, Matrix};
 use gopher_models::train::{fit_default, full_gradient, objective, NewtonConfig, TrainReport};
-use gopher_models::Model;
+use gopher_models::Differentiable;
 
 /// Relative parameter drift (since the last full Hessian assembly) beyond
 /// which an incremental update gives up and rebuilds the engine from scratch.
@@ -106,7 +106,7 @@ impl EngineUpdateReport {
 /// gradient passes otherwise — this mirrors the paper's "pre-compute the
 /// gradients and Hessian at start-up"). Each subsequent query is `O(m p)`
 /// for the subset gradient plus `O(p²)` per solve.
-pub struct InfluenceEngine<M: Model> {
+pub struct InfluenceEngine<M: Differentiable> {
     model: M,
     /// Per-example data-term gradients at θ*, one row per training example.
     grads: Matrix,
@@ -122,7 +122,7 @@ pub struct InfluenceEngine<M: Model> {
     hessian_theta: Vec<f64>,
 }
 
-impl<M: Model> InfluenceEngine<M> {
+impl<M: Differentiable> InfluenceEngine<M> {
     /// Precomputes gradients and the factored Hessian at the model's current
     /// parameters (assumed trained to a stationary point).
     ///
@@ -614,6 +614,16 @@ mod tests {
     use gopher_data::Encoder;
     use gopher_models::train::{fit_newton, NewtonConfig};
     use gopher_models::{LogisticRegression, Model};
+
+    impl Model for Ridge {
+        fn n_inputs(&self) -> usize {
+            self.n_inputs
+        }
+        fn predict_proba(&self, x: &[f64]) -> f64 {
+            let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];
+            z.clamp(0.0, 1.0)
+        }
+    }
     use gopher_prng::Rng;
 
     /// Ridge regression (squared loss) — quadratic, so the Newton estimator
@@ -625,12 +635,9 @@ mod tests {
         l2: f64,
     }
 
-    impl Model for Ridge {
+    impl Differentiable for Ridge {
         fn n_params(&self) -> usize {
             self.n_inputs + 1
-        }
-        fn n_inputs(&self) -> usize {
-            self.n_inputs
         }
         fn params(&self) -> &[f64] {
             &self.params
@@ -640,10 +647,6 @@ mod tests {
         }
         fn l2(&self) -> f64 {
             self.l2
-        }
-        fn predict_proba(&self, x: &[f64]) -> f64 {
-            let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];
-            z.clamp(0.0, 1.0)
         }
         fn loss(&self, x: &[f64], y: f64) -> f64 {
             let z = vecops::dot(&self.params[..self.n_inputs], x) + self.params[self.n_inputs];

@@ -37,10 +37,12 @@
 
 #![forbid(unsafe_code)]
 
+mod backend;
 mod bias;
 mod engine;
 mod retrain;
 
+pub use backend::{HessianBackend, InfluenceBackend, ModelFamily, SubsetScorer, UnlearningBackend};
 pub use bias::{BiasEval, BiasInfluence, BiasPrecomp};
 pub use engine::{EngineUpdateReport, Estimator, InfluenceConfig, InfluenceEngine};
 pub use retrain::{

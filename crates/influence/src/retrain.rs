@@ -4,7 +4,7 @@ use crate::engine::InfluenceEngine;
 use gopher_data::Encoded;
 use gopher_linalg::vecops;
 use gopher_models::train::{fit_default, full_gradient, objective, NewtonConfig, TrainReport};
-use gopher_models::Model;
+use gopher_models::Differentiable;
 
 /// Largest removal subset the Woodbury-modified solve handles; bigger
 /// subsets (capacitance grows as `m³`) fall back to the from-scratch path.
@@ -26,7 +26,11 @@ pub struct RetrainOutcome<M> {
 /// Retrains a copy of `model` on `train` minus the given rows, warm-starting
 /// from the current parameters (as the paper does to speed up the retraining
 /// baseline).
-pub fn retrain_without<M: Model>(model: &M, train: &Encoded, rows: &[u32]) -> RetrainOutcome<M> {
+pub fn retrain_without<M: Differentiable>(
+    model: &M,
+    train: &Encoded,
+    rows: &[u32],
+) -> RetrainOutcome<M> {
     let mut remove = vec![false; train.n_rows()];
     for &r in rows {
         remove[r as usize] = true;
@@ -46,7 +50,7 @@ pub fn retrain_without<M: Model>(model: &M, train: &Encoded, rows: &[u32]) -> Re
 /// dataset), so results are bit-identical to a sequential loop at any
 /// thread count. This is the ground-truth hot path of a top-k explanation:
 /// `k` retrains per query, each a full Newton solve.
-pub fn retrain_without_many<M: Model>(
+pub fn retrain_without_many<M: Differentiable>(
     model: &M,
     train: &Encoded,
     subsets: &[Vec<u32>],
@@ -74,7 +78,7 @@ pub fn retrain_without_many<M: Model>(
 /// or the modified solve goes singular; falls back to the line-searched
 /// trainer when the quasi-Newton loop stalls. Either fallback still returns
 /// a correct ground-truth retrain.
-pub fn retrain_without_incremental<M: Model>(
+pub fn retrain_without_incremental<M: Differentiable>(
     engine: &InfluenceEngine<M>,
     train: &Encoded,
     rows: &[u32],
@@ -148,7 +152,7 @@ pub fn retrain_without_incremental<M: Model>(
 /// Fans [`retrain_without_incremental`] out over many row subsets, mirroring
 /// [`retrain_without_many`]. Outcomes are in input order and bit-identical
 /// at any thread count (each retrain is independent).
-pub fn retrain_without_many_incremental<M: Model>(
+pub fn retrain_without_many_incremental<M: Differentiable>(
     engine: &InfluenceEngine<M>,
     train: &Encoded,
     subsets: &[Vec<u32>],
@@ -161,7 +165,7 @@ pub fn retrain_without_many_incremental<M: Model>(
 
 /// Retrains a copy of `model` on an already-modified training set (used by
 /// update-based explanations, where rows are perturbed instead of removed).
-pub fn retrain_updated<M: Model>(model: &M, updated_train: &Encoded) -> RetrainOutcome<M> {
+pub fn retrain_updated<M: Differentiable>(model: &M, updated_train: &Encoded) -> RetrainOutcome<M> {
     let mut retrained = model.clone();
     let report = fit_default(&mut retrained, updated_train);
     RetrainOutcome {

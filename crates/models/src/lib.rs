@@ -22,33 +22,58 @@
 
 #![forbid(unsafe_code)]
 
+mod forest;
 mod logistic;
 mod mlp;
 mod svm;
 pub mod train;
 
+pub use forest::{Forest, ForestConfig};
 pub use logistic::LogisticRegression;
 pub use mlp::Mlp;
 pub use svm::LinearSvm;
 
 use gopher_linalg::Matrix;
 
-/// A binary classifier with a twice-differentiable per-example loss.
+/// A binary classifier: the prediction-side contract every model family
+/// satisfies, differentiable or not.
+///
+/// Models are `Send + Sync`: the parallel query engine shares one trained
+/// model across scorer threads and clones it into ground-truth retraining
+/// workers, so a model must be plain data (parameter vectors for the
+/// analytic families, bagged trees for [`Forest`]).
+///
+/// Everything gradient-shaped lives on the [`Differentiable`] subtrait, so
+/// non-analytic families (tree ensembles) type-check against
+/// prediction-level code and fail to *compile* — rather than panic — when
+/// handed to Hessian-based machinery.
+pub trait Model: Clone + Send + Sync {
+    /// Number of input features (length of the `x` slices).
+    fn n_inputs(&self) -> usize;
+
+    /// Predicted probability of the favorable class, `p(x; θ) ∈ (0, 1)`.
+    fn predict_proba(&self, x: &[f64]) -> f64;
+
+    /// Hard prediction with the conventional 0.5 threshold.
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.predict_proba(x) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A [`Model`] with a twice-differentiable per-example loss over an explicit
+/// parameter vector θ — the contract the Hessian-based influence engine and
+/// the gradient trainers require.
 ///
 /// All gradient-like methods *accumulate* into their output buffer so callers
 /// can sum over examples without intermediate allocations. Implementations
 /// must keep `params`, `n_params` and `n_inputs` mutually consistent.
-///
-/// Models are `Send + Sync`: the parallel query engine shares one trained
-/// model across scorer threads and clones it into ground-truth retraining
-/// workers, so a model must be plain data (all three built-in families are
-/// parameter vectors).
-pub trait Model: Clone + Send + Sync {
+pub trait Differentiable: Model {
     /// Number of parameters (length of [`params`](Self::params)).
     fn n_params(&self) -> usize;
-
-    /// Number of input features (length of the `x` slices).
-    fn n_inputs(&self) -> usize;
 
     /// Current parameter vector θ.
     fn params(&self) -> &[f64];
@@ -58,9 +83,6 @@ pub trait Model: Clone + Send + Sync {
 
     /// L2 regularization strength λ of the training objective.
     fn l2(&self) -> f64;
-
-    /// Predicted probability of the favorable class, `p(x; θ) ∈ (0, 1)`.
-    fn predict_proba(&self, x: &[f64]) -> f64;
 
     /// Per-example data loss `L(z, θ)` (no regularization term).
     fn loss(&self, x: &[f64], y: f64) -> f64;
@@ -133,22 +155,13 @@ pub trait Model: Clone + Send + Sync {
         let _ = (x, y, aug);
         None
     }
-
-    /// Hard prediction with the conventional 0.5 threshold.
-    fn predict(&self, x: &[f64]) -> f64 {
-        if self.predict_proba(x) >= 0.5 {
-            1.0
-        } else {
-            0.0
-        }
-    }
 }
 
 /// Relative step used by the finite-difference Hessian–vector product.
 const FD_EPS: f64 = 1e-5;
 
 /// Central-difference Hessian–vector product shared by the trait default.
-fn finite_diff_hvp<M: Model>(model: &M, x: &[f64], y: f64, v: &[f64], out: &mut [f64]) {
+fn finite_diff_hvp<M: Differentiable>(model: &M, x: &[f64], y: f64, v: &[f64], out: &mut [f64]) {
     let p = model.n_params();
     debug_assert_eq!(v.len(), p);
     debug_assert_eq!(out.len(), p);

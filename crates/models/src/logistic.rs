@@ -1,6 +1,6 @@
 //! L2-regularized logistic regression.
 
-use crate::{log_sigmoid, sigmoid, Model};
+use crate::{log_sigmoid, sigmoid, Differentiable, Model};
 use gopher_linalg::{vecops, Matrix};
 
 /// Logistic regression: `p(x) = σ(wᵀx + b)` with cross-entropy loss.
@@ -45,12 +45,28 @@ impl LogisticRegression {
 }
 
 impl Model for LogisticRegression {
-    fn n_params(&self) -> usize {
-        self.n_inputs + 1
-    }
-
     fn n_inputs(&self) -> usize {
         self.n_inputs
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.decision(x))
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        // `sigmoid(z) >= 0.5` iff `z >= 0`: threshold the raw decision and
+        // skip the exponential.
+        if self.decision(x) >= 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+impl Differentiable for LogisticRegression {
+    fn n_params(&self) -> usize {
+        self.n_inputs + 1
     }
 
     fn params(&self) -> &[f64] {
@@ -63,10 +79,6 @@ impl Model for LogisticRegression {
 
     fn l2(&self) -> f64 {
         self.l2
-    }
-
-    fn predict_proba(&self, x: &[f64]) -> f64 {
-        sigmoid(self.decision(x))
     }
 
     fn loss(&self, x: &[f64], y: f64) -> f64 {
@@ -90,16 +102,6 @@ impl Model for LogisticRegression {
         vecops::axpy(residual, x, &mut out[..self.n_inputs]);
         out[self.n_inputs] += residual;
         -(y * log_sigmoid(z) + (1.0 - y) * log_sigmoid(-z))
-    }
-
-    fn predict(&self, x: &[f64]) -> f64 {
-        // `sigmoid(z) >= 0.5` iff `z >= 0`: threshold the raw decision and
-        // skip the exponential.
-        if self.decision(x) >= 0.0 {
-            1.0
-        } else {
-            0.0
-        }
     }
 
     fn accumulate_grad_proba(&self, x: &[f64], out: &mut [f64]) {

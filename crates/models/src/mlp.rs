@@ -1,6 +1,6 @@
 //! One-hidden-layer feed-forward network (the paper's neural classifier).
 
-use crate::{log_sigmoid, sigmoid, Model};
+use crate::{log_sigmoid, sigmoid, Differentiable, Model};
 use gopher_linalg::vecops;
 use gopher_prng::Rng;
 
@@ -140,12 +140,18 @@ impl Mlp {
 }
 
 impl Model for Mlp {
-    fn n_params(&self) -> usize {
-        self.params.len()
-    }
-
     fn n_inputs(&self) -> usize {
         self.n_inputs
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        self.forward(x).p
+    }
+}
+
+impl Differentiable for Mlp {
+    fn n_params(&self) -> usize {
+        self.params.len()
     }
 
     fn params(&self) -> &[f64] {
@@ -158,10 +164,6 @@ impl Model for Mlp {
 
     fn l2(&self) -> f64 {
         self.l2
-    }
-
-    fn predict_proba(&self, x: &[f64]) -> f64 {
-        self.forward(x).p
     }
 
     fn loss(&self, x: &[f64], y: f64) -> f64 {

@@ -1,6 +1,6 @@
 //! Linear SVM with squared-hinge loss.
 
-use crate::{sigmoid, Model};
+use crate::{sigmoid, Differentiable, Model};
 use gopher_linalg::{vecops, Matrix};
 
 /// A linear support vector machine trained with the *squared* hinge loss,
@@ -58,12 +58,18 @@ impl LinearSvm {
 }
 
 impl Model for LinearSvm {
-    fn n_params(&self) -> usize {
-        self.n_inputs + 1
-    }
-
     fn n_inputs(&self) -> usize {
         self.n_inputs
+    }
+
+    fn predict_proba(&self, x: &[f64]) -> f64 {
+        sigmoid(self.decision(x))
+    }
+}
+
+impl Differentiable for LinearSvm {
+    fn n_params(&self) -> usize {
+        self.n_inputs + 1
     }
 
     fn params(&self) -> &[f64] {
@@ -76,10 +82,6 @@ impl Model for LinearSvm {
 
     fn l2(&self) -> f64 {
         self.l2
-    }
-
-    fn predict_proba(&self, x: &[f64]) -> f64 {
-        sigmoid(self.decision(x))
     }
 
     fn loss(&self, x: &[f64], y: f64) -> f64 {

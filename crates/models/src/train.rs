@@ -5,7 +5,7 @@
 //! `J`, so trainers iterate until the gradient norm is small, not merely
 //! until the loss stops improving.
 
-use crate::Model;
+use crate::{Differentiable, Model};
 use gopher_data::Encoded;
 use gopher_linalg::{vecops, Cholesky, Matrix};
 
@@ -23,7 +23,7 @@ pub struct TrainReport {
 }
 
 /// The regularized objective `J(θ)` on a dataset.
-pub fn objective<M: Model>(model: &M, data: &Encoded) -> f64 {
+pub fn objective<M: Differentiable>(model: &M, data: &Encoded) -> f64 {
     let n = data.n_rows().max(1);
     let mut total = 0.0;
     for r in 0..data.n_rows() {
@@ -34,7 +34,7 @@ pub fn objective<M: Model>(model: &M, data: &Encoded) -> f64 {
 }
 
 /// Writes `∇J(θ) = (1/n) Σ ∇L + λθ` into `out` (overwriting it).
-pub fn full_gradient<M: Model>(model: &M, data: &Encoded, out: &mut [f64]) {
+pub fn full_gradient<M: Differentiable>(model: &M, data: &Encoded, out: &mut [f64]) {
     debug_assert_eq!(out.len(), model.n_params());
     out.iter_mut().for_each(|g| *g = 0.0);
     for r in 0..data.n_rows() {
@@ -83,7 +83,7 @@ impl Default for GdConfig {
 }
 
 /// Trains `model` in place by full-batch gradient descent.
-pub fn fit_gd<M: Model>(model: &mut M, data: &Encoded, cfg: &GdConfig) -> TrainReport {
+pub fn fit_gd<M: Differentiable>(model: &mut M, data: &Encoded, cfg: &GdConfig) -> TrainReport {
     let p = model.n_params();
     let mut grad = vec![0.0; p];
     let mut velocity = vec![0.0; p];
@@ -136,7 +136,11 @@ impl Default for NewtonConfig {
 /// Practical for models with analytic Hessians (logistic regression, SVM);
 /// for the MLP each step assembles the Hessian by finite differences, which
 /// is usable for testing but slow — prefer [`fit_gd`] there.
-pub fn fit_newton<M: Model>(model: &mut M, data: &Encoded, cfg: &NewtonConfig) -> TrainReport {
+pub fn fit_newton<M: Differentiable>(
+    model: &mut M,
+    data: &Encoded,
+    cfg: &NewtonConfig,
+) -> TrainReport {
     let p = model.n_params();
     let n = data.n_rows().max(1) as f64;
     let mut grad = vec![0.0; p];
@@ -194,7 +198,7 @@ pub fn fit_newton<M: Model>(model: &mut M, data: &Encoded, cfg: &NewtonConfig) -
 
 /// Trains with the method best suited to the model: Newton for models with
 /// analytic Hessians, gradient descent otherwise.
-pub fn fit_default<M: Model>(model: &mut M, data: &Encoded) -> TrainReport {
+pub fn fit_default<M: Differentiable>(model: &mut M, data: &Encoded) -> TrainReport {
     if model.has_analytic_hessian() {
         fit_newton(model, data, &NewtonConfig::default())
     } else {

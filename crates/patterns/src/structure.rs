@@ -754,12 +754,14 @@ impl SweepStructure {
     /// `coverage` presence for the looser threshold), but coverage bitsets
     /// stay shared `Arc`s with the source throughout.
     ///
-    /// Cost: `O(singles + resolved merges)` — the record map is cloned
-    /// (keys and `Arc` handles, never bitset payloads) under the source's
-    /// merge lock. Callers cache views under their own exact key, so the
-    /// clone runs once per `(source, min_count)` pair; a copy-free overlay
-    /// (shared base map + per-view threshold) is a recorded follow-up for
-    /// very deep sweeps.
+    /// Cost: `O(singles + resolved merges)` — the record map is snapshotted
+    /// (keys and `Arc` handles, never bitset payloads) under one brief hold
+    /// of the source's merge lock, and the threshold re-filter runs on the
+    /// snapshot *outside* it, so concurrent sweeps keep resolving merges
+    /// into the source while a view is cut. Callers cache views under their
+    /// own exact key, so the snapshot runs once per `(source, min_count)`
+    /// pair; a copy-free overlay (shared base map + per-view threshold) is
+    /// a recorded follow-up for very deep sweeps.
     ///
     /// # Panics
     /// If `min_count` is below this artifact's own threshold — loosening
@@ -778,15 +780,21 @@ impl SweepStructure {
             .filter(|s| s.count >= min_count)
             .cloned()
             .collect();
-        let merges = self
-            .lock()
-            .iter()
+        // Snapshot first (one short lock hold), transform after: building
+        // the view's map — hashing every key, shedding coverages — under
+        // the source lock would stall every concurrent `resolve` for the
+        // whole rebuild. Records inserted after the snapshot simply miss
+        // this view, which is the same outcome as cutting the view a
+        // moment earlier.
+        let snapshot = self.merge_snapshot();
+        let merges = snapshot
+            .into_iter()
             .map(|(ids, r)| {
                 (
-                    ids.clone(),
+                    ids,
                     MergeRecord {
                         coverage: if r.count >= min_count {
-                            r.coverage.clone()
+                            r.coverage
                         } else {
                             None
                         },
@@ -904,6 +912,60 @@ mod tests {
             cache.len() - entries_before,
             structure.merges_resolved() - failed
         );
+    }
+
+    #[test]
+    fn refilter_view_does_not_block_concurrent_resolves() {
+        // Regression: `refilter_view` used to build the view's whole merge
+        // map while holding the source's merge lock, stalling every
+        // concurrent `resolve` for the duration of the rebuild (and
+        // deadlocking would-be reentrant callers). It now snapshots under
+        // one brief hold and transforms outside, so resolving threads and
+        // view-cutting threads interleave freely. This drives both from
+        // scoped threads and checks every cut view is a value-consistent
+        // prefix of the source — completion alone catches a deadlock.
+        let (cache, index, config) = setup(400, 0.05);
+        let structure = SweepStructure::build(&index, &config);
+        let n = index.entries().len();
+        let tighter = structure.min_count() + 5;
+        let views = std::thread::scope(|s| {
+            s.spawn(|| {
+                for i in 0..n {
+                    for j in (i + 1)..n.min(i + 5) {
+                        let (a, b) = (&index.entries()[i], &index.entries()[j]);
+                        let _ = structure.resolve(&[a.id, b.id], &cache, &a.coverage, &b.coverage);
+                    }
+                }
+            });
+            let cutter = s.spawn(|| {
+                (0..20)
+                    .map(|_| structure.refilter_view(tighter))
+                    .collect::<Vec<_>>()
+            });
+            cutter.join().expect("view cutter panicked")
+        });
+        assert_eq!(views.len(), 20);
+        for view in &views {
+            assert_eq!(view.min_count(), tighter);
+            // Every record a view captured must agree with the source's
+            // final record for the same ids (records are pure functions of
+            // the predicate table, so mid-resolve snapshots can only be
+            // shorter, never different).
+            for (ids, r) in view.merge_snapshot() {
+                let source = structure.lookup(&ids).expect("view key missing in source");
+                assert_eq!(r.count, source.count);
+                assert_eq!(r.exact, source.exact);
+                assert_eq!(
+                    r.coverage.is_some(),
+                    r.count >= tighter && source.coverage.is_some()
+                );
+            }
+        }
+        // The resolver finished its full pair sweep regardless of the
+        // concurrent view cutting.
+        let resolved = structure.merges_resolved();
+        let expected: usize = (0..n).map(|i| n.min(i + 5) - (i + 1)).sum();
+        assert_eq!(resolved, expected);
     }
 
     #[test]

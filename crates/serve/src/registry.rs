@@ -16,8 +16,9 @@ use gopher_core::{
 use gopher_data::csv::{parse_protected_spec, read_csv_infer};
 use gopher_data::generators::{adult, german, sqf};
 use gopher_data::Dataset;
+use gopher_influence::ModelFamily;
 use gopher_json::Json;
-use gopher_models::{LinearSvm, LogisticRegression, Mlp};
+use gopher_models::{Forest, ForestConfig, LinearSvm, LogisticRegression, Mlp};
 use gopher_par::lock_recover;
 use gopher_prng::Rng;
 use std::io::Cursor;
@@ -32,6 +33,9 @@ pub enum AnySession {
     Svm(ExplainSession<LinearSvm>),
     /// One-hidden-layer MLP session (`"model": "mlp"`).
     Mlp(ExplainSession<Mlp>),
+    /// Bagged-tree forest session (`"model": "forest"`), explained through
+    /// the unlearning backend instead of influence functions.
+    Forest(ExplainSession<Forest>),
 }
 
 impl AnySession {
@@ -42,6 +46,7 @@ impl AnySession {
             Self::Lr(s) => s.explain_batch(requests),
             Self::Svm(s) => s.explain_batch(requests),
             Self::Mlp(s) => s.explain_batch(requests),
+            Self::Forest(s) => s.explain_batch(requests),
         }
     }
 
@@ -51,6 +56,7 @@ impl AnySession {
             Self::Lr(s) => s.stats(),
             Self::Svm(s) => s.stats(),
             Self::Mlp(s) => s.stats(),
+            Self::Forest(s) => s.stats(),
         }
     }
 
@@ -60,6 +66,7 @@ impl AnySession {
             Self::Lr(s) => s.accuracy(),
             Self::Svm(s) => s.accuracy(),
             Self::Mlp(s) => s.accuracy(),
+            Self::Forest(s) => s.accuracy(),
         }
     }
 
@@ -70,6 +77,7 @@ impl AnySession {
             Self::Lr(s) => s.train_raw().n_rows(),
             Self::Svm(s) => s.train_raw().n_rows(),
             Self::Mlp(s) => s.train_raw().n_rows(),
+            Self::Forest(s) => s.train_raw().n_rows(),
         }
     }
 
@@ -81,6 +89,7 @@ impl AnySession {
             Self::Lr(s) => s.train_raw().schema(),
             Self::Svm(s) => s.train_raw().schema(),
             Self::Mlp(s) => s.train_raw().schema(),
+            Self::Forest(s) => s.train_raw().schema(),
         };
         schema == added.schema()
     }
@@ -89,7 +98,7 @@ impl AnySession {
     /// [`ExplainSession::update`]): removal indices address the current
     /// training set, `added` is appended (`None` = remove-only).
     pub fn update(&mut self, removed: &[usize], added: Option<&Dataset>) -> UpdateReport {
-        fn go<M: gopher_models::Model + Clone + Send + Sync>(
+        fn go<M: ModelFamily>(
             s: &mut ExplainSession<M>,
             removed: &[usize],
             added: Option<&Dataset>,
@@ -106,6 +115,7 @@ impl AnySession {
             Self::Lr(s) => go(s, removed, added),
             Self::Svm(s) => go(s, removed, added),
             Self::Mlp(s) => go(s, removed, added),
+            Self::Forest(s) => go(s, removed, added),
         }
     }
 }
@@ -138,7 +148,7 @@ pub struct SessionConfig {
     pub name: String,
     /// Dataset source.
     pub source: DataSource,
-    /// Model family: `lr` | `svm` | `mlp`.
+    /// Model family: `lr` | `svm` | `mlp` | `forest`.
     pub model: String,
     /// RNG seed for generation, split, and training.
     pub seed: u64,
@@ -281,8 +291,10 @@ impl SessionConfig {
         };
 
         let model = get_s("model")?.unwrap_or("lr").to_string();
-        if !["lr", "logistic", "svm", "mlp"].contains(&model.as_str()) {
-            return Err(format!("unknown model {model:?} (expected lr | svm | mlp)"));
+        if !["lr", "logistic", "svm", "mlp", "forest"].contains(&model.as_str()) {
+            return Err(format!(
+                "unknown model {model:?} (expected lr | svm | mlp | forest)"
+            ));
         }
         let seed = get_count("seed")?.unwrap_or(42) as u64;
         if seed > (1 << 53) {
@@ -554,6 +566,17 @@ pub fn build_session(config: &SessionConfig) -> Result<(AnySession, usize), Stri
             let mut model_rng = rng.fork();
             AnySession::Mlp(builder.fit(|n| Mlp::new(n, 10, l2, &mut model_rng), &train, &test))
         }
+        "forest" => {
+            let forest_config = ForestConfig {
+                seed: config.seed,
+                ..ForestConfig::default()
+            };
+            AnySession::Forest(builder.fit(
+                |n| Forest::new(n, forest_config.clone()),
+                &train,
+                &test,
+            ))
+        }
         other => return Err(format!("unknown model {other:?}")),
     };
     Ok((session, rows))
@@ -570,7 +593,7 @@ pub fn build_session(config: &SessionConfig) -> Result<(AnySession, usize), Stri
 pub struct SessionEntry {
     /// Registry key.
     pub name: String,
-    /// Model family (`lr` / `svm` / `mlp`).
+    /// Model family (`lr` / `svm` / `mlp` / `forest`).
     pub model: String,
     /// Data-source description, e.g. `german (1000 rows)`.
     pub source: String,

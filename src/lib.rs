@@ -9,9 +9,10 @@
 //! * [`gopher_core`] — the explainer (start at
 //!   [`gopher_core::SessionBuilder`]);
 //! * [`gopher_data`] — datasets, encoding, generators, poisoning;
-//! * [`gopher_models`] — logistic regression / SVM / MLP + trainers;
+//! * [`gopher_models`] — logistic regression / SVM / MLP / forest + trainers;
 //! * [`gopher_fairness`] — fairness metrics and their gradients;
-//! * [`gopher_influence`] — influence-function estimators;
+//! * [`gopher_influence`] — per-family influence backends (Hessian-based
+//!   estimators, tree unlearning);
 //! * [`gopher_patterns`] — predicates, lattice search, top-k selection;
 //! * [`gopher_serve`] — the `gopher serve` HTTP daemon: session registry,
 //!   micro-batching, wire codecs (start at [`gopher_serve::Server`]);
@@ -42,9 +43,11 @@ pub mod prelude {
     pub use gopher_data::generators::{adult, german, sqf};
     pub use gopher_data::{Dataset, Encoded, Encoder};
     pub use gopher_fairness::FairnessMetric;
-    pub use gopher_influence::{BiasEval, Estimator};
+    pub use gopher_influence::{BiasEval, Estimator, InfluenceBackend, ModelFamily};
     pub use gopher_models::train::{fit_default, fit_gd, fit_newton};
-    pub use gopher_models::{LinearSvm, LogisticRegression, Mlp, Model};
+    pub use gopher_models::{
+        Differentiable, Forest, ForestConfig, LinearSvm, LogisticRegression, Mlp, Model,
+    };
     pub use gopher_patterns::LatticeConfig;
     pub use gopher_prng::Rng;
 }

@@ -3,7 +3,7 @@
 
 use gopher_data::generators::german;
 use gopher_fairness::{bias, bias_gradient, smooth_bias, FairnessMetric};
-use gopher_models::{LogisticRegression, Model};
+use gopher_models::{Differentiable, LogisticRegression, Model};
 use gopher_prng::Rng;
 use gopher_repro::prelude::{Encoder, SessionBuilder};
 use proptest::prelude::*;
